@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Section 4 reproduction: memory-address-predictor coverage.
+ *
+ * The paper (citing [9]) relies on "the address of about 75% of the
+ * dynamically executed memory instructions" being predictable with a
+ * last-address + stride table. This bench replays each proxy's load
+ * stream through the 1K-entry untagged predictor and reports coverage
+ * (confident and correct) and accuracy (correct | confident).
+ */
+
+#include <cstdio>
+
+#include "core/cac.hh"
+
+int
+main()
+{
+    using namespace cac;
+
+    constexpr std::size_t kInstructions = 150000;
+    std::printf("=== Section 4: memory address predictor coverage "
+                "===\n");
+    std::printf("(1K-entry untagged, last-address + stride + 2-bit "
+                "confidence)\n\n");
+
+    TextTable table;
+    table.header({"proxy", "loads", "coverage %", "accuracy %"});
+    RunningStat coverage;
+    for (const auto &info : specProxyList()) {
+        const Trace trace = buildSpecProxy(info.name, kInstructions);
+        AddrPredictor ap(1024);
+        for (const auto &rec : trace) {
+            if (rec.op == OpClass::Load)
+                ap.update(rec.pc, rec.addr);
+        }
+        coverage.add(ap.coverage() * 100.0);
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(static_cast<long long>(ap.lookups()));
+        table.cell(ap.coverage() * 100.0, 1);
+        table.cell(ap.accuracy() * 100.0, 1);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("mean coverage: %.1f%% (paper/reference [9]: ~75%% of "
+                "loads predictable)\n",
+                coverage.mean());
+    std::printf("check: strided FP codes near 100%%, pointer/hash "
+                "codes near 0%%, mix lands near the paper's figure.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section 3.1 (option 4) reproduction: the column-associative cache
+ * with a polynomial rehash. The paper reports "a typical probability
+ * of around 90% that a hit is detected at the first probe" thanks to
+ * the line-swapping scheme, with miss ratios approaching 2-way
+ * associativity in a direct-mapped array.
+ */
+
+#include <cstdio>
+
+#include "core/cac.hh"
+
+int
+main()
+{
+    using namespace cac;
+
+    constexpr std::size_t kInstructions = 150000;
+    std::printf("=== Column-associative cache with polynomial rehash "
+                "(8KB DM) ===\n\n");
+
+    TextTable table;
+    table.header({"proxy", "dm miss%", "col-poly miss%", "a2 miss%",
+                  "1st-probe hit%"});
+
+    RunningStat first_probe;
+    for (const auto &info : specProxyList()) {
+        const Trace trace = buildSpecProxy(info.name, kInstructions);
+        OrgSpec spec;
+        spec.writeAllocate = false;
+
+        auto dm = makeOrganization("dm", spec);
+        auto a2 = makeOrganization("a2", spec);
+        const CacheGeometry geom(spec.sizeBytes, spec.blockBytes, 1);
+        TwoProbeCache col(geom, RehashKind::IPoly, spec.hashBlockBits,
+                          spec.writeAllocate);
+
+        const double dm_miss =
+            runTraceMemory(*dm, trace).loadMissRatio() * 100.0;
+        const double a2_miss =
+            runTraceMemory(*a2, trace).loadMissRatio() * 100.0;
+        const double col_miss =
+            runTraceMemory(col, trace).loadMissRatio() * 100.0;
+        const double fp = col.firstProbeHitFraction() * 100.0;
+        first_probe.add(fp);
+
+        table.beginRow();
+        table.cell(info.name + (info.highConflict ? "*" : ""));
+        table.cell(dm_miss, 2);
+        table.cell(col_miss, 2);
+        table.cell(a2_miss, 2);
+        table.cell(fp, 1);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("average first-probe hit fraction: %.1f%% "
+                "(paper: ~90%%)\n",
+                first_probe.mean());
+    std::printf("check: col-poly beats plain DM everywhere and "
+                "approaches (or beats) 2-way on conflicts.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 1 reproduction: frequency distribution of miss ratios for
+ * conventional and pseudo-random indexing schemes.
+ *
+ * The paper drives four 8KB 2-way 32B caches (a2, a2-Hx-Sk, a2-Hp,
+ * a2-Hp-Sk) with repeated accesses to a 64-element vector of 8-byte
+ * elements at every stride S in [1, 4096), then histograms the
+ * per-stride miss ratios on a log-frequency axis. Expected shape:
+ * conventional and XOR-skewed indexing have >6% of strides with miss
+ * ratio >50%; skewed I-Poly has none.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cac.hh"
+
+namespace
+{
+
+constexpr std::uint64_t kMaxStride = 4096;
+constexpr std::size_t kSweeps = 48;
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace cac;
+
+    std::printf("=== Figure 1: miss-ratio distribution over strides "
+                "1..%llu ===\n",
+                static_cast<unsigned long long>(kMaxStride - 1));
+    std::printf("cache: 8KB 2-way 32B; workload: 64 x 8-byte elements, "
+                "%zu sweeps per stride\n\n",
+                kSweeps);
+
+    const std::vector<std::string> schemes = {"a2", "a2-Hx-Sk", "a2-Hp",
+                                              "a2-Hp-Sk"};
+    TextTable summary;
+    summary.header({"scheme", "strides>50%", "share>50%", "max miss",
+                    "mean miss"});
+
+    for (const auto &scheme : schemes) {
+        Histogram hist(0.0, 1.0, 10);
+        RunningStat stat;
+        for (std::uint64_t stride = 1; stride < kMaxStride; ++stride) {
+            OrgSpec spec;
+            auto cache = makeOrganization(scheme, spec);
+            StrideWorkloadConfig wc;
+            wc.stride = stride;
+            wc.sweeps = kSweeps;
+            auto addrs = makeStrideAddressTrace(wc);
+            const CacheStats s = runAddressStream(*cache, addrs);
+            hist.add(s.missRatio());
+            stat.add(s.missRatio());
+        }
+        std::printf("%s", hist.render(scheme).c_str());
+        std::printf("\n");
+
+        summary.beginRow();
+        summary.cell(scheme);
+        summary.cell(static_cast<long long>(hist.countAtLeast(0.5)));
+        summary.cell(100.0 * static_cast<double>(hist.countAtLeast(0.5))
+                         / static_cast<double>(hist.total()),
+                     2);
+        summary.cell(stat.max(), 3);
+        summary.cell(stat.mean(), 4);
+    }
+
+    std::printf("%s\n", summary.render().c_str());
+    std::printf("paper: a2 and a2-Hx-Sk pathological (miss > 50%%) on "
+                ">6%% of strides;\n"
+                "       a2-Hp-Sk has no significant conflicts for any "
+                "stride in range.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Software-speed microbenchmarks (google-benchmark): index-function
+ * evaluation throughput, polynomial arithmetic, and end-to-end cache
+ * model access rates. These measure the *simulator*, not the modeled
+ * hardware; they matter to anyone sweeping large design spaces with
+ * this library.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/cac.hh"
+
+namespace
+{
+
+using namespace cac;
+
+void
+BM_ModuloIndex(benchmark::State &state)
+{
+    ModuloIndex idx(7, 2);
+    std::uint64_t a = 0x12345;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(idx.index(a, 0));
+        a += 997;
+    }
+}
+BENCHMARK(BM_ModuloIndex);
+
+void
+BM_IPolyIndex(benchmark::State &state)
+{
+    IPolyIndex idx(7, 2, 14, true);
+    std::uint64_t a = 0x12345;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(idx.index(a, 0));
+        a += 997;
+    }
+}
+BENCHMARK(BM_IPolyIndex);
+
+void
+BM_XorMatrixApply(benchmark::State &state)
+{
+    XorMatrix m(PolyCatalog::irreducible(
+                    static_cast<unsigned>(state.range(0)), 0),
+                19);
+    std::uint64_t a = 0x12345;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.apply(a));
+        a += 997;
+    }
+}
+BENCHMARK(BM_XorMatrixApply)->Arg(7)->Arg(10)->Arg(13);
+
+void
+BM_PolyMod(benchmark::State &state)
+{
+    const Gf2Poly p = PolyCatalog::irreducible(7, 0);
+    std::uint64_t a = 0x12345;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Gf2Poly{a}.mod(p));
+        a = a * 6364136223846793005ull + 1;
+    }
+}
+BENCHMARK(BM_PolyMod);
+
+void
+BM_IrreducibilityTest(benchmark::State &state)
+{
+    const Gf2Poly p{(1ull << 16) | 0x2B};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.isIrreducible());
+}
+BENCHMARK(BM_IrreducibilityTest);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    OrgSpec spec;
+    const std::string label =
+        state.range(0) == 0 ? "a2" : "a2-Hp-Sk";
+    auto cache = makeOrganization(label, spec);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache->access(rng.nextBelow(1 << 20) & ~31ull, false));
+    }
+    state.SetLabel(label);
+}
+BENCHMARK(BM_CacheAccess)->Arg(0)->Arg(1);
+
+void
+BM_OooCoreSimulation(benchmark::State &state)
+{
+    const Trace trace = buildSpecProxy("mgrid", 20000);
+    const CpuConfig cfg = CpuConfig::tableConfig("8k-ipoly-cp-pred");
+    for (auto _ : state) {
+        OooCore core(cfg);
+        benchmark::DoNotOptimize(core.run(trace));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations())
+        * static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OooCoreSimulation)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace

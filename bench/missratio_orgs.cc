@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Section 2.1 / section 5 reproduction: standalone load-miss ratios of
+ * every cache organization the paper's comparison (via [10]) covers —
+ * direct-mapped, 2/4-way conventional, skewed XOR, I-Poly (plain and
+ * skewed), victim, hash-rehash, column-associative-poly and fully
+ * associative — over all 18 workload proxies, plus the miss-ratio
+ * standard deviation that motivates the predictability claim
+ * (paper: conventional 2-way 13.84%% avg vs I-Poly 7.14%% vs fully
+ * associative 6.80%%; stddev 18.49 -> 5.16).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "core/cac.hh"
+
+int
+main()
+{
+    using namespace cac;
+
+    constexpr std::size_t kInstructions = 150000;
+    std::printf("=== Miss ratio by cache organization (8KB, 32B "
+                "lines) ===\n");
+    std::printf("(load miss %%; %zu-instruction proxies)\n\n",
+                kInstructions);
+
+    const auto labels = standardComparisonLabels();
+
+    TextTable table;
+    {
+        std::vector<std::string> header = {"proxy"};
+        for (const auto &label : labels)
+            header.push_back(label);
+        table.header(header);
+    }
+
+    std::map<std::string, std::vector<double>> ratios;
+    for (const auto &info : specProxyList()) {
+        const Trace trace = buildSpecProxy(info.name, kInstructions);
+        table.beginRow();
+        table.cell(info.name + (info.highConflict ? "*" : ""));
+        for (const auto &label : labels) {
+            OrgSpec spec;
+            spec.writeAllocate = false;
+            auto cache = makeOrganization(label, spec);
+            const double pct =
+                runTraceMemory(*cache, trace).loadMissRatio() * 100.0;
+            ratios[label].push_back(pct);
+            table.cell(pct, 2);
+        }
+    }
+
+    table.separator();
+    table.beginRow();
+    table.cell("mean");
+    for (const auto &label : labels)
+        table.cell(arithmeticMean(ratios[label]), 2);
+    table.beginRow();
+    table.cell("stddev");
+    for (const auto &label : labels)
+        table.cell(populationStddev(ratios[label]), 2);
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("(* = the paper's high-conflict programs)\n");
+    std::printf("paper: 8KB 2-way conventional 13.84%% avg vs I-Poly "
+                "7.14%% vs fully-assoc 6.80%%;\n"
+                "       miss-ratio stddev falls 18.49 -> 5.16 with "
+                "I-Poly (predictability, section 5).\n");
+    return 0;
+}

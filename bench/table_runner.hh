@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared driver for the Table 2 / Table 3 reproductions: runs every
+ * workload proxy through the six processor configurations and collects
+ * IPC + load miss ratio per (proxy, configuration).
+ */
+
+#ifndef CAC_BENCH_TABLE_RUNNER_HH
+#define CAC_BENCH_TABLE_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cac.hh"
+
+namespace cac::bench
+{
+
+/** The Table 2 configuration columns, in paper order. */
+inline const std::vector<std::string> &
+tableConfigs()
+{
+    static const std::vector<std::string> kConfigs = {
+        "16k-conv",        // 16KB conventional
+        "8k-conv",         // 8KB conventional, no prediction
+        "8k-conv-pred",    // 8KB conventional + address prediction
+        "8k-ipoly-nocp",   // I-Poly, XOR not in critical path
+        "8k-ipoly-cp",     // I-Poly, XOR in critical path, no pred
+        "8k-ipoly-cp-pred" // I-Poly, XOR in critical path + pred
+    };
+    return kConfigs;
+}
+
+/** IPC and miss per configuration for one proxy. */
+struct ProxyRow
+{
+    SpecProxyInfo info;
+    std::map<std::string, BenchmarkResult> byConfig;
+};
+
+/**
+ * Run every proxy through every configuration.
+ *
+ * @param instructions dynamic trace length per proxy.
+ */
+inline std::vector<ProxyRow>
+runAllProxies(std::size_t instructions)
+{
+    std::vector<ProxyRow> rows;
+    for (const auto &info : specProxyList()) {
+        ProxyRow row;
+        row.info = info;
+        const Trace trace = buildSpecProxy(info.name, instructions);
+        for (const auto &cfg_name : tableConfigs()) {
+            row.byConfig[cfg_name] = runCpu(
+                info.name, CpuConfig::tableConfig(cfg_name), trace);
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Emit one formatted row in the Table 2 column layout. */
+inline void
+emitRow(TextTable &table, const std::string &name, const ProxyRow &row)
+{
+    table.beginRow();
+    table.cell(name);
+    table.cell(row.byConfig.at("16k-conv").ipc, 2);
+    table.cell(row.byConfig.at("16k-conv").loadMissPct, 2);
+    table.cell(row.byConfig.at("8k-conv").ipc, 2);
+    table.cell(row.byConfig.at("8k-conv-pred").ipc, 2);
+    table.cell(row.byConfig.at("8k-conv").loadMissPct, 2);
+    table.cell(row.byConfig.at("8k-ipoly-nocp").ipc, 2);
+    table.cell(row.byConfig.at("8k-ipoly-nocp").loadMissPct, 2);
+    table.cell(row.byConfig.at("8k-ipoly-cp").ipc, 2);
+    table.cell(row.byConfig.at("8k-ipoly-cp-pred").ipc, 2);
+}
+
+/** Aggregate rows into the paper's averaging convention. */
+inline void
+emitAverage(TextTable &table, const std::string &label,
+            const std::vector<const ProxyRow *> &rows)
+{
+    table.beginRow();
+    table.cell(label);
+    auto avg = [&](const std::string &cfg, bool ipc) {
+        std::vector<double> xs;
+        for (const ProxyRow *row : rows) {
+            const BenchmarkResult &r = row->byConfig.at(cfg);
+            xs.push_back(ipc ? r.ipc : r.loadMissPct);
+        }
+        return ipc ? geometricMean(xs) : arithmeticMean(xs);
+    };
+    table.cell(avg("16k-conv", true), 2);
+    table.cell(avg("16k-conv", false), 2);
+    table.cell(avg("8k-conv", true), 2);
+    table.cell(avg("8k-conv-pred", true), 2);
+    table.cell(avg("8k-conv", false), 2);
+    table.cell(avg("8k-ipoly-nocp", true), 2);
+    table.cell(avg("8k-ipoly-nocp", false), 2);
+    table.cell(avg("8k-ipoly-cp", true), 2);
+    table.cell(avg("8k-ipoly-cp-pred", true), 2);
+}
+
+/** The shared column header. */
+inline std::vector<std::string>
+tableHeader()
+{
+    return {"benchmark",   "16k:IPC",  "16k:miss", "8k:IPC",
+            "8k:IPC+pred", "8k:miss",  "Hp:IPC",   "Hp:miss",
+            "HpCP:IPC",    "HpCP:IPC+pred"};
+}
+
+} // namespace cac::bench
+
+#endif // CAC_BENCH_TABLE_RUNNER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 3.4 reproduction: the hardware cost of I-Poly indexing.
+ *
+ * Prints the compiled XOR network for the paper's configuration (8KB
+ * 2-way: degree-7 moduli over 14 block-address bits = 19 address bits)
+ * and verifies the claim that "the number of inputs [per XOR gate] is
+ * never higher than 5", then sweeps the input width to show how fan-in
+ * grows with the number of hashed bits.
+ */
+
+#include <cstdio>
+
+#include "core/cac.hh"
+
+int
+main()
+{
+    using namespace cac;
+
+    std::printf("=== Section 3.4: XOR-tree fan-in of I-Poly index "
+                "functions ===\n\n");
+
+    // The two skewed ways of the paper's L1.
+    IPolyIndex paper(7, 2, 14, /*skewed=*/true);
+    for (unsigned w = 0; w < 2; ++w) {
+        std::printf("way %u: %s\n", w,
+                    paper.matrix(w).describe().c_str());
+    }
+
+    // Find the minimum-max-fan-in degree-7 polynomials.
+    TextTable table;
+    table.header({"polynomial", "max fan-in (v=14)",
+                  "max fan-in (v=19)"});
+    unsigned best14 = 99;
+    for (std::size_t k = 0; k < PolyCatalog::countIrreducible(7); ++k) {
+        const Gf2Poly p = PolyCatalog::irreducible(7, k);
+        XorMatrix m14(p, 14), m19(p, 19);
+        best14 = std::min(best14, m14.maxFanIn());
+        table.beginRow();
+        table.cell(p.toString());
+        table.cell(static_cast<long long>(m14.maxFanIn()));
+        table.cell(static_cast<long long>(m19.maxFanIn()));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("best max fan-in over degree-7 moduli at v=14: %u "
+                "(paper: never higher than 5)\n\n",
+                best14);
+
+    // Fan-in growth with hashed input width.
+    TextTable growth;
+    growth.header({"input bits v", "max fan-in", "avg fan-in"});
+    const Gf2Poly p = PolyCatalog::irreducible(7, 0);
+    for (unsigned v : {7u, 10u, 14u, 19u, 24u, 32u}) {
+        XorMatrix m(p, v);
+        double total = 0;
+        for (unsigned i = 0; i < m.outputBits(); ++i)
+            total += m.fanIn(i);
+        growth.beginRow();
+        growth.cell(static_cast<long long>(v));
+        growth.cell(static_cast<long long>(m.maxFanIn()));
+        growth.cell(total / m.outputBits(), 2);
+    }
+    std::printf("%s\n", growth.render().c_str());
+    std::printf("check: at the paper's 19 address bits the delay is "
+                "one small XOR gate per index bit.\n");
+    return 0;
+}

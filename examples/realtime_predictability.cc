@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Real-time scenario from the paper's conclusions:
+ *
+ * "The use of caches in real-time systems is often problematic when it
+ * cannot be guaranteed that pathological miss ratios will not occur.
+ * If conflict misses are eliminated, the miss ratio depends solely on
+ * compulsory and capacity misses, which in general are easier to
+ * predict and control."
+ *
+ * A WCET analyst cares about the *worst case* over the input-dependent
+ * layouts a task might see. This example runs one fixed loop kernel
+ * over many possible array placements (as the linker/allocator might
+ * produce) and reports the best/mean/worst miss ratio per indexing
+ * scheme: conventional indexing has a long pathological tail, skewed
+ * I-Poly clusters tightly around the capacity floor.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cac.hh"
+
+namespace
+{
+
+/**
+ * The task kernel: three arrays processed in lockstep (filter state,
+ * input buffer, output buffer), several frames.
+ */
+std::vector<std::uint64_t>
+taskAddresses(std::uint64_t base_a, std::uint64_t base_b,
+              std::uint64_t base_c)
+{
+    std::vector<std::uint64_t> addrs;
+    constexpr std::size_t kElems = 256; // 2KB per array (6KB total)
+    for (int frame = 0; frame < 8; ++frame) {
+        for (std::size_t i = 0; i < kElems; ++i) {
+            addrs.push_back(base_a + i * 8);
+            addrs.push_back(base_b + i * 8);
+            addrs.push_back(base_c + i * 8);
+        }
+    }
+    return addrs;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace cac;
+
+    std::printf("one DSP-style kernel, 256 random linker placements of "
+                "its three 2KB arrays\n\n");
+
+    TextTable table;
+    table.header({"scheme", "best miss%", "mean miss%", "worst miss%",
+                  "stddev"});
+
+    for (const char *scheme : {"a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk",
+                               "full"}) {
+        Rng rng(2024);
+        RunningStat stat;
+        for (int placement = 0; placement < 256; ++placement) {
+            // Addresses the allocator might choose: arbitrary 32B-
+            // aligned bases in a 1MB segment (some will collide mod
+            // 4KB, some won't — the analyst can't control which).
+            const std::uint64_t a =
+                (1 << 22) + (rng.nextBelow(1 << 15) << 5);
+            const std::uint64_t b =
+                (1 << 22) + (rng.nextBelow(1 << 15) << 5);
+            const std::uint64_t c =
+                (1 << 22) + (rng.nextBelow(1 << 15) << 5);
+            OrgSpec spec;
+            auto cache = makeOrganization(scheme, spec);
+            runAddressStream(*cache, taskAddresses(a, b, c));
+            stat.add(100.0 * cache->stats().missRatio());
+        }
+        table.beginRow();
+        table.cell(scheme);
+        table.cell(stat.min(), 2);
+        table.cell(stat.mean(), 2);
+        table.cell(stat.max(), 2);
+        table.cell(stat.stddev(), 2);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("WCET bound must use the *worst* column: conventional "
+                "indexing forces a pessimistic bound;\n"
+                "I-Poly keeps the worst case near the capacity floor "
+                "(the paper's predictability argument, section 5).\n");
+    return 0;
+}

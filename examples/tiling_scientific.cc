@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scientific-computing scenario from the paper's conclusions: loop
+ * tiling.
+ *
+ * "Tiling often introduces additional conflict misses which depend on
+ * array dimensions as well as stride. An I-Poly cache would, for
+ * example, eliminate the need to compute conflict-free tile
+ * dimensions."
+ *
+ * This example walks a tiled 2D array (column-major, power-of-two
+ * leading dimension — the worst case) for a range of tile heights and
+ * shows that the conventional cache's miss ratio swings wildly with
+ * the tile shape while the I-Poly cache is uniformly low, so the
+ * programmer can pick tile sizes for capacity alone.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/cac.hh"
+
+namespace
+{
+
+/**
+ * Generate the addresses of one tiled pass over a rows x cols array of
+ * 8-byte elements with leading dimension @p ld elements: for each tile,
+ * touch it column by column, twice (typical read-modify-write reuse).
+ */
+std::vector<std::uint64_t>
+tiledTraversal(std::size_t rows, std::size_t cols, std::size_t ld,
+               std::size_t tile_rows, std::size_t tile_cols)
+{
+    std::vector<std::uint64_t> addrs;
+    const std::uint64_t base = 1 << 22;
+    for (std::size_t tr = 0; tr < rows; tr += tile_rows) {
+        for (std::size_t tc = 0; tc < cols; tc += tile_cols) {
+            for (int pass = 0; pass < 2; ++pass) {
+                for (std::size_t c = tc;
+                     c < std::min(tc + tile_cols, cols); ++c) {
+                    for (std::size_t r = tr;
+                         r < std::min(tr + tile_rows, rows); ++r) {
+                        addrs.push_back(base + (c * ld + r) * 8);
+                    }
+                }
+            }
+        }
+    }
+    return addrs;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace cac;
+
+    // 512x512 doubles, leading dimension 512 (power of two: columns
+    // are 4KB apart, conflicting in a conventional 8KB 2-way cache).
+    constexpr std::size_t kRows = 512, kCols = 512, kLd = 512;
+
+    std::printf("tiled traversal of a %zux%zu double array "
+                "(columns 4KB apart at ld=512)\n\n",
+                kRows, kCols);
+    TextTable table;
+    table.header({"tile (r x c)", "footprint", "a2 ld=512",
+                  "a2 ld=516 (padded)", "Hp-Sk ld=512"});
+
+    for (std::size_t tile_rows : {8ull, 16ull, 32ull, 64ull}) {
+        for (std::size_t tile_cols : {8ull, 16ull, 32ull}) {
+            auto miss = [&](const char *label, std::size_t ld) {
+                const auto addrs = tiledTraversal(kRows, kCols, ld,
+                                                  tile_rows, tile_cols);
+                OrgSpec spec;
+                auto cache = makeOrganization(label, spec);
+                runAddressStream(*cache, addrs);
+                return 100.0 * cache->stats().missRatio();
+            };
+
+            char tile[32], foot[32];
+            std::snprintf(tile, sizeof(tile), "%zu x %zu", tile_rows,
+                          tile_cols);
+            std::snprintf(foot, sizeof(foot), "%zuKB",
+                          tile_rows * tile_cols * 8 / 1024);
+            table.beginRow();
+            table.cell(std::string(tile));
+            table.cell(std::string(foot));
+            table.cell(miss("a2", kLd), 1);
+            table.cell(miss("a2", kLd + 4), 1);
+            table.cell(miss("a2-Hp-Sk", kLd), 1);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("takeaway: with a power-of-two leading dimension the "
+                "conventional cache gets *no* tiling reuse\n"
+                "for any tile shape (25%% = the no-reuse floor), and "
+                "even one-block padding (ld=516) only\n"
+                "rescues flat tiles. The I-Poly cache delivers the "
+                "reuse at ld=512 for every tile that fits --\n"
+                "no conflict-aware padding or tile-dimension "
+                "computation needed (the paper's conclusion).\n");
+    return 0;
+}

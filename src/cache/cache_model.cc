@@ -1,0 +1,10 @@
+#include "cache/cache_model.hh"
+
+namespace cac
+{
+
+CacheModel::CacheModel(const CacheGeometry &geometry) : geometry_(geometry)
+{
+}
+
+} // namespace cac

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Functional cache-model interface shared by all organizations
+ * (set-associative, skewed, fully associative, victim, two-probe).
+ *
+ * Models are *functional*: they track placement, hits and misses, not
+ * timing. The out-of-order CPU model wraps one of these in a timing
+ * shell (latency + MSHRs + bus); the miss-ratio experiments drive them
+ * directly.
+ */
+
+#ifndef CAC_CACHE_CACHE_MODEL_HH
+#define CAC_CACHE_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cache/geometry.hh"
+
+namespace cac
+{
+
+/** Aggregate access counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictions = 0;     ///< valid lines displaced by fills
+    std::uint64_t writebacks = 0;    ///< dirty evictions (write-back mode)
+    std::uint64_t invalidations = 0; ///< external invalidate() hits
+    std::uint64_t firstProbeHits = 0;  ///< two-probe organizations only
+    std::uint64_t secondProbeHits = 0; ///< two-probe organizations only
+
+    std::uint64_t accesses() const { return loads + stores; }
+    std::uint64_t misses() const { return loadMisses + storeMisses; }
+    std::uint64_t hits() const { return accesses() - misses(); }
+
+    /** Overall miss ratio in [0,1]; 0 when no accesses. */
+    double missRatio() const
+    {
+        return accesses()
+            ? static_cast<double>(misses())
+              / static_cast<double>(accesses())
+            : 0.0;
+    }
+
+    /** Load miss ratio (the metric Tables 2-3 report). */
+    double loadMissRatio() const
+    {
+        return loads
+            ? static_cast<double>(loadMisses) / static_cast<double>(loads)
+            : 0.0;
+    }
+};
+
+/** Outcome of one access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool filled = false; ///< a line was allocated for this access
+    /** Block evicted by the fill, if any (byte address of its base). */
+    std::optional<std::uint64_t> evictedAddr;
+    /** Evicted block was dirty (meaningful in write-back mode). */
+    bool evictedDirty = false;
+};
+
+/**
+ * Abstract functional cache. Addresses are byte addresses; models mask
+ * out the block offset internally.
+ */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheGeometry &geometry);
+    virtual ~CacheModel() = default;
+
+    /**
+     * Perform one access, updating contents and statistics.
+     *
+     * @param addr byte address.
+     * @param is_write store when true, load when false.
+     */
+    virtual AccessResult access(std::uint64_t addr, bool is_write) = 0;
+
+    /** Hit check without any state or statistics update. */
+    virtual bool probe(std::uint64_t addr) const = 0;
+
+    /**
+     * Invalidate the block containing @p addr if present (external
+     * coherence action or Inclusion enforcement).
+     *
+     * @return true when a valid line was invalidated.
+     */
+    virtual bool invalidate(std::uint64_t addr) = 0;
+
+    /** Invalidate everything (e.g. after an index-function change). */
+    virtual void flush() = 0;
+
+    /** Organization name for reports. */
+    virtual std::string name() const = 0;
+
+    const CacheGeometry &geometry() const { return geometry_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Zero the statistics, keeping contents (post-warmup reset). */
+    void resetStats() { stats_ = CacheStats{}; }
+
+  protected:
+    CacheGeometry geometry_;
+    CacheStats stats_;
+};
+
+} // namespace cac
+
+#endif // CAC_CACHE_CACHE_MODEL_HH

@@ -1,0 +1,41 @@
+#include "cache/geometry.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+CacheGeometry::CacheGeometry(std::uint64_t size_bytes,
+                             std::uint64_t block_bytes, unsigned ways)
+    : size_bytes_(size_bytes), block_bytes_(block_bytes), ways_(ways)
+{
+    if (!isPowerOf2(size_bytes) || !isPowerOf2(block_bytes))
+        fatal("cache size and block size must be powers of two");
+    if (ways == 0)
+        fatal("cache must have at least one way");
+    if (size_bytes % (block_bytes * ways) != 0)
+        fatal("capacity %llu not divisible by ways*blockBytes",
+              static_cast<unsigned long long>(size_bytes));
+    if (!isPowerOf2(numSets()))
+        fatal("number of sets must be a power of two");
+
+    offset_bits_ = floorLog2(block_bytes);
+    set_bits_ = floorLog2(numSets());
+}
+
+std::string
+CacheGeometry::toString() const
+{
+    std::ostringstream os;
+    if (size_bytes_ >= 1024 && size_bytes_ % 1024 == 0)
+        os << size_bytes_ / 1024 << "KB";
+    else
+        os << size_bytes_ << "B";
+    os << " " << ways_ << "-way " << block_bytes_ << "B";
+    return os.str();
+}
+
+} // namespace cac

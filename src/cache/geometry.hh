@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cache geometry: capacity, block size and associativity, plus the
+ * derived bit-field widths used to decompose an address.
+ */
+
+#ifndef CAC_CACHE_GEOMETRY_HH
+#define CAC_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cac
+{
+
+/**
+ * Validated cache geometry. All three parameters must be powers of two
+ * and the capacity must be divisible by ways * blockBytes.
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes.
+     * @param block_bytes line size in bytes.
+     * @param ways associativity (1 = direct mapped).
+     */
+    CacheGeometry(std::uint64_t size_bytes, std::uint64_t block_bytes,
+                  unsigned ways);
+
+    /** Paper's L1 data cache: 8KB, 32-byte lines, 2-way. */
+    static CacheGeometry paperL1_8k() { return {8 * 1024, 32, 2}; }
+
+    /** Paper's doubled L1: 16KB, 32-byte lines, 2-way. */
+    static CacheGeometry paperL1_16k() { return {16 * 1024, 32, 2}; }
+
+    /** Paper's example L2 for the hole analysis: 256KB, 32B, DM. */
+    static CacheGeometry paperL2_256k() { return {256 * 1024, 32, 1}; }
+
+    std::uint64_t sizeBytes() const { return size_bytes_; }
+    std::uint64_t blockBytes() const { return block_bytes_; }
+    unsigned ways() const { return ways_; }
+
+    /** Total number of lines. */
+    std::uint64_t numBlocks() const { return size_bytes_ / block_bytes_; }
+
+    /** Number of sets (lines / ways). */
+    std::uint64_t numSets() const { return numBlocks() / ways_; }
+
+    /** log2(blockBytes): width of the block-offset field. */
+    unsigned offsetBits() const { return offset_bits_; }
+
+    /** log2(numSets): width m of the set-index field. */
+    unsigned setBits() const { return set_bits_; }
+
+    /** Block address of a byte address (offset shifted out). */
+    std::uint64_t blockAddr(std::uint64_t addr) const
+    {
+        return addr >> offset_bits_;
+    }
+
+    /** First byte address of a block address. */
+    std::uint64_t byteAddr(std::uint64_t block_addr) const
+    {
+        return block_addr << offset_bits_;
+    }
+
+    /** e.g. "8KB 2-way 32B". */
+    std::string toString() const;
+
+  private:
+    std::uint64_t size_bytes_;
+    std::uint64_t block_bytes_;
+    unsigned ways_;
+    unsigned offset_bits_;
+    unsigned set_bits_;
+};
+
+} // namespace cac
+
+#endif // CAC_CACHE_GEOMETRY_HH

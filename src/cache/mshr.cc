@@ -1,0 +1,87 @@
+#include "cache/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+MshrFile::MshrFile(unsigned num_entries) : entries_(num_entries)
+{
+    CAC_ASSERT(num_entries >= 1);
+}
+
+Mshr *
+MshrFile::find(std::uint64_t block)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.block == block)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const Mshr *
+MshrFile::find(std::uint64_t block) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.valid && entry.block == block)
+            return &entry;
+    }
+    return nullptr;
+}
+
+bool
+MshrFile::full() const
+{
+    for (const auto &entry : entries_) {
+        if (!entry.valid)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+MshrFile::inFlight() const
+{
+    unsigned n = 0;
+    for (const auto &entry : entries_) {
+        if (entry.valid)
+            ++n;
+    }
+    return n;
+}
+
+Mshr &
+MshrFile::allocate(std::uint64_t block, std::uint64_t ready_tick)
+{
+    CAC_ASSERT(find(block) == nullptr);
+    for (auto &entry : entries_) {
+        if (!entry.valid) {
+            entry.valid = true;
+            entry.block = block;
+            entry.readyTick = ready_tick;
+            entry.targets = 1;
+            return entry;
+        }
+    }
+    panic("MSHR allocate on a full file");
+}
+
+bool
+MshrFile::anyReadyBy(std::uint64_t tick) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.valid && entry.readyTick <= tick)
+            return true;
+    }
+    return false;
+}
+
+void
+MshrFile::clear()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace cac

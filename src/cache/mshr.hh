@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Miss Status Holding Registers for a lockup-free cache (Kroft [14]).
+ *
+ * The paper's L1 "allows 8 outstanding misses to different cache lines".
+ * An MSHR entry tracks one in-flight line fill; secondary misses to the
+ * same line attach as extra targets instead of occupying a new entry or
+ * issuing a new bus transaction.
+ */
+
+#ifndef CAC_CACHE_MSHR_HH
+#define CAC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cac
+{
+
+/** One in-flight line fill. */
+struct Mshr
+{
+    bool valid = false;
+    std::uint64_t block = 0;     ///< block address being fetched
+    std::uint64_t readyTick = 0; ///< cycle the fill completes
+    unsigned targets = 0;        ///< accesses waiting on this fill
+};
+
+/** Fixed-capacity MSHR file. */
+class MshrFile
+{
+  public:
+    /** @param num_entries maximum outstanding line fills. */
+    explicit MshrFile(unsigned num_entries);
+
+    /** Entry tracking @p block, or nullptr. */
+    Mshr *find(std::uint64_t block);
+    const Mshr *find(std::uint64_t block) const;
+
+    /** True when no entry is free. */
+    bool full() const;
+
+    /** Number of valid entries. */
+    unsigned inFlight() const;
+
+    /**
+     * Allocate an entry for @p block completing at @p ready_tick.
+     * The file must not be full and must not already track the block.
+     *
+     * @return reference to the new entry.
+     */
+    Mshr &allocate(std::uint64_t block, std::uint64_t ready_tick);
+
+    /**
+     * Release every entry whose fill has completed by @p now,
+     * invoking @p on_fill(block) for each (fills the cache array).
+     */
+    template <typename OnFill>
+    void
+    retireReady(std::uint64_t now, OnFill &&on_fill)
+    {
+        for (auto &entry : entries_) {
+            if (entry.valid && entry.readyTick <= now) {
+                on_fill(entry.block);
+                entry.valid = false;
+            }
+        }
+    }
+
+    /** True when any valid entry's fill completes by @p tick. */
+    bool anyReadyBy(std::uint64_t tick) const;
+
+    /** Drop all entries (flush). */
+    void clear();
+
+    /** Capacity. */
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    std::vector<Mshr> entries_;
+};
+
+} // namespace cac
+
+#endif // CAC_CACHE_MSHR_HH

@@ -1,0 +1,185 @@
+#include "cache/set_assoc.hh"
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geometry,
+                             std::unique_ptr<IndexFn> index_fn,
+                             std::unique_ptr<ReplacementPolicy> repl,
+                             WriteAllocate write_allocate, bool write_back)
+    : CacheModel(geometry),
+      index_fn_(std::move(index_fn)),
+      repl_(std::move(repl)),
+      write_allocate_(write_allocate),
+      write_back_(write_back)
+{
+    CAC_ASSERT(index_fn_ != nullptr);
+    CAC_ASSERT(index_fn_->setBits() == geometry.setBits());
+    CAC_ASSERT(index_fn_->numWays() == geometry.ways());
+    if (!repl_) {
+        repl_ = makeReplacementPolicy(ReplKind::Lru, geometry.numSets(),
+                                      geometry.ways());
+    }
+    lines_.resize(geometry.numBlocks());
+}
+
+SetAssocCache::Line &
+SetAssocCache::lineAt(unsigned way, std::uint64_t set)
+{
+    return lines_[way * geometry_.numSets() + set];
+}
+
+const SetAssocCache::Line &
+SetAssocCache::lineAt(unsigned way, std::uint64_t set) const
+{
+    return lines_[way * geometry_.numSets() + set];
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(std::uint64_t block_addr)
+{
+    for (unsigned w = 0; w < geometry_.ways(); ++w) {
+        Line &line = lineAt(w, index_fn_->index(block_addr, w));
+        if (line.valid && line.block == block_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(std::uint64_t block_addr) const
+{
+    for (unsigned w = 0; w < geometry_.ways(); ++w) {
+        const Line &line = lineAt(w, index_fn_->index(block_addr, w));
+        if (line.valid && line.block == block_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+AccessResult
+SetAssocCache::access(std::uint64_t addr, bool is_write)
+{
+    ++tick_;
+    const std::uint64_t block = geometry_.blockAddr(addr);
+    if (is_write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    if (Line *line = findLine(block)) {
+        // Recompute this way's set for the policy callback. findLine
+        // returned a pointer into lines_, so derive way/set from its
+        // position.
+        const std::size_t pos =
+            static_cast<std::size_t>(line - lines_.data());
+        const unsigned way =
+            static_cast<unsigned>(pos / geometry_.numSets());
+        const std::uint64_t set = pos % geometry_.numSets();
+        repl_->onAccess(line->repl, set, way, tick_);
+        if (is_write && write_back_)
+            line->dirty = true;
+        AccessResult r;
+        r.hit = true;
+        return r;
+    }
+
+    // Miss.
+    if (is_write) {
+        ++stats_.storeMisses;
+        if (write_allocate_ == WriteAllocate::No) {
+            return AccessResult{}; // write-through no-allocate: no fill
+        }
+    } else {
+        ++stats_.loadMisses;
+    }
+    AccessResult r = fillBlock(block, is_write && write_back_);
+    return r;
+}
+
+AccessResult
+SetAssocCache::fill(std::uint64_t addr, bool dirty)
+{
+    ++tick_;
+    return fillBlock(geometry_.blockAddr(addr), dirty && write_back_);
+}
+
+AccessResult
+SetAssocCache::fillBlock(std::uint64_t block_addr, bool dirty)
+{
+    AccessResult r;
+    r.filled = true;
+    ++stats_.fills;
+
+    std::vector<ReplCandidate> candidates(geometry_.ways());
+    for (unsigned w = 0; w < geometry_.ways(); ++w) {
+        const std::uint64_t set = index_fn_->index(block_addr, w);
+        const Line &line = lineAt(w, set);
+        candidates[w].valid = line.valid;
+        candidates[w].state = &line.repl;
+        candidates[w].set = set;
+        candidates[w].way = w;
+    }
+    const std::size_t victim_pos = repl_->chooseVictim(candidates);
+    CAC_ASSERT(victim_pos < candidates.size());
+    const unsigned way = candidates[victim_pos].way;
+    const std::uint64_t set = candidates[victim_pos].set;
+
+    Line &line = lineAt(way, set);
+    if (line.valid) {
+        ++stats_.evictions;
+        r.evictedAddr = geometry_.byteAddr(line.block);
+        r.evictedDirty = line.dirty;
+        if (line.dirty)
+            ++stats_.writebacks;
+    }
+    line.valid = true;
+    line.dirty = dirty;
+    line.block = block_addr;
+    repl_->onInsert(line.repl, set, way, tick_);
+    return r;
+}
+
+bool
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    return findLine(geometry_.blockAddr(addr)) != nullptr;
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t addr)
+{
+    if (Line *line = findLine(geometry_.blockAddr(addr))) {
+        line->valid = false;
+        line->dirty = false;
+        ++stats_.invalidations;
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::string
+SetAssocCache::name() const
+{
+    return geometry_.toString() + " " + index_fn_->name();
+}
+
+bool
+SetAssocCache::isDirty(std::uint64_t addr) const
+{
+    const Line *line = findLine(geometry_.blockAddr(addr));
+    return line != nullptr && line->dirty;
+}
+
+} // namespace cac

@@ -1,0 +1,173 @@
+#include "cache/two_probe.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "index/factory.hh"
+
+namespace cac
+{
+
+TwoProbeCache::TwoProbeCache(const CacheGeometry &geometry,
+                             RehashKind rehash, unsigned input_bits,
+                             bool write_allocate)
+    : CacheModel(geometry),
+      rehash_(rehash),
+      write_allocate_(write_allocate),
+      lines_(geometry.numBlocks())
+{
+    if (geometry.ways() != 1)
+        fatal("two-probe caches must be direct mapped");
+    if (rehash_ == RehashKind::IPoly) {
+        poly_ = makeIndexFn(IndexKind::IPoly, geometry.setBits(), 1,
+                            input_bits);
+    }
+}
+
+std::uint64_t
+TwoProbeCache::primaryIndex(std::uint64_t block) const
+{
+    return block & mask(geometry_.setBits());
+}
+
+std::uint64_t
+TwoProbeCache::secondaryIndex(std::uint64_t block) const
+{
+    if (rehash_ == RehashKind::FlipTopBit) {
+        return primaryIndex(block)
+            ^ (std::uint64_t{1} << (geometry_.setBits() - 1));
+    }
+    return poly_->index(block, 0);
+}
+
+AccessResult
+TwoProbeCache::access(std::uint64_t addr, bool is_write)
+{
+    const std::uint64_t block = geometry_.blockAddr(addr);
+    if (is_write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    const std::uint64_t i1 = primaryIndex(block);
+    const std::uint64_t i2 = secondaryIndex(block);
+
+    if (lines_[i1].valid && lines_[i1].block == block) {
+        ++stats_.firstProbeHits;
+        AccessResult r;
+        r.hit = true;
+        return r;
+    }
+    if (i2 != i1 && lines_[i2].valid && lines_[i2].block == block) {
+        // Second-probe hit: promote the block to its conventional slot
+        // so the next access hits on the first probe. The displaced
+        // occupant moves to *its own* alternative location (with a
+        // bit-flip rehash that is exactly i2, a plain swap; with the
+        // polynomial rehash each block has a distinct alternative, so
+        // a swap would strand the displaced block where no probe looks
+        // for it).
+        ++stats_.secondProbeHits;
+        Line displaced = lines_[i1];
+        lines_[i1] = lines_[i2];
+        lines_[i2].valid = false;
+        if (displaced.valid) {
+            const std::uint64_t alt = secondaryIndex(displaced.block);
+            if (alt != i1) {
+                if (lines_[alt].valid)
+                    ++stats_.evictions;
+                lines_[alt] = displaced;
+            } else {
+                ++stats_.evictions;
+            }
+        }
+        AccessResult r;
+        r.hit = true;
+        return r;
+    }
+
+    // Miss.
+    if (is_write) {
+        ++stats_.storeMisses;
+        if (!write_allocate_)
+            return AccessResult{};
+    } else {
+        ++stats_.loadMisses;
+    }
+
+    AccessResult r;
+    r.filled = true;
+    ++stats_.fills;
+
+    // The incoming block takes the conventional location; its previous
+    // occupant is demoted to *that block's* alternative location, whose
+    // occupant (if any) is evicted.
+    Line displaced = lines_[i1];
+    lines_[i1].valid = true;
+    lines_[i1].block = block;
+
+    if (displaced.valid) {
+        const std::uint64_t alt = secondaryIndex(displaced.block);
+        if (alt != i1) {
+            if (lines_[alt].valid) {
+                ++stats_.evictions;
+                r.evictedAddr = geometry_.byteAddr(lines_[alt].block);
+            }
+            lines_[alt] = displaced;
+        } else {
+            // Its alternative *is* the slot it just lost: evicted.
+            ++stats_.evictions;
+            r.evictedAddr = geometry_.byteAddr(displaced.block);
+        }
+    }
+    return r;
+}
+
+bool
+TwoProbeCache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t block = geometry_.blockAddr(addr);
+    const std::uint64_t i1 = primaryIndex(block);
+    const std::uint64_t i2 = secondaryIndex(block);
+    return (lines_[i1].valid && lines_[i1].block == block)
+        || (lines_[i2].valid && lines_[i2].block == block);
+}
+
+bool
+TwoProbeCache::invalidate(std::uint64_t addr)
+{
+    const std::uint64_t block = geometry_.blockAddr(addr);
+    for (std::uint64_t idx : {primaryIndex(block), secondaryIndex(block)}) {
+        if (lines_[idx].valid && lines_[idx].block == block) {
+            lines_[idx].valid = false;
+            ++stats_.invalidations;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TwoProbeCache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+std::string
+TwoProbeCache::name() const
+{
+    return geometry_.toString()
+        + (rehash_ == RehashKind::IPoly ? " column-assoc-poly"
+                                        : " hash-rehash");
+}
+
+double
+TwoProbeCache::firstProbeHitFraction() const
+{
+    const std::uint64_t hits =
+        stats_.firstProbeHits + stats_.secondProbeHits;
+    return hits ? static_cast<double>(stats_.firstProbeHits)
+                  / static_cast<double>(hits)
+                : 0.0;
+}
+
+} // namespace cac

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Two-probe direct-mapped caches: hash-rehash [1] and the paper's
+ * column-associative variant with a polynomial second probe
+ * (section 3.1, option 4).
+ *
+ * The cache is direct mapped. An access first probes the conventional
+ * (modulo) location; on a first-probe miss it probes an alternative
+ * location computed by a second hash. A second-probe hit swaps the two
+ * lines so the next access to this block hits on the *first* probe —
+ * this is what keeps ~90% of hits on the fast path. A full miss fills
+ * the conventional location and relegates its previous occupant to that
+ * occupant's own alternative location.
+ */
+
+#ifndef CAC_CACHE_TWO_PROBE_HH
+#define CAC_CACHE_TWO_PROBE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "index/index_fn.hh"
+
+namespace cac
+{
+
+/** Second-probe hash selector. */
+enum class RehashKind
+{
+    FlipTopBit, ///< classic hash-rehash: invert the top index bit
+    IPoly       ///< the paper's polynomial rehash
+};
+
+/** Direct-mapped cache with a second probe at an alternative index. */
+class TwoProbeCache : public CacheModel
+{
+  public:
+    /**
+     * @param geometry must be direct mapped (1 way).
+     * @param rehash second-probe hash kind.
+     * @param input_bits block-address bits given to the polynomial hash.
+     * @param write_allocate allocate on write misses?
+     */
+    TwoProbeCache(const CacheGeometry &geometry, RehashKind rehash,
+                  unsigned input_bits = 14, bool write_allocate = true);
+
+    AccessResult access(std::uint64_t addr, bool is_write) override;
+    bool probe(std::uint64_t addr) const override;
+    bool invalidate(std::uint64_t addr) override;
+    void flush() override;
+    std::string name() const override;
+
+    /** Fraction of hits satisfied on the first probe. */
+    double firstProbeHitFraction() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t block = 0;
+    };
+
+    std::uint64_t primaryIndex(std::uint64_t block) const;
+    std::uint64_t secondaryIndex(std::uint64_t block) const;
+
+    RehashKind rehash_;
+    std::unique_ptr<IndexFn> poly_; ///< used when rehash_ == IPoly
+    bool write_allocate_;
+    std::vector<Line> lines_;
+};
+
+} // namespace cac
+
+#endif // CAC_CACHE_TWO_PROBE_HH

@@ -1,0 +1,150 @@
+#include "cache/victim.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "index/index_fn.hh"
+
+namespace cac
+{
+
+VictimCache::VictimCache(const CacheGeometry &geometry,
+                         unsigned victim_blocks, bool write_allocate)
+    : CacheModel(geometry),
+      main_(geometry,
+            std::make_unique<ModuloIndex>(geometry.setBits(),
+                                          geometry.ways()),
+            nullptr, WriteAllocate::Yes),
+      buffer_(victim_blocks),
+      write_allocate_(write_allocate)
+{
+    CAC_ASSERT(victim_blocks >= 1);
+}
+
+VictimCache::VictimLine *
+VictimCache::findVictim(std::uint64_t block)
+{
+    for (auto &line : buffer_) {
+        if (line.valid && line.block == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+const VictimCache::VictimLine *
+VictimCache::findVictim(std::uint64_t block) const
+{
+    for (const auto &line : buffer_) {
+        if (line.valid && line.block == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+void
+VictimCache::insertVictim(std::uint64_t block)
+{
+    VictimLine *slot = nullptr;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto &line : buffer_) {
+        if (!line.valid) {
+            slot = &line;
+            break;
+        }
+        if (line.lastTouch < oldest) {
+            oldest = line.lastTouch;
+            slot = &line;
+        }
+    }
+    slot->valid = true;
+    slot->block = block;
+    slot->lastTouch = tick_;
+}
+
+AccessResult
+VictimCache::access(std::uint64_t addr, bool is_write)
+{
+    ++tick_;
+    const std::uint64_t block = geometry_.blockAddr(addr);
+    if (is_write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+
+    if (main_.probe(addr)) {
+        // Main-cache hit; forward to keep its LRU state warm.
+        main_.access(addr, is_write);
+        AccessResult r;
+        r.hit = true;
+        return r;
+    }
+
+    if (VictimLine *vline = findVictim(block)) {
+        // Victim hit: swap the line back into the main cache; the block
+        // the main cache evicts takes its place in the buffer.
+        ++victim_hits_;
+        vline->valid = false;
+        AccessResult fill = main_.fill(addr);
+        if (fill.evictedAddr)
+            insertVictim(geometry_.blockAddr(*fill.evictedAddr));
+        AccessResult r;
+        r.hit = true;
+        return r;
+    }
+
+    // Genuine miss.
+    if (is_write) {
+        ++stats_.storeMisses;
+        if (!write_allocate_)
+            return AccessResult{};
+    } else {
+        ++stats_.loadMisses;
+    }
+    ++stats_.fills;
+    AccessResult fill = main_.fill(addr);
+    AccessResult r;
+    r.filled = true;
+    if (fill.evictedAddr) {
+        insertVictim(geometry_.blockAddr(*fill.evictedAddr));
+        ++stats_.evictions;
+        r.evictedAddr = fill.evictedAddr;
+    }
+    return r;
+}
+
+bool
+VictimCache::probe(std::uint64_t addr) const
+{
+    return main_.probe(addr)
+        || findVictim(geometry_.blockAddr(addr)) != nullptr;
+}
+
+bool
+VictimCache::invalidate(std::uint64_t addr)
+{
+    bool any = main_.invalidate(addr);
+    if (VictimLine *vline = findVictim(geometry_.blockAddr(addr))) {
+        vline->valid = false;
+        any = true;
+    }
+    if (any)
+        ++stats_.invalidations;
+    return any;
+}
+
+void
+VictimCache::flush()
+{
+    main_.flush();
+    for (auto &line : buffer_)
+        line.valid = false;
+}
+
+std::string
+VictimCache::name() const
+{
+    return geometry_.toString() + " victim+"
+        + std::to_string(buffer_.size());
+}
+
+} // namespace cac

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Victim cache (Jouppi [13]): a direct-mapped (or set-associative) main
+ * cache backed by a small fully-associative victim buffer that catches
+ * recently evicted lines. One of the conflict-mitigation baselines the
+ * I-Poly scheme is compared against (via reference [10]).
+ */
+
+#ifndef CAC_CACHE_VICTIM_HH
+#define CAC_CACHE_VICTIM_HH
+
+#include <memory>
+
+#include "cache/set_assoc.hh"
+
+namespace cac
+{
+
+/** Main cache + small fully-associative victim buffer. */
+class VictimCache : public CacheModel
+{
+  public:
+    /**
+     * @param geometry main-cache geometry.
+     * @param victim_blocks number of lines in the victim buffer.
+     * @param write_allocate allocate on write misses?
+     */
+    VictimCache(const CacheGeometry &geometry, unsigned victim_blocks,
+                bool write_allocate = true);
+
+    AccessResult access(std::uint64_t addr, bool is_write) override;
+    bool probe(std::uint64_t addr) const override;
+    bool invalidate(std::uint64_t addr) override;
+    void flush() override;
+    std::string name() const override;
+
+    /** Hits satisfied by the victim buffer (counted as hits overall). */
+    std::uint64_t victimHits() const { return victim_hits_; }
+
+  private:
+    struct VictimLine
+    {
+        bool valid = false;
+        std::uint64_t block = 0;
+        std::uint64_t lastTouch = 0;
+    };
+
+    /** Insert an evicted block into the buffer, LRU-replacing. */
+    void insertVictim(std::uint64_t block);
+
+    /** Find a victim-buffer line holding @p block, else nullptr. */
+    VictimLine *findVictim(std::uint64_t block);
+    const VictimLine *findVictim(std::uint64_t block) const;
+
+    SetAssocCache main_;
+    std::vector<VictimLine> buffer_;
+    bool write_allocate_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t victim_hits_ = 0;
+};
+
+} // namespace cac
+
+#endif // CAC_CACHE_VICTIM_HH

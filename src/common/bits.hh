@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache and polynomial
+ * code. All helpers are constexpr and operate on 64-bit values, which is
+ * wide enough for any address or GF(2) polynomial handled here.
+ */
+
+#ifndef CAC_COMMON_BITS_HH
+#define CAC_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace cac
+{
+
+/** True if @p x is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log base 2; returns 0 for x == 0. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return x == 0 ? 0u : 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Ceiling of log base 2; returns 0 for x <= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return x <= 1 ? 0u : floorLog2(x - 1) + 1;
+}
+
+/** A mask with the low @p n bits set. @p n may be 0..64. */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/**
+ * Extract bits [first, first+count) of @p value, right-justified.
+ *
+ * @param value source word.
+ * @param first index of the least-significant bit to extract.
+ * @param count number of bits to extract.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned first, unsigned count)
+{
+    return (first >= 64 ? 0 : (value >> first)) & mask(count);
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(std::uint64_t x)
+{
+    return static_cast<unsigned>(std::popcount(x));
+}
+
+/** XOR-reduction (parity) of all bits of @p x: 1 if odd population. */
+constexpr unsigned
+parity(std::uint64_t x)
+{
+    return popCount(x) & 1u;
+}
+
+/** Index of the most significant set bit; undefined for x == 0. */
+constexpr unsigned
+msbIndex(std::uint64_t x)
+{
+    return floorLog2(x);
+}
+
+} // namespace cac
+
+#endif // CAC_COMMON_BITS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error and status reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (a bug in this library), fatal() for unrecoverable user errors (bad
+ * configuration), warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef CAC_COMMON_LOGGING_HH
+#define CAC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cac
+{
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use for conditions that can never happen unless the library itself is
+ * broken, regardless of user input.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning to stderr. Simulation continues. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...);
+
+/**
+ * Check a library invariant; panic with the stringized condition when it
+ * does not hold. Enabled in all build types (simulation correctness is
+ * worth more to us than the branch).
+ */
+#define CAC_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cac::panic("assertion '%s' failed at %s:%d",                  \
+                         #cond, __FILE__, __LINE__);                        \
+        }                                                                   \
+    } while (0)
+
+} // namespace cac
+
+#endif // CAC_COMMON_LOGGING_HH

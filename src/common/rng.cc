@@ -1,0 +1,57 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    // xorshift* requires non-zero state; remap zero to a fixed constant.
+    state_ = seed_value ? seed_value : 0x9E3779B97F4A7C15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    CAC_ASSERT(bound != 0);
+    // Modulo bias is below 2^-32 for the bounds used in this project
+    // (cache ways, table sizes), which is far below simulation noise.
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits → uniform in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+} // namespace cac

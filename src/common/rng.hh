@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Simulations must be exactly reproducible across runs and platforms, so
+ * we use our own xorshift* generator instead of std::mt19937 (whose
+ * distributions are implementation-defined). All distribution helpers are
+ * defined here with explicit algorithms.
+ */
+
+#ifndef CAC_COMMON_RNG_HH
+#define CAC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace cac
+{
+
+/**
+ * xorshift64* generator. Deterministic, seedable, and fast enough to sit
+ * inside a per-access cache replacement decision.
+ */
+class Rng
+{
+  public:
+    /** Construct with a non-zero seed (zero is remapped internally). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Reseed the generator. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability @p p (clamped to [0,1]). */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace cac
+
+#endif // CAC_COMMON_RNG_HH

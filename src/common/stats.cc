@@ -1,0 +1,163 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        CAC_ASSERT(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+populationStddev(const std::vector<double> &xs)
+{
+    RunningStat s;
+    for (double x : xs)
+        s.add(x);
+    return s.stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0)
+{
+    CAC_ASSERT(num_bins > 0 && hi > lo);
+    width_ = (hi - lo) / static_cast<double>(num_bins);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    double rel = (x - lo_) / width_;
+    auto idx = rel <= 0.0 ? 0
+             : std::min(counts_.size() - 1,
+                        static_cast<std::size_t>(rel));
+    ++counts_[idx];
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    CAC_ASSERT(i < counts_.size());
+    return counts_[i];
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::size_t
+Histogram::countAtLeast(double threshold) const
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (binLo(i) >= threshold)
+            n += counts_[i];
+    }
+    return n;
+}
+
+std::string
+Histogram::render(const std::string &label) const
+{
+    std::ostringstream os;
+    os << label << " (" << total_ << " samples)\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        char edge[64];
+        std::snprintf(edge, sizeof(edge), "  [%4.2f,%4.2f) %8zu ",
+                      binLo(i), binHi(i), counts_[i]);
+        os << edge;
+        // Log-scaled bar, matching the paper's log-frequency axis.
+        auto bar = counts_[i]
+            ? static_cast<std::size_t>(std::log10(counts_[i]) * 10.0) + 1
+            : 0;
+        os << std::string(bar, '#') << '\n';
+    }
+    return os.str();
+}
+
+} // namespace cac

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the experiment harnesses.
+ *
+ * The paper reports arithmetic means for miss ratios, geometric means for
+ * IPC, standard deviations for predictability, and a log-frequency
+ * histogram for Figure 1; this header provides exactly those primitives.
+ */
+
+#ifndef CAC_COMMON_STATS_HH
+#define CAC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cac
+{
+
+/**
+ * Online accumulator for mean / variance / extrema using Welford's
+ * algorithm (numerically stable for long runs).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Population variance; 0 when fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double arithmeticMean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of a vector (the paper averages IPC geometrically).
+ * All samples must be positive; 0 when empty.
+ */
+double geometricMean(const std::vector<double> &xs);
+
+/** Population standard deviation of a vector; 0 when size < 2. */
+double populationStddev(const std::vector<double> &xs);
+
+/**
+ * Fixed-range histogram over [lo, hi) with uniform bins, plus an overflow
+ * bin for samples >= hi. Used to reproduce Figure 1's distribution of
+ * per-stride miss ratios.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bin.
+     * @param hi upper bound of the last regular bin.
+     * @param num_bins number of uniform bins in [lo, hi).
+     */
+    Histogram(double lo, double hi, std::size_t num_bins);
+
+    /** Add one sample (clamped into the range; >= hi goes to last bin). */
+    void add(double x);
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bin @p i. */
+    double binHi(std::size_t i) const;
+
+    /** Total number of samples added. */
+    std::size_t total() const { return total_; }
+
+    /** Count of samples with value >= @p threshold. */
+    std::size_t countAtLeast(double threshold) const;
+
+    /** Render as an ASCII table with log-scaled frequency markers. */
+    std::string render(const std::string &label) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace cac
+
+#endif // CAC_COMMON_STATS_HH

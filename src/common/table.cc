@@ -1,0 +1,94 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &text)
+{
+    CAC_ASSERT(!rows_.empty());
+    rows_.back().push_back(text);
+}
+
+void
+TextTable::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    cell(std::string(buf));
+}
+
+void
+TextTable::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+TextTable::separator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::size_t line_width = 0;
+    for (auto w : widths)
+        line_width += w + 2;
+
+    auto emit = [&](std::ostringstream &os,
+                    const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i]
+               << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    if (!header_.empty()) {
+        emit(os, header_);
+        os << std::string(line_width, '-') << '\n';
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r)
+            != separators_.end()) {
+            os << std::string(line_width, '-') << '\n';
+        }
+        emit(os, rows_[r]);
+    }
+    return os.str();
+}
+
+} // namespace cac

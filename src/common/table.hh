@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit rows
+ * in the same layout as the paper's tables.
+ */
+
+#ifndef CAC_COMMON_TABLE_HH
+#define CAC_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cac
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned columns.
+ * Numeric convenience setters format with a fixed precision so emitted
+ * tables look like the paper's (e.g. IPC with 2 decimals, miss ratios
+ * with 2 decimals).
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Begin a new row. */
+    void beginRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append a fixed-precision numeric cell. */
+    void cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    void cell(long long value);
+
+    /** Insert a horizontal separator before the next row. */
+    void separator();
+
+    /** Render the whole table. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+} // namespace cac
+
+#endif // CAC_COMMON_TABLE_HH

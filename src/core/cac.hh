@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Umbrella header: the public API of the conflict-avoiding cache
+ * library. Examples and downstream users include just this.
+ */
+
+#ifndef CAC_CORE_CAC_HH
+#define CAC_CORE_CAC_HH
+
+#include "cache/cache_model.hh"
+#include "cache/fully_assoc.hh"
+#include "cache/geometry.hh"
+#include "cache/mshr.hh"
+#include "cache/replacement.hh"
+#include "cache/set_assoc.hh"
+#include "cache/two_probe.hh"
+#include "cache/victim.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "core/organization.hh"
+#include "cpu/addr_predictor.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/config.hh"
+#include "cpu/ooo_core.hh"
+#include "cpu/timing_cache.hh"
+#include "hierarchy/hole_model.hh"
+#include "hierarchy/page_map.hh"
+#include "hierarchy/two_level.hh"
+#include "index/configurable.hh"
+#include "index/factory.hh"
+#include "index/index_fn.hh"
+#include "index/ipoly.hh"
+#include "index/xor_skew.hh"
+#include "poly/catalog.hh"
+#include "poly/gf2poly.hh"
+#include "poly/xor_matrix.hh"
+#include "trace/builder.hh"
+#include "trace/io.hh"
+#include "trace/record.hh"
+#include "workloads/spec_proxy.hh"
+#include "workloads/stride.hh"
+
+#endif // CAC_CORE_CAC_HH

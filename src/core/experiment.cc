@@ -1,0 +1,55 @@
+#include "core/experiment.hh"
+
+#include "common/stats.hh"
+
+namespace cac
+{
+
+CacheStats
+runAddressStream(CacheModel &cache, const std::vector<std::uint64_t> &addrs)
+{
+    for (std::uint64_t a : addrs)
+        cache.access(a, false);
+    return cache.stats();
+}
+
+CacheStats
+runTraceMemory(CacheModel &cache, const Trace &trace)
+{
+    for (const auto &rec : trace) {
+        if (rec.op == OpClass::Load)
+            cache.access(rec.addr, false);
+        else if (rec.op == OpClass::Store)
+            cache.access(rec.addr, true);
+    }
+    return cache.stats();
+}
+
+BenchmarkResult
+runCpu(const std::string &name, const CpuConfig &cfg, const Trace &trace)
+{
+    OooCore core(cfg);
+    CpuStats stats = core.run(trace);
+    BenchmarkResult row;
+    row.name = name;
+    row.ipc = stats.ipc();
+    row.loadMissPct = stats.loadMissRatioPct();
+    return row;
+}
+
+TableAverages
+averageResults(const std::vector<BenchmarkResult> &rows)
+{
+    std::vector<double> ipcs;
+    std::vector<double> misses;
+    for (const auto &row : rows) {
+        ipcs.push_back(row.ipc);
+        misses.push_back(row.loadMissPct);
+    }
+    TableAverages avg;
+    avg.ipcGeoMean = geometricMean(ipcs);
+    avg.missArithMean = arithmeticMean(misses);
+    return avg;
+}
+
+} // namespace cac

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared experiment drivers used by benches, examples and tests:
+ * feeding address streams and instruction traces through cache models
+ * and the CPU model, and aggregating per-benchmark results the way the
+ * paper's tables do (arithmetic-mean miss ratios, geometric-mean IPC).
+ */
+
+#ifndef CAC_CORE_EXPERIMENT_HH
+#define CAC_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "cpu/config.hh"
+#include "cpu/ooo_core.hh"
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** Run a pure load-address stream through a cache model. */
+CacheStats runAddressStream(CacheModel &cache,
+                            const std::vector<std::uint64_t> &addrs);
+
+/** Run only the memory operations of @p trace through a cache model. */
+CacheStats runTraceMemory(CacheModel &cache, const Trace &trace);
+
+/** One benchmark row of a Table-2-style run. */
+struct BenchmarkResult
+{
+    std::string name;
+    double ipc = 0.0;
+    double loadMissPct = 0.0;
+};
+
+/** Simulate @p trace on configuration @p cfg. */
+BenchmarkResult runCpu(const std::string &name, const CpuConfig &cfg,
+                       const Trace &trace);
+
+/** Aggregates for a set of rows (paper's averaging conventions). */
+struct TableAverages
+{
+    double ipcGeoMean = 0.0;       ///< IPC averaged geometrically
+    double missArithMean = 0.0;    ///< miss ratios averaged arithmetically
+};
+
+TableAverages averageResults(const std::vector<BenchmarkResult> &rows);
+
+} // namespace cac
+
+#endif // CAC_CORE_EXPERIMENT_HH

@@ -1,0 +1,72 @@
+#include "core/organization.hh"
+
+#include <cctype>
+
+#include "cache/fully_assoc.hh"
+#include "cache/set_assoc.hh"
+#include "cache/two_probe.hh"
+#include "cache/victim.hh"
+#include "common/logging.hh"
+#include "index/factory.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+std::unique_ptr<CacheModel>
+makeIndexed(const std::string &label, const OrgSpec &spec, unsigned ways)
+{
+    const CacheGeometry geom(spec.sizeBytes, spec.blockBytes, ways);
+    auto index = makeIndexFn(parseIndexKind(label), geom.setBits(), ways,
+                             spec.hashBlockBits);
+    return std::make_unique<SetAssocCache>(
+        geom, std::move(index), nullptr,
+        spec.writeAllocate ? WriteAllocate::Yes : WriteAllocate::No);
+}
+
+} // anonymous namespace
+
+std::unique_ptr<CacheModel>
+makeOrganization(const std::string &label, const OrgSpec &spec)
+{
+    if (label == "dm") {
+        OrgSpec dm = spec;
+        dm.ways = 1;
+        return makeIndexed("a1", dm, 1);
+    }
+    if (label == "full") {
+        return std::make_unique<FullyAssocCache>(
+            spec.sizeBytes, spec.blockBytes, spec.writeAllocate);
+    }
+    if (label == "victim") {
+        const CacheGeometry geom(spec.sizeBytes, spec.blockBytes, 1);
+        return std::make_unique<VictimCache>(geom, spec.victimBlocks,
+                                             spec.writeAllocate);
+    }
+    if (label == "hash-rehash" || label == "column-poly") {
+        const CacheGeometry geom(spec.sizeBytes, spec.blockBytes, 1);
+        return std::make_unique<TwoProbeCache>(
+            geom,
+            label == "column-poly" ? RehashKind::IPoly
+                                   : RehashKind::FlipTopBit,
+            spec.hashBlockBits, spec.writeAllocate);
+    }
+    if (label.size() >= 2 && label[0] == 'a'
+        && std::isdigit(static_cast<unsigned char>(label[1]))) {
+        const unsigned ways =
+            static_cast<unsigned>(std::stoul(label.substr(1)));
+        return makeIndexed(label, spec, ways);
+    }
+    fatal("unknown cache organization '%s'", label.c_str());
+}
+
+std::vector<std::string>
+standardComparisonLabels()
+{
+    return {"dm",    "a2",          "a4",         "a2-Hx-Sk", "a2-Hp",
+            "a2-Hp-Sk", "victim",  "hash-rehash", "column-poly", "full"};
+}
+
+} // namespace cac

@@ -1,0 +1,82 @@
+#include "cpu/addr_predictor.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+AddrPredictor::AddrPredictor(unsigned entries) : table_(entries)
+{
+    CAC_ASSERT(isPowerOf2(entries));
+}
+
+std::size_t
+AddrPredictor::indexOf(std::uint32_t pc) const
+{
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+AddrPredictor::Prediction
+AddrPredictor::predict(std::uint32_t pc) const
+{
+    const Entry &e = table_[indexOf(pc)];
+    Prediction p;
+    p.addr = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(e.lastAddr) + e.stride);
+    p.confident = (e.counter & 0x2) != 0; // MSB of the 2-bit counter
+    return p;
+}
+
+void
+AddrPredictor::update(std::uint32_t pc, std::uint64_t actual)
+{
+    Entry &e = table_[indexOf(pc)];
+    ++lookups_;
+
+    const std::uint64_t predicted = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(e.lastAddr) + e.stride);
+    const bool was_confident = (e.counter & 0x2) != 0;
+    const bool correct = predicted == actual;
+
+    if (was_confident) {
+        ++confident_;
+        if (correct)
+            ++confident_correct_;
+    }
+
+    if (correct) {
+        if (e.counter < 3)
+            ++e.counter;
+    } else {
+        if (e.counter > 0)
+            --e.counter;
+    }
+    // Stride only retrained while confidence is low (below 10b); the
+    // address field always tracks the latest reference.
+    if ((e.counter & 0x2) == 0) {
+        e.stride = static_cast<std::int64_t>(actual)
+                 - static_cast<std::int64_t>(e.lastAddr);
+    }
+    e.lastAddr = actual;
+}
+
+double
+AddrPredictor::coverage() const
+{
+    return lookups_
+        ? static_cast<double>(confident_correct_)
+          / static_cast<double>(lookups_)
+        : 0.0;
+}
+
+double
+AddrPredictor::accuracy() const
+{
+    return confident_
+        ? static_cast<double>(confident_correct_)
+          / static_cast<double>(confident_)
+        : 0.0;
+}
+
+} // namespace cac

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Memory address predictor (section 4 of the paper).
+ *
+ * "A direct-mapped table with 1K entries and without tags... Each entry
+ * contains the last effective address of the last load instruction that
+ * used this entry and the last observed stride. In addition, each entry
+ * contains a 2-bit saturating counter that assigns confidence to the
+ * prediction. Only when the most-significant bit of the counter is set
+ * is the prediction considered correct. The address field is updated
+ * for each new reference regardless of the prediction, whereas the
+ * stride field is only updated when the counter goes below 10b."
+ */
+
+#ifndef CAC_CPU_ADDR_PREDICTOR_HH
+#define CAC_CPU_ADDR_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cac
+{
+
+/** Last-address + stride predictor with 2-bit confidence. */
+class AddrPredictor
+{
+  public:
+    /** One prediction. */
+    struct Prediction
+    {
+        std::uint64_t addr = 0; ///< predicted effective address
+        bool confident = false; ///< counter MSB set
+    };
+
+    /** @param entries table size (power of two), untagged. */
+    explicit AddrPredictor(unsigned entries);
+
+    /** Predict the next address for the load at @p pc. */
+    Prediction predict(std::uint32_t pc) const;
+
+    /**
+     * Train with the actual address and record accuracy statistics.
+     *
+     * @param pc load instruction address.
+     * @param actual observed effective address.
+     */
+    void update(std::uint32_t pc, std::uint64_t actual);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t confidentPredictions() const { return confident_; }
+    std::uint64_t confidentCorrect() const { return confident_correct_; }
+
+    /** Fraction of all loads with a confident and correct prediction. */
+    double coverage() const;
+
+    /** Fraction of confident predictions that were correct. */
+    double accuracy() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t lastAddr = 0;
+        std::int64_t stride = 0;
+        std::uint8_t counter = 0;
+    };
+
+    std::size_t indexOf(std::uint32_t pc) const;
+
+    std::vector<Entry> table_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t confident_ = 0;
+    std::uint64_t confident_correct_ = 0;
+};
+
+} // namespace cac
+
+#endif // CAC_CPU_ADDR_PREDICTOR_HH

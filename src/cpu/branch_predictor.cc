@@ -1,0 +1,58 @@
+#include "cpu/branch_predictor.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+BranchPredictor::BranchPredictor(unsigned entries)
+    : counters_(entries, 1) // weakly not-taken
+{
+    CAC_ASSERT(isPowerOf2(entries));
+}
+
+std::size_t
+BranchPredictor::indexOf(std::uint32_t pc) const
+{
+    // Instruction addresses are 4-byte aligned; drop the low bits.
+    return (pc >> 2) & (counters_.size() - 1);
+}
+
+bool
+BranchPredictor::predict(std::uint32_t pc) const
+{
+    return counters_[indexOf(pc)] >= 2;
+}
+
+void
+BranchPredictor::update(std::uint32_t pc, bool taken)
+{
+    std::uint8_t &ctr = counters_[indexOf(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+void
+BranchPredictor::recordOutcome(bool correct)
+{
+    ++predictions_;
+    if (!correct)
+        ++mispredictions_;
+}
+
+double
+BranchPredictor::accuracy() const
+{
+    return predictions_
+        ? 1.0 - static_cast<double>(mispredictions_)
+                / static_cast<double>(predictions_)
+        : 0.0;
+}
+
+} // namespace cac

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bimodal branch predictor: a table of 2-bit saturating counters
+ * indexed by the branch PC (the paper's "branch history table with 2K
+ * entries and 2-bit saturating counters").
+ */
+
+#ifndef CAC_CPU_BRANCH_PREDICTOR_HH
+#define CAC_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cac
+{
+
+/** 2-bit-counter bimodal predictor. */
+class BranchPredictor
+{
+  public:
+    /** @param entries table size (power of two). */
+    explicit BranchPredictor(unsigned entries);
+
+    /** Predicted direction for the branch at @p pc. */
+    bool predict(std::uint32_t pc) const;
+
+    /** Train with the actual direction. */
+    void update(std::uint32_t pc, bool taken);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t mispredictions() const { return mispredictions_; }
+
+    /** Record a prediction outcome (kept by the core at resolve). */
+    void recordOutcome(bool correct);
+
+    /** Fraction of predictions that were correct. */
+    double accuracy() const;
+
+  private:
+    std::size_t indexOf(std::uint32_t pc) const;
+
+    std::vector<std::uint8_t> counters_;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredictions_ = 0;
+};
+
+} // namespace cac
+
+#endif // CAC_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,62 @@
+#include "cpu/config.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+unsigned
+CpuConfig::hashBlockBits() const
+{
+    const unsigned offset_bits = floorLog2(blockBytes);
+    CAC_ASSERT(hashAddressBits > offset_bits);
+    return hashAddressBits - offset_bits;
+}
+
+CpuConfig
+CpuConfig::paperDefault()
+{
+    return CpuConfig{};
+}
+
+CpuConfig
+CpuConfig::tableConfig(const std::string &label)
+{
+    CpuConfig cfg = paperDefault();
+    if (label == "16k-conv") {
+        cfg.cacheBytes = 16 * 1024;
+    } else if (label == "8k-conv") {
+        // baseline as-is
+    } else if (label == "8k-conv-pred") {
+        cfg.addressPrediction = true;
+    } else if (label == "8k-ipoly-nocp") {
+        cfg.indexKind = IndexKind::IPolySkew;
+    } else if (label == "8k-ipoly-cp") {
+        cfg.indexKind = IndexKind::IPolySkew;
+        cfg.xorInCriticalPath = true;
+    } else if (label == "8k-ipoly-cp-pred") {
+        cfg.indexKind = IndexKind::IPolySkew;
+        cfg.xorInCriticalPath = true;
+        cfg.addressPrediction = true;
+    } else {
+        fatal("unknown Table 2 configuration '%s'", label.c_str());
+    }
+    return cfg;
+}
+
+std::string
+CpuConfig::toString() const
+{
+    std::ostringstream os;
+    os << l1Geometry().toString() << " " << indexKindName(indexKind);
+    if (xorInCriticalPath)
+        os << " xor-in-cp";
+    if (addressPrediction)
+        os << " addr-pred";
+    return os.str();
+}
+
+} // namespace cac

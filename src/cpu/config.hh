@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Configuration of the out-of-order superscalar model (section 4 and
+ * Table 1 of the paper).
+ */
+
+#ifndef CAC_CPU_CONFIG_HH
+#define CAC_CPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/geometry.hh"
+#include "index/factory.hh"
+
+namespace cac
+{
+
+/** Full parameter set of the simulated processor + L1 data cache. */
+struct CpuConfig
+{
+    // Pipeline widths and windows (section 4).
+    unsigned fetchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robEntries = 32;
+    unsigned intPhysRegs = 64;
+    unsigned fpPhysRegs = 64;
+
+    // Branch prediction: 2K-entry BHT with 2-bit saturating counters.
+    unsigned bhtEntries = 2048;
+    /** Cycles between mispredicted-branch resolution and new fetch. */
+    unsigned mispredictRedirect = 1;
+
+    // Memory system (section 4).
+    std::uint64_t cacheBytes = 8 * 1024;
+    std::uint64_t blockBytes = 32;
+    unsigned cacheWays = 2;
+    IndexKind indexKind = IndexKind::Modulo;
+    /** Low address bits available to the hash (19 in the paper). */
+    unsigned hashAddressBits = 19;
+    unsigned hitCycles = 2;
+    unsigned missPenaltyCycles = 20;
+    unsigned mshrs = 8;          ///< outstanding misses to distinct lines
+    unsigned memPorts = 2;
+    unsigned busCyclesPerLine = 4; ///< 32B line over a 64-bit bus
+    unsigned storeBufferEntries = 16;
+
+    // The paper's design alternatives (sections 3.4 and 4).
+    /** XOR gates lengthen the address critical path: +1 cycle/access. */
+    bool xorInCriticalPath = false;
+    /** Memory address prediction (1K-entry untagged stride table). */
+    bool addressPrediction = false;
+    unsigned addrPredEntries = 1024;
+
+    /** L1 geometry implied by the cache fields. */
+    CacheGeometry l1Geometry() const
+    {
+        return CacheGeometry(cacheBytes, blockBytes, cacheWays);
+    }
+
+    /** Block-address bits the hash consumes (paper: 19 - offset). */
+    unsigned hashBlockBits() const;
+
+    /** The paper's baseline: 8KB conventional, no prediction. */
+    static CpuConfig paperDefault();
+
+    /**
+     * Named Table-2 configuration columns:
+     *  "16k-conv", "8k-conv", "8k-conv-pred", "8k-ipoly-nocp",
+     *  "8k-ipoly-cp", "8k-ipoly-cp-pred".
+     */
+    static CpuConfig tableConfig(const std::string &label);
+
+    /** Human-readable summary. */
+    std::string toString() const;
+};
+
+} // namespace cac
+
+#endif // CAC_CPU_CONFIG_HH

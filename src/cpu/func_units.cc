@@ -1,0 +1,102 @@
+#include "cpu/func_units.hh"
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+FuClass
+fuClassFor(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return FuClass::SimpleInt;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return FuClass::ComplexInt;
+      case OpClass::Load:
+      case OpClass::Store:
+        return FuClass::EffAddr;
+      case OpClass::FpAdd:
+        return FuClass::SimpleFp;
+      case OpClass::FpMul:
+        return FuClass::FpMul;
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        return FuClass::FpDivSqrt;
+    }
+    panic("bad OpClass %d", static_cast<int>(op));
+}
+
+unsigned
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return 1;
+      case OpClass::IntMul:
+        return 9;
+      case OpClass::IntDiv:
+        return 67;
+      case OpClass::Load:
+      case OpClass::Store:
+        return 1; // effective-address computation; cache time separate
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+        return 4;
+      case OpClass::FpDiv:
+        return 16;
+      case OpClass::FpSqrt:
+        return 35;
+    }
+    panic("bad OpClass %d", static_cast<int>(op));
+}
+
+unsigned
+opRepeatRate(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::IntMul: // pipelined multiplier
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+        return 1;
+      case OpClass::IntDiv:
+        return 67;
+      case OpClass::FpDiv:
+        return 16;
+      case OpClass::FpSqrt:
+        return 35;
+    }
+    panic("bad OpClass %d", static_cast<int>(op));
+}
+
+FuncUnitPool::FuncUnitPool()
+{
+    next_free_.resize(static_cast<std::size_t>(FuClass::NumClasses));
+    auto count_of = [](FuClass c) {
+        return c == FuClass::EffAddr ? 2u : 1u;
+    };
+    for (std::size_t c = 0; c < next_free_.size(); ++c)
+        next_free_[c].assign(count_of(static_cast<FuClass>(c)), 0);
+}
+
+bool
+FuncUnitPool::tryIssue(OpClass op, std::uint64_t now)
+{
+    auto &units = next_free_[static_cast<std::size_t>(fuClassFor(op))];
+    for (auto &free_at : units) {
+        if (free_at <= now) {
+            free_at = now + opRepeatRate(op);
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace cac

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Functional-unit pool per the paper's Table 1:
+ *
+ *   1 simple integer        latency 1            repeat 1
+ *   1 complex integer       9 multiply / 67 div  repeat 1 / 67
+ *   2 effective address     latency 1            repeat 1
+ *   1 simple FP             latency 4            repeat 1
+ *   1 FP multiplication     latency 4            repeat 1
+ *   1 FP divide and SQRT    16 div / 35 sqrt     repeat 16 / 35
+ *
+ * Branches execute on the simple integer unit; loads and stores compute
+ * their addresses on an effective-address unit.
+ */
+
+#ifndef CAC_CPU_FUNC_UNITS_HH
+#define CAC_CPU_FUNC_UNITS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** Functional-unit classes. */
+enum class FuClass : std::uint8_t
+{
+    SimpleInt,
+    ComplexInt,
+    EffAddr,
+    SimpleFp,
+    FpMul,
+    FpDivSqrt,
+    NumClasses
+};
+
+/** The unit class an op executes on. */
+FuClass fuClassFor(OpClass op);
+
+/** Result latency of an op on its unit (Table 1). */
+unsigned opLatency(OpClass op);
+
+/** Issue-to-issue repeat interval of an op on its unit (Table 1). */
+unsigned opRepeatRate(OpClass op);
+
+/**
+ * Availability tracker: one next-free tick per unit instance.
+ */
+class FuncUnitPool
+{
+  public:
+    FuncUnitPool();
+
+    /**
+     * Try to claim a unit for @p op at cycle @p now.
+     *
+     * @return true and reserves the unit (busy for the op's repeat
+     *         rate) when one is free; false otherwise.
+     */
+    bool tryIssue(OpClass op, std::uint64_t now);
+
+  private:
+    /** next_free_[class][instance] = first cycle the unit is free. */
+    std::vector<std::vector<std::uint64_t>> next_free_;
+};
+
+} // namespace cac
+
+#endif // CAC_CPU_FUNC_UNITS_HH

@@ -1,0 +1,266 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+OooCore::OooCore(const CpuConfig &cfg)
+    : cfg_(cfg),
+      cache_(std::make_unique<TimingCache>(cfg)),
+      bht_(cfg.bhtEntries),
+      apred_(cfg.addrPredEntries),
+      rob_(cfg.robEntries)
+{
+    std::fill(std::begin(last_writer_slot_),
+              std::end(last_writer_slot_), -1);
+    std::fill(std::begin(last_writer_seq_),
+              std::end(last_writer_seq_), 0);
+    store_buffer_.reserve(cfg.storeBufferEntries);
+}
+
+bool
+OooCore::producerDone(const RobEntry &consumer, unsigned which,
+                      std::uint64_t now) const
+{
+    const int slot = consumer.srcSlot[which];
+    if (slot < 0)
+        return true; // produced before dispatch: available
+    const RobEntry &p = rob_[static_cast<std::size_t>(slot)];
+    // Slot reused or producer already committed => value long since
+    // available (commit is in order and requires completion).
+    if (p.seq != consumer.srcSeq[which] || p.seq < head_seq_)
+        return true;
+    return p.issued && p.resultReady <= now;
+}
+
+bool
+OooCore::sourcesReady(const RobEntry &entry, std::uint64_t now) const
+{
+    return producerDone(entry, 0, now) && producerDone(entry, 1, now);
+}
+
+bool
+OooCore::tryIssueLoad(RobEntry &entry, std::uint64_t now)
+{
+    if (mem_ports_used_ >= cfg_.memPorts)
+        return false;
+
+    const TraceRecord &rec = *entry.rec;
+
+    // Store-to-load forwarding: the youngest older in-flight store to
+    // the same address supplies the data once its address is computed
+    // (PA8000-style effective-address comparison, section 3.4).
+    for (std::uint64_t s = entry.seq; s-- > head_seq_;) {
+        const RobEntry &older = slotOf(s);
+        if (older.rec->op != OpClass::Store
+            || older.rec->addr != rec.addr) {
+            continue;
+        }
+        if (!older.issued)
+            return false; // address unknown: wait, don't misspeculate
+        if (!fus_.tryIssue(OpClass::Load, now))
+            return false;
+        ++mem_ports_used_;
+        entry.issued = true;
+        entry.resultReady =
+            std::max(now + 1, older.resultReady) + 1;
+        return true;
+    }
+
+    // Cache access. The address prediction scheme overlaps the access
+    // with the effective-address computation when the predicted line is
+    // correct; a wrong confident prediction pays one repeat probe; the
+    // XOR gates add a cycle when they sit on the critical path and the
+    // access was not predicted (the predicted index was computed back
+    // in decode).
+    const unsigned xor_penalty = cfg_.xorInCriticalPath ? 1 : 0;
+    std::uint64_t start;
+    if (entry.predConfident && entry.predCorrect) {
+        start = now;
+    } else if (entry.predConfident && !entry.predCorrect) {
+        start = now + 1 + xor_penalty + 1;
+    } else {
+        start = now + 1 + xor_penalty;
+    }
+
+    if (!cache_->wouldAccept(rec.addr, start))
+        return false; // MSHRs full: retry next cycle
+    if (!fus_.tryIssue(OpClass::Load, now))
+        return false;
+
+    ++mem_ports_used_;
+    LoadTiming t = cache_->load(rec.addr, start);
+    CAC_ASSERT(t.accepted);
+    entry.issued = true;
+    entry.resultReady = t.readyTick;
+    return true;
+}
+
+void
+OooCore::dispatch(const Trace &trace, std::size_t &next, CpuStats &stats)
+{
+    if (fetch_blocked_
+        && (!fetch_resume_known_ || cycle_ < fetch_resume_)) {
+        return;
+    }
+    fetch_blocked_ = false;
+    fetch_resume_known_ = false;
+
+    for (unsigned n = 0; n < cfg_.fetchWidth; ++n) {
+        if (next >= trace.size()
+            || tail_seq_ - head_seq_ >= cfg_.robEntries) {
+            return;
+        }
+        const TraceRecord &rec = trace[next];
+        RobEntry &entry = slotOf(tail_seq_);
+        entry = RobEntry{};
+        entry.rec = &rec;
+        entry.seq = tail_seq_;
+
+        // Capture producers for both sources.
+        const std::int8_t srcs[2] = {rec.src1, rec.src2};
+        for (unsigned k = 0; k < 2; ++k) {
+            if (srcs[k] < 0)
+                continue;
+            const int slot = last_writer_slot_[srcs[k]];
+            if (slot < 0)
+                continue;
+            const RobEntry &w = rob_[static_cast<std::size_t>(slot)];
+            if (w.seq == last_writer_seq_[srcs[k]]
+                && w.seq >= head_seq_) {
+                entry.srcSlot[k] = slot;
+                entry.srcSeq[k] = w.seq;
+            }
+        }
+        if (rec.dst >= 0) {
+            last_writer_slot_[rec.dst] =
+                static_cast<int>(tail_seq_ % cfg_.robEntries);
+            last_writer_seq_[rec.dst] = tail_seq_;
+        }
+
+        if (rec.op == OpClass::Branch) {
+            ++stats.branches;
+            const bool predicted = bht_.predict(rec.pc);
+            entry.mispredicted = predicted != rec.taken;
+        } else if (rec.op == OpClass::Load && cfg_.addressPrediction) {
+            // Predict in decode; train with the actual address.
+            AddrPredictor::Prediction p = apred_.predict(rec.pc);
+            entry.predConfident = p.confident;
+            entry.predCorrect = p.confident && p.addr == rec.addr;
+            apred_.update(rec.pc, rec.addr);
+            if (p.confident) {
+                if (entry.predCorrect)
+                    ++stats.addrPredConfidentCorrect;
+                else
+                    ++stats.addrPredConfidentWrong;
+            }
+        }
+
+        ++tail_seq_;
+        ++next;
+
+        if (entry.mispredicted) {
+            // Fetch follows the wrong path until this branch resolves.
+            fetch_blocked_ = true;
+            fetch_resume_known_ = false;
+            return;
+        }
+    }
+}
+
+void
+OooCore::issue(CpuStats &stats)
+{
+    unsigned issued = 0;
+    for (std::uint64_t s = head_seq_;
+         s < tail_seq_ && issued < cfg_.issueWidth; ++s) {
+        RobEntry &entry = slotOf(s);
+        if (entry.issued)
+            continue;
+        if (!sourcesReady(entry, cycle_))
+            continue;
+
+        const OpClass op = entry.rec->op;
+        if (op == OpClass::Load) {
+            if (tryIssueLoad(entry, cycle_))
+                ++issued;
+            continue;
+        }
+        if (!fus_.tryIssue(op, cycle_))
+            continue;
+
+        entry.issued = true;
+        entry.resultReady = cycle_ + opLatency(op);
+        ++issued;
+
+        if (op == OpClass::Branch) {
+            // Resolution: train the BHT and, on a misprediction,
+            // schedule the fetch redirect.
+            bht_.update(entry.rec->pc, entry.rec->taken);
+            bht_.recordOutcome(!entry.mispredicted);
+            if (entry.mispredicted) {
+                ++stats.branchMispredicts;
+                fetch_resume_ =
+                    entry.resultReady + cfg_.mispredictRedirect;
+                fetch_resume_known_ = true;
+            }
+        }
+    }
+}
+
+void
+OooCore::commit(CpuStats &stats)
+{
+    // Drain completed write-through transactions from the store buffer.
+    std::erase_if(store_buffer_,
+                  [&](std::uint64_t done) { return done <= cycle_; });
+
+    for (unsigned n = 0; n < cfg_.commitWidth; ++n) {
+        if (head_seq_ == tail_seq_)
+            return;
+        RobEntry &entry = slotOf(head_seq_);
+        if (!entry.issued || entry.resultReady > cycle_)
+            return;
+        if (entry.rec->op == OpClass::Store) {
+            if (store_buffer_.size() >= cfg_.storeBufferEntries)
+                return; // store buffer full: commit stalls
+            store_buffer_.push_back(
+                cache_->storeCommit(entry.rec->addr, cycle_));
+            ++stats.stores;
+        }
+        if (entry.rec->op == OpClass::Load)
+            ++stats.loads;
+        ++stats.instructions;
+        ++head_seq_;
+    }
+}
+
+CpuStats
+OooCore::run(const Trace &trace)
+{
+    CpuStats stats;
+    std::size_t next = 0;
+    cycle_ = 0;
+
+    while (next < trace.size() || head_seq_ != tail_seq_) {
+        mem_ports_used_ = 0;
+        commit(stats);
+        issue(stats);
+        dispatch(trace, next, stats);
+        ++cycle_;
+    }
+
+    stats.cycles = cycle_;
+    stats.loadMisses = cache_->stats().loadMisses;
+    // Loads counted at commit equal the cache's functional count only
+    // when every load accessed the cache once; forwarded loads do not
+    // touch the cache, so take the committed-load count for the ratio
+    // denominator and the cache's for cross-checks.
+    stats.loads = std::max(stats.loads, cache_->stats().loads);
+    return stats;
+}
+
+} // namespace cac

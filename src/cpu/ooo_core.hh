@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Trace-driven out-of-order superscalar processor model (section 4).
+ *
+ * A 4-way fetch/issue/commit machine with a 32-entry reorder buffer,
+ * Table-1 functional units, a bimodal BHT, two memory ports, a
+ * lockup-free write-through no-allocate L1 (TimingCache) and optional
+ * memory address prediction. The model is a dataflow approximation:
+ * instructions dispatch in order into the ROB, issue out of order when
+ * their producers have completed and a unit is free, and commit in
+ * order. Mispredicted branches stall fetch until they resolve plus a
+ * redirect cycle (wrong-path instructions are not simulated, matching
+ * a trace-driven methodology).
+ *
+ * The paper's three design alternatives map to CpuConfig flags:
+ * indexKind (conventional vs I-Poly), xorInCriticalPath (+1 cycle on
+ * the cache access path) and addressPrediction (predicted-line access
+ * overlapped with address computation).
+ */
+
+#ifndef CAC_CPU_OOO_CORE_HH
+#define CAC_CPU_OOO_CORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/addr_predictor.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/config.hh"
+#include "cpu/func_units.hh"
+#include "cpu/timing_cache.hh"
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** Results of one simulation. */
+struct CpuStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t addrPredConfidentCorrect = 0;
+    std::uint64_t addrPredConfidentWrong = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions)
+                        / static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Load miss ratio in percent (the Tables 2-3 metric). */
+    double loadMissRatioPct() const
+    {
+        return loads ? 100.0 * static_cast<double>(loadMisses)
+                       / static_cast<double>(loads)
+                     : 0.0;
+    }
+};
+
+/** The processor model. */
+class OooCore
+{
+  public:
+    explicit OooCore(const CpuConfig &cfg);
+
+    /** Simulate @p trace to completion and return the statistics. */
+    CpuStats run(const Trace &trace);
+
+    const TimingCache &cache() const { return *cache_; }
+    const BranchPredictor &branchPredictor() const { return bht_; }
+    const AddrPredictor &addrPredictor() const { return apred_; }
+
+  private:
+    struct RobEntry
+    {
+        const TraceRecord *rec = nullptr;
+        std::uint64_t seq = 0;
+        bool issued = false;
+        std::uint64_t resultReady = 0; ///< valid once issued
+        /** Producer tracking: ROB slot + seq, or slot = -1. */
+        int srcSlot[2] = {-1, -1};
+        std::uint64_t srcSeq[2] = {0, 0};
+        bool mispredicted = false;      ///< branches
+        bool predConfident = false;     ///< loads, addressPrediction on
+        bool predCorrect = false;       ///< loads, addressPrediction on
+    };
+
+    /** In-flight test for a producer reference. */
+    bool producerDone(const RobEntry &consumer, unsigned which,
+                      std::uint64_t now) const;
+
+    bool sourcesReady(const RobEntry &entry, std::uint64_t now) const;
+
+    /** Issue one load; false when it must retry (MSHRs/ports busy). */
+    bool tryIssueLoad(RobEntry &entry, std::uint64_t now);
+
+    void dispatch(const Trace &trace, std::size_t &next, CpuStats &stats);
+    void issue(CpuStats &stats);
+    void commit(CpuStats &stats);
+
+    RobEntry &slotOf(std::uint64_t seq)
+    {
+        return rob_[seq % cfg_.robEntries];
+    }
+
+    const RobEntry &slotOf(std::uint64_t seq) const
+    {
+        return rob_[seq % cfg_.robEntries];
+    }
+
+    CpuConfig cfg_;
+    std::unique_ptr<TimingCache> cache_;
+    FuncUnitPool fus_;
+    BranchPredictor bht_;
+    AddrPredictor apred_;
+
+    std::vector<RobEntry> rob_;
+    std::uint64_t head_seq_ = 0; ///< oldest in-flight seq
+    std::uint64_t tail_seq_ = 0; ///< next seq to allocate
+    std::uint64_t cycle_ = 0;
+
+    /** Last writer of each architectural register. */
+    int last_writer_slot_[64];
+    std::uint64_t last_writer_seq_[64];
+
+    /** Fetch stall state for an unresolved mispredicted branch. */
+    bool fetch_blocked_ = false;
+    std::uint64_t fetch_resume_ = 0; ///< valid once the branch issues
+    bool fetch_resume_known_ = false;
+
+    /** Store buffer: completion tick of each write-through in flight. */
+    std::vector<std::uint64_t> store_buffer_;
+    unsigned mem_ports_used_ = 0; ///< loads issued this cycle
+};
+
+} // namespace cac
+
+#endif // CAC_CPU_OOO_CORE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Timing shell around a functional L1 data cache: hit/miss latency,
+ * lockup-free MSHRs and a shared L1-L2 bus.
+ *
+ * Paper parameters: 2-cycle hit, 20-cycle miss penalty, 8 MSHRs,
+ * write-through no-write-allocate, 64-bit bus so a 32-byte line
+ * occupies the bus for 4 cycles, infinite L2.
+ */
+
+#ifndef CAC_CPU_TIMING_CACHE_HH
+#define CAC_CPU_TIMING_CACHE_HH
+
+#include <memory>
+
+#include "cache/mshr.hh"
+#include "cache/set_assoc.hh"
+#include "cpu/config.hh"
+
+namespace cac
+{
+
+/** Outcome of a timed load. */
+struct LoadTiming
+{
+    bool accepted = true;  ///< false: MSHRs full, retry later
+    bool miss = false;     ///< L1 load miss (counted in miss ratio)
+    std::uint64_t readyTick = 0; ///< cycle the data is available
+};
+
+/** Timed, lockup-free, write-through no-allocate L1 data cache. */
+class TimingCache
+{
+  public:
+    /** Build the functional array + index function from @p cfg. */
+    explicit TimingCache(const CpuConfig &cfg);
+
+    /**
+     * Timed load whose cache array access begins at @p start_tick.
+     *
+     * @param addr effective byte address.
+     * @param start_tick first cycle of the cache access.
+     */
+    LoadTiming load(std::uint64_t addr, std::uint64_t start_tick);
+
+    /**
+     * True when a load of @p addr starting at @p now would not bounce
+     * off a full MSHR file (hit, mergeable in-flight miss, or a free /
+     * by-then-retired entry).
+     */
+    bool wouldAccept(std::uint64_t addr, std::uint64_t now) const;
+
+    /**
+     * Store leaving the store buffer at @p now (write-through: one bus
+     * slot; no allocation on miss).
+     *
+     * @return cycle the bus transaction completes.
+     */
+    std::uint64_t storeCommit(std::uint64_t addr, std::uint64_t now);
+
+    /** Functional contents + hit/miss statistics. */
+    const CacheStats &stats() const { return array_->stats(); }
+
+    /** Load miss ratio in percent (Tables 2-3 metric). */
+    double loadMissRatioPct() const
+    {
+        return array_->stats().loadMissRatio() * 100.0;
+    }
+
+    const SetAssocCache &array() const { return *array_; }
+
+  private:
+    CpuConfig cfg_;
+    std::unique_ptr<SetAssocCache> array_;
+    MshrFile mshrs_;
+    std::uint64_t bus_free_ = 0; ///< next cycle the L1-L2 bus is free
+};
+
+} // namespace cac
+
+#endif // CAC_CPU_TIMING_CACHE_HH

@@ -1,0 +1,45 @@
+#include "hierarchy/hole_model.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+double
+HoleModel::replacedInL1() const
+{
+    return std::ldexp(1.0, static_cast<int>(m1) - static_cast<int>(m2));
+}
+
+double
+HoleModel::invalidationLeavesHole() const
+{
+    const double sets = std::ldexp(1.0, static_cast<int>(m1));
+    return (sets - 1.0) / sets;
+}
+
+double
+HoleModel::holePerL2Miss() const
+{
+    return replacedInL1() * invalidationLeavesHole();
+}
+
+double
+HoleModel::extraL1MissRatio(double l2_miss_ratio) const
+{
+    return holePerL2Miss() * l2_miss_ratio;
+}
+
+HoleModel
+HoleModel::fromBlockCounts(std::uint64_t l1_blocks,
+                           std::uint64_t l2_blocks)
+{
+    CAC_ASSERT(isPowerOf2(l1_blocks) && isPowerOf2(l2_blocks));
+    CAC_ASSERT(l2_blocks >= l1_blocks);
+    return HoleModel{floorLog2(l1_blocks), floorLog2(l2_blocks)};
+}
+
+} // namespace cac

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic hole-probability model of section 3.3.
+ *
+ * With uncorrelated pseudo-random indices at L1 and L2 (direct mapped),
+ * when a line is replaced at L2:
+ *
+ *   P_r = 2^(m1 - m2)          probability the victim's data is in L1
+ *   P_d = (2^m1 - 1) / 2^m1    probability the forced L1 invalidation
+ *                              does not coincide with the L1 fill slot
+ *   P_H = P_r * P_d = (2^m1 - 1) / 2^m2
+ *
+ * where m1/m2 are the L1/L2 index widths. The paper's example: 8KB L1,
+ * 256KB L2, 32-byte lines gives P_H = 0.031. The expected increase in
+ * L1 miss ratio is P_H times the L2 miss ratio, accurate for size
+ * ratios >= 16.
+ */
+
+#ifndef CAC_HIERARCHY_HOLE_MODEL_HH
+#define CAC_HIERARCHY_HOLE_MODEL_HH
+
+#include <cstdint>
+
+namespace cac
+{
+
+/** Closed-form hole probabilities for direct-mapped L1/L2 indices. */
+struct HoleModel
+{
+    unsigned m1; ///< L1 index bits
+    unsigned m2; ///< L2 index bits
+
+    /** P_r = 2^(m1-m2): replaced L2 data is resident in L1 (eq. vii). */
+    double replacedInL1() const;
+
+    /** P_d = (2^m1 - 1)/2^m1: invalidation leaves a hole (eq. viii). */
+    double invalidationLeavesHole() const;
+
+    /** P_H = P_r * P_d = (2^m1 - 1)/2^m2 (eq. ix). */
+    double holePerL2Miss() const;
+
+    /**
+     * Expected L1 compulsory-miss-ratio increase given the L2 miss
+     * ratio (the product model the paper validates for L2:L1 >= 16).
+     */
+    double extraL1MissRatio(double l2_miss_ratio) const;
+
+    /**
+     * Build from cache shapes.
+     *
+     * @param l1_blocks number of L1 blocks (index positions).
+     * @param l2_blocks number of L2 blocks.
+     */
+    static HoleModel fromBlockCounts(std::uint64_t l1_blocks,
+                                     std::uint64_t l2_blocks);
+};
+
+} // namespace cac
+
+#endif // CAC_HIERARCHY_HOLE_MODEL_HH

@@ -1,0 +1,54 @@
+#include "hierarchy/page_map.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+PageMap::PageMap(std::uint64_t page_bytes, std::uint64_t phys_pages,
+                 std::uint64_t seed)
+    : page_bytes_(page_bytes), phys_pages_(phys_pages), rng_(seed)
+{
+    CAC_ASSERT(isPowerOf2(page_bytes));
+    CAC_ASSERT(phys_pages >= 1);
+    page_shift_ = floorLog2(page_bytes);
+}
+
+std::uint64_t
+PageMap::frameFor(std::uint64_t vpage)
+{
+    auto it = table_.find(vpage);
+    if (it != table_.end())
+        return it->second;
+
+    // Draw unused frames; with 2^20 frames and workloads touching a few
+    // thousand pages, collisions are rare enough that rejection
+    // sampling terminates immediately in practice.
+    std::uint64_t frame = 0;
+    do {
+        frame = rng_.nextBelow(phys_pages_);
+    } while (used_frames_.count(frame));
+    used_frames_[frame] = true;
+    table_[vpage] = frame;
+    return frame;
+}
+
+std::uint64_t
+PageMap::translate(std::uint64_t vaddr)
+{
+    const std::uint64_t vpage = vaddr >> page_shift_;
+    const std::uint64_t offset = vaddr & mask(
+        static_cast<unsigned>(page_shift_));
+    return (frameFor(vpage) << page_shift_) | offset;
+}
+
+void
+PageMap::aliasTo(std::uint64_t alias_vaddr, std::uint64_t target_vaddr)
+{
+    const std::uint64_t target_frame =
+        frameFor(target_vaddr >> page_shift_);
+    table_[alias_vaddr >> page_shift_] = target_frame;
+}
+
+} // namespace cac

@@ -1,0 +1,87 @@
+#include "index/configurable.hh"
+
+#include <set>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "poly/catalog.hh"
+
+namespace cac
+{
+
+ConfigurableIndex::ConfigurableIndex(unsigned set_bits, unsigned num_ways,
+                                     unsigned input_bits)
+    : IndexFn(set_bits, num_ways), input_bits_(input_bits)
+{
+    CAC_ASSERT(input_bits_ >= set_bits && input_bits_ <= 64);
+}
+
+void
+ConfigurableIndex::setPolynomials(const std::vector<Gf2Poly> &polys)
+{
+    if (polys.size() != num_ways_)
+        fatal("need one polynomial per way (%u), got %zu", num_ways_,
+              polys.size());
+    std::vector<XorMatrix> matrices;
+    for (const auto &p : polys) {
+        if (p.degree() != static_cast<int>(set_bits_)) {
+            fatal("polynomial %s has degree %d, index needs %u",
+                  p.toString().c_str(), p.degree(), set_bits_);
+        }
+        if (!p.isIrreducible()) {
+            warn("configurable index loaded reducible modulus %s",
+                 p.toString().c_str());
+        }
+        matrices.emplace_back(p, input_bits_);
+    }
+    matrices_ = std::move(matrices);
+    ++generation_;
+}
+
+void
+ConfigurableIndex::setCatalogPolynomials(bool skewed)
+{
+    std::vector<Gf2Poly> polys;
+    for (unsigned w = 0; w < num_ways_; ++w)
+        polys.push_back(PolyCatalog::irreducible(set_bits_,
+                                                 skewed ? w : 0));
+    setPolynomials(polys);
+}
+
+void
+ConfigurableIndex::setConventional()
+{
+    matrices_.clear();
+    ++generation_;
+}
+
+std::uint64_t
+ConfigurableIndex::index(std::uint64_t block_addr, unsigned way) const
+{
+    CAC_ASSERT(way < num_ways_);
+    if (matrices_.empty())
+        return block_addr & mask(set_bits_);
+    return matrices_[way].apply(block_addr);
+}
+
+bool
+ConfigurableIndex::isSkewed() const
+{
+    if (matrices_.empty())
+        return false;
+    std::set<std::uint64_t> uniq;
+    for (const auto &m : matrices_)
+        uniq.insert(m.modulus().coeffs());
+    return uniq.size() > 1;
+}
+
+std::string
+ConfigurableIndex::name() const
+{
+    std::string n = "a" + std::to_string(num_ways_) + "-cfg";
+    if (polynomialMode())
+        n += isSkewed() ? "-Hp-Sk" : "-Hp";
+    return n;
+}
+
+} // namespace cac

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Runtime-configurable placement function (the paper's AND-XOR tree).
+ *
+ * Section 2.1.1: "Each bit of the index can be computed using an XOR
+ * tree, if P is constant, or an AND-XOR tree if one requires a
+ * configurable index function." Section 3.1 (option 2) describes the
+ * use case: the O/S tracks page sizes and enables polynomial indexing
+ * only when every segment's pages are large enough to expose the
+ * needed unmapped bits, reverting to conventional indexing otherwise —
+ * "Provided the level-1 cache is flushed when the indexing function is
+ * changed, there is no reason why the indexing function needs to
+ * remain constant."
+ *
+ * In hardware the row masks become register-driven AND gates in front
+ * of the XOR trees; here they are simply mutable state. The owning
+ * cache must be flushed on every switch; SetAssocCache exposes
+ * flush() for exactly this.
+ */
+
+#ifndef CAC_INDEX_CONFIGURABLE_HH
+#define CAC_INDEX_CONFIGURABLE_HH
+
+#include <optional>
+#include <vector>
+
+#include "index/index_fn.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+
+/**
+ * AND-XOR placement whose polynomials (or conventional mode) can be
+ * reprogrammed at run time. Generation counting lets the owning cache
+ * assert it flushed after the most recent switch.
+ */
+class ConfigurableIndex : public IndexFn
+{
+  public:
+    /**
+     * Starts in conventional (modulo) mode.
+     *
+     * @param set_bits index width m.
+     * @param num_ways associativity.
+     * @param input_bits block-address bits wired into the AND-XOR tree
+     *        (an upper bound for any polynomial loaded later).
+     */
+    ConfigurableIndex(unsigned set_bits, unsigned num_ways,
+                      unsigned input_bits);
+
+    /**
+     * Load one degree-m polynomial per way and switch to polynomial
+     * mode. Increments the configuration generation.
+     */
+    void setPolynomials(const std::vector<Gf2Poly> &polys);
+
+    /**
+     * Load catalog polynomials (distinct per way when @p skewed) and
+     * switch to polynomial mode.
+     */
+    void setCatalogPolynomials(bool skewed);
+
+    /**
+     * Revert to conventional modulo indexing (small-page fallback of
+     * section 3.1 option 2). Increments the configuration generation.
+     */
+    void setConventional();
+
+    /** True while in polynomial mode. */
+    bool polynomialMode() const { return !matrices_.empty(); }
+
+    /**
+     * Monotonic configuration generation; bumps on every mode or
+     * polynomial change. Caches compare it against the generation they
+     * last flushed at.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    std::uint64_t index(std::uint64_t block_addr,
+                        unsigned way) const override;
+    bool isSkewed() const override;
+    std::string name() const override;
+
+  private:
+    unsigned input_bits_;
+    std::uint64_t generation_ = 0;
+    /** Empty in conventional mode; one matrix per way otherwise. */
+    std::vector<XorMatrix> matrices_;
+};
+
+} // namespace cac
+
+#endif // CAC_INDEX_CONFIGURABLE_HH

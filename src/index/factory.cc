@@ -1,0 +1,80 @@
+#include "index/factory.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "index/ipoly.hh"
+#include "index/xor_skew.hh"
+
+namespace cac
+{
+
+IndexKind
+parseIndexKind(const std::string &label)
+{
+    // Strip an optional associativity prefix ("a2-", "a4-", ...).
+    std::string body = label;
+    if (body.size() >= 2 && body[0] == 'a') {
+        std::size_t dash = body.find('-');
+        bool numeric_prefix = dash != std::string::npos && dash >= 2;
+        for (std::size_t i = 1; numeric_prefix && i < dash; ++i)
+            numeric_prefix = std::isdigit(body[i]);
+        if (numeric_prefix)
+            body = body.substr(dash + 1);
+        else if (dash == std::string::npos && body.size() <= 3)
+            body.clear(); // bare "a2" == conventional
+    }
+
+    if (body.empty() || body == "mod")
+        return IndexKind::Modulo;
+    if (body == "Hx")
+        return IndexKind::Xor;
+    if (body == "Hx-Sk")
+        return IndexKind::XorSkew;
+    if (body == "Hp")
+        return IndexKind::IPoly;
+    if (body == "Hp-Sk")
+        return IndexKind::IPolySkew;
+    fatal("unknown index scheme label '%s'", label.c_str());
+}
+
+std::string
+indexKindName(IndexKind kind)
+{
+    switch (kind) {
+      case IndexKind::Modulo:
+        return "mod";
+      case IndexKind::Xor:
+        return "Hx";
+      case IndexKind::XorSkew:
+        return "Hx-Sk";
+      case IndexKind::IPoly:
+        return "Hp";
+      case IndexKind::IPolySkew:
+        return "Hp-Sk";
+    }
+    panic("bad IndexKind %d", static_cast<int>(kind));
+}
+
+std::unique_ptr<IndexFn>
+makeIndexFn(IndexKind kind, unsigned set_bits, unsigned num_ways,
+            unsigned input_bits)
+{
+    switch (kind) {
+      case IndexKind::Modulo:
+        return std::make_unique<ModuloIndex>(set_bits, num_ways);
+      case IndexKind::Xor:
+        return std::make_unique<XorSkewIndex>(set_bits, num_ways, false);
+      case IndexKind::XorSkew:
+        return std::make_unique<XorSkewIndex>(set_bits, num_ways, true);
+      case IndexKind::IPoly:
+        return std::make_unique<IPolyIndex>(set_bits, num_ways,
+                                            input_bits, false);
+      case IndexKind::IPolySkew:
+        return std::make_unique<IPolyIndex>(set_bits, num_ways,
+                                            input_bits, true);
+    }
+    panic("bad IndexKind %d", static_cast<int>(kind));
+}
+
+} // namespace cac

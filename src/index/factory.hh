@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Factory for placement functions, keyed by the labels used in the
+ * paper's Figure 1 so experiment configurations can name schemes
+ * directly ("a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk").
+ */
+
+#ifndef CAC_INDEX_FACTORY_HH
+#define CAC_INDEX_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "index/index_fn.hh"
+
+namespace cac
+{
+
+/** Placement-scheme selector. */
+enum class IndexKind
+{
+    Modulo,     ///< conventional bit selection (a2)
+    Xor,        ///< XOR of two address fields, identical per way (aN-Hx)
+    XorSkew,    ///< per-way rotated XOR (aN-Hx-Sk, skewed-associative)
+    IPoly,      ///< polynomial modulus, same P for all ways (aN-Hp)
+    IPolySkew   ///< polynomial modulus, distinct P per way (aN-Hp-Sk)
+};
+
+/** Parse a scheme label ("a2-Hp-Sk" etc.; the aN prefix is optional). */
+IndexKind parseIndexKind(const std::string &label);
+
+/** Short name for a kind (without the associativity prefix). */
+std::string indexKindName(IndexKind kind);
+
+/**
+ * Build a placement function.
+ *
+ * @param kind scheme selector.
+ * @param set_bits index width m (2^m sets).
+ * @param num_ways associativity.
+ * @param input_bits low-order block-address bits available to hashing
+ *        schemes (the paper's v minus block-offset bits). Ignored by
+ *        Modulo. Defaults to 14, i.e. the paper's 19 address bits with a
+ *        32-byte block offset removed.
+ */
+std::unique_ptr<IndexFn> makeIndexFn(IndexKind kind, unsigned set_bits,
+                                     unsigned num_ways,
+                                     unsigned input_bits = 14);
+
+} // namespace cac
+
+#endif // CAC_INDEX_FACTORY_HH

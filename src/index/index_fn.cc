@@ -1,0 +1,35 @@
+#include "index/index_fn.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+IndexFn::IndexFn(unsigned set_bits, unsigned num_ways)
+    : set_bits_(set_bits), num_ways_(num_ways)
+{
+    CAC_ASSERT(set_bits >= 1 && set_bits < 63);
+    CAC_ASSERT(num_ways >= 1);
+}
+
+ModuloIndex::ModuloIndex(unsigned set_bits, unsigned num_ways)
+    : IndexFn(set_bits, num_ways)
+{
+}
+
+std::uint64_t
+ModuloIndex::index(std::uint64_t block_addr, unsigned way) const
+{
+    CAC_ASSERT(way < num_ways_);
+    (void)way;
+    return block_addr & mask(set_bits_);
+}
+
+std::string
+ModuloIndex::name() const
+{
+    return "a" + std::to_string(num_ways_);
+}
+
+} // namespace cac

@@ -1,0 +1,99 @@
+#include "index/ipoly.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "poly/catalog.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+unsigned
+degreeOf(const std::vector<Gf2Poly> &polys)
+{
+    CAC_ASSERT(!polys.empty());
+    const int deg = polys.front().degree();
+    CAC_ASSERT(deg >= 1);
+    for (const auto &p : polys)
+        CAC_ASSERT(p.degree() == deg);
+    return static_cast<unsigned>(deg);
+}
+
+bool
+anyDistinct(const std::vector<Gf2Poly> &polys)
+{
+    std::set<Gf2Poly> uniq(polys.begin(), polys.end());
+    return uniq.size() > 1;
+}
+
+} // anonymous namespace
+
+IPolyIndex::IPolyIndex(const std::vector<Gf2Poly> &polys,
+                       unsigned input_bits)
+    : IndexFn(degreeOf(polys), static_cast<unsigned>(polys.size())),
+      polys_(polys),
+      skewed_(anyDistinct(polys))
+{
+    for (const auto &p : polys_) {
+        if (!p.isIrreducible()) {
+            warn("I-Poly modulus %s is reducible; conflict resistance "
+                 "is degraded", p.toString().c_str());
+        }
+        matrices_.emplace_back(p, input_bits);
+    }
+}
+
+IPolyIndex::IPolyIndex(unsigned set_bits, unsigned num_ways,
+                       unsigned input_bits, bool skewed)
+    : IPolyIndex(catalogPolys(set_bits, num_ways, skewed), input_bits)
+{
+}
+
+std::vector<Gf2Poly>
+IPolyIndex::catalogPolys(unsigned set_bits, unsigned num_ways, bool skewed)
+{
+    std::vector<Gf2Poly> polys;
+    for (unsigned w = 0; w < num_ways; ++w) {
+        // Skip the degree-1-constant-term-free entries by construction:
+        // the catalog only returns irreducible polynomials. Way w takes
+        // the w-th catalog entry when skewed, the 0-th otherwise.
+        polys.push_back(PolyCatalog::irreducible(set_bits,
+                                                 skewed ? w : 0));
+    }
+    return polys;
+}
+
+std::uint64_t
+IPolyIndex::index(std::uint64_t block_addr, unsigned way) const
+{
+    CAC_ASSERT(way < num_ways_);
+    return matrices_[way].apply(block_addr);
+}
+
+std::string
+IPolyIndex::name() const
+{
+    std::string n = "a" + std::to_string(num_ways_) + "-Hp";
+    if (skewed_)
+        n += "-Sk";
+    return n;
+}
+
+const XorMatrix &
+IPolyIndex::matrix(unsigned way) const
+{
+    CAC_ASSERT(way < matrices_.size());
+    return matrices_[way];
+}
+
+const Gf2Poly &
+IPolyIndex::polynomial(unsigned way) const
+{
+    CAC_ASSERT(way < polys_.size());
+    return polys_[way];
+}
+
+} // namespace cac

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * I-Poly placement: polynomial-modulus cache indexing (sections 2.1.1
+ * and 3 of the paper; originally Rau [19]).
+ *
+ * Way k computes index_k = h_v(A, P_k) = A_v(x) mod P_k(x) over GF(2),
+ * where A_v is the polynomial formed by the v low-order bits of the
+ * block address and each P_k is (ideally) an irreducible polynomial of
+ * degree m. Distinct P_k per way give the skewed variant (a2-Hp-Sk);
+ * identical P_k give the unskewed variant (a2-Hp). The modulus is
+ * compiled to XOR trees (XorMatrix), exactly as the hardware would
+ * implement it.
+ */
+
+#ifndef CAC_INDEX_IPOLY_HH
+#define CAC_INDEX_IPOLY_HH
+
+#include <vector>
+
+#include "index/index_fn.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+
+/**
+ * Polynomial-modulus placement function with one compiled XOR network
+ * per way.
+ */
+class IPolyIndex : public IndexFn
+{
+  public:
+    /**
+     * Build from explicit per-way polynomials.
+     *
+     * @param polys one degree-m polynomial per way (size == num_ways).
+     *        All polynomials must have the same degree m; that degree
+     *        defines the set-index width.
+     * @param input_bits number of low-order *block-address* bits fed to
+     *        the XOR trees (the paper's v, minus the block offset bits).
+     */
+    IPolyIndex(const std::vector<Gf2Poly> &polys, unsigned input_bits);
+
+    /**
+     * Convenience constructor choosing catalog polynomials.
+     *
+     * @param set_bits index width m.
+     * @param num_ways associativity.
+     * @param input_bits low-order block-address bits consumed.
+     * @param skewed distinct irreducible polynomial per way when true;
+     *        the same (first catalog) polynomial for all ways when false.
+     */
+    IPolyIndex(unsigned set_bits, unsigned num_ways, unsigned input_bits,
+               bool skewed);
+
+    std::uint64_t index(std::uint64_t block_addr,
+                        unsigned way) const override;
+    bool isSkewed() const override { return skewed_; }
+    std::string name() const override;
+
+    /** The compiled XOR network for @p way (for fan-in inspection). */
+    const XorMatrix &matrix(unsigned way) const;
+
+    /** The polynomial used by @p way. */
+    const Gf2Poly &polynomial(unsigned way) const;
+
+  private:
+    static std::vector<Gf2Poly> catalogPolys(unsigned set_bits,
+                                             unsigned num_ways,
+                                             bool skewed);
+
+    std::vector<Gf2Poly> polys_;
+    std::vector<XorMatrix> matrices_;
+    bool skewed_;
+};
+
+} // namespace cac
+
+#endif // CAC_INDEX_IPOLY_HH

@@ -1,0 +1,39 @@
+#include "index/xor_skew.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+XorSkewIndex::XorSkewIndex(unsigned set_bits, unsigned num_ways,
+                           bool skewed)
+    : IndexFn(set_bits, num_ways), skewed_(skewed)
+{
+    CAC_ASSERT(2 * set_bits <= 64);
+}
+
+std::uint64_t
+XorSkewIndex::index(std::uint64_t block_addr, unsigned way) const
+{
+    CAC_ASSERT(way < num_ways_);
+    const std::uint64_t low = bits(block_addr, 0, set_bits_);
+    std::uint64_t high = bits(block_addr, set_bits_, set_bits_);
+    if (skewed_ && way != 0) {
+        // Rotate the upper field left by the way number (mod m).
+        const unsigned r = way % set_bits_;
+        high = ((high << r) | (high >> (set_bits_ - r))) & mask(set_bits_);
+    }
+    return low ^ high;
+}
+
+std::string
+XorSkewIndex::name() const
+{
+    std::string n = "a" + std::to_string(num_ways_) + "-Hx";
+    if (skewed_)
+        n += "-Sk";
+    return n;
+}
+
+} // namespace cac

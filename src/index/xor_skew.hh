@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Skewed-associative XOR placement (Seznec [21], the paper's a2-Hx-Sk).
+ *
+ * Each way XORs two m-bit fields of the block address; skewing comes
+ * from rotating the upper field by a different amount per way. This is
+ * the non-polynomial XOR baseline that Figure 1 shows still has >6% of
+ * strides with pathological (>50%) miss ratios.
+ */
+
+#ifndef CAC_INDEX_XOR_SKEW_HH
+#define CAC_INDEX_XOR_SKEW_HH
+
+#include "index/index_fn.hh"
+
+namespace cac
+{
+
+/**
+ * Two-field XOR placement with per-way rotation skew:
+ *
+ *   index_w(A) = A[m-1:0] XOR rotl_m(A[2m-1:m], w)
+ *
+ * With one way (or identical rotations) this degenerates to the plain
+ * XOR ("hash") cache; with distinct rotations per way it reproduces the
+ * skewed-associative organization.
+ */
+class XorSkewIndex : public IndexFn
+{
+  public:
+    /**
+     * @param set_bits index width m.
+     * @param num_ways associativity.
+     * @param skewed rotate the upper field by the way number when true;
+     *               use the identical XOR for every way when false.
+     */
+    XorSkewIndex(unsigned set_bits, unsigned num_ways, bool skewed = true);
+
+    std::uint64_t index(std::uint64_t block_addr,
+                        unsigned way) const override;
+    bool isSkewed() const override { return skewed_; }
+    std::string name() const override;
+
+  private:
+    bool skewed_;
+};
+
+} // namespace cac
+
+#endif // CAC_INDEX_XOR_SKEW_HH

@@ -1,0 +1,179 @@
+#include "poly/catalog.hh"
+
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+constexpr unsigned kMaxEnumeratedDegree = 24;
+
+/**
+ * Classic minimum-weight primitive polynomials for degrees 1..32,
+ * as coefficient words including the leading term. Sources: standard
+ * LFSR tap tables (Xilinx XAPP052 and equivalent references).
+ */
+constexpr std::uint64_t kClassicPrimitive[33] = {
+    0,          // degree 0: unused
+    0x3,        // 1:  x + 1
+    0x7,        // 2:  x^2 + x + 1
+    0xB,        // 3:  x^3 + x + 1
+    0x13,       // 4:  x^4 + x + 1
+    0x25,       // 5:  x^5 + x^2 + 1
+    0x43,       // 6:  x^6 + x + 1
+    0x89,       // 7:  x^7 + x^3 + 1
+    0x11D,      // 8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,      // 9:  x^9 + x^4 + 1
+    0x409,      // 10: x^10 + x^3 + 1
+    0x805,      // 11: x^11 + x^2 + 1
+    0x1053,     // 12: x^12 + x^6 + x^4 + x + 1
+    0x201B,     // 13: x^13 + x^4 + x^3 + x + 1
+    0x402B,     // 14: x^14 + x^5 + x^3 + x + 1
+    0x8003,     // 15: x^15 + x + 1
+    0x1002D,    // 16: x^16 + x^5 + x^3 + x^2 + 1
+    0x20009,    // 17: x^17 + x^3 + 1
+    0x40081,    // 18: x^18 + x^7 + 1
+    0x80027,    // 19: x^19 + x^5 + x^2 + x + 1
+    0x100009,   // 20: x^20 + x^3 + 1
+    0x200005,   // 21: x^21 + x^2 + 1
+    0x400003,   // 22: x^22 + x + 1
+    0x800021,   // 23: x^23 + x^5 + 1
+    0x100001B,  // 24: x^24 + x^4 + x^3 + x + 1
+    0x2000009,  // 25: x^25 + x^3 + 1
+    0x4000047,  // 26: x^26 + x^6 + x^2 + x + 1
+    0x8000027,  // 27: x^27 + x^5 + x^2 + x + 1
+    0x10000009, // 28: x^28 + x^3 + 1
+    0x20000005, // 29: x^29 + x^2 + 1
+    0x40000053, // 30: x^30 + x^6 + x^4 + x + 1
+    0x80000009, // 31: x^31 + x^3 + 1
+    0x1000000AF // 32: x^32 + x^7 + x^5 + x^3 + x^2 + x + 1
+};
+
+/** Moebius function for small arguments (degrees <= 64). */
+int
+moebius(unsigned n)
+{
+    int mu = 1;
+    for (unsigned p = 2; p * p <= n; ++p) {
+        if (n % p == 0) {
+            n /= p;
+            if (n % p == 0)
+                return 0; // squared factor
+            mu = -mu;
+        }
+    }
+    if (n > 1)
+        mu = -mu;
+    return mu;
+}
+
+std::mutex catalog_mutex;
+
+} // anonymous namespace
+
+const std::vector<Gf2Poly> &
+PolyCatalog::allIrreducible(unsigned degree)
+{
+    CAC_ASSERT(degree >= 1 && degree <= kMaxEnumeratedDegree);
+    static std::map<unsigned, std::vector<Gf2Poly>> cache;
+
+    std::lock_guard<std::mutex> lock(catalog_mutex);
+    auto it = cache.find(degree);
+    if (it != cache.end())
+        return it->second;
+
+    std::vector<Gf2Poly> found;
+    const std::uint64_t lead = std::uint64_t{1} << degree;
+    if (degree == 1) {
+        // Both degree-1 polynomials (x and x+1) are irreducible.
+        found.push_back(Gf2Poly{0x2});
+        found.push_back(Gf2Poly{0x3});
+    } else {
+        // A reducible-by-x candidate has zero constant term; skip those.
+        for (std::uint64_t low = 1; low < lead; low += 2) {
+            Gf2Poly p{lead | low};
+            if (p.isIrreducible())
+                found.push_back(p);
+        }
+    }
+    return cache.emplace(degree, std::move(found)).first->second;
+}
+
+const std::vector<Gf2Poly> &
+PolyCatalog::allPrimitive(unsigned degree)
+{
+    CAC_ASSERT(degree >= 1 && degree <= kMaxEnumeratedDegree);
+    static std::map<unsigned, std::vector<Gf2Poly>> cache;
+
+    {
+        std::lock_guard<std::mutex> lock(catalog_mutex);
+        auto it = cache.find(degree);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    // Filter the irreducible list (computed outside the lock to avoid
+    // recursive locking).
+    const auto &irr = allIrreducible(degree);
+    std::vector<Gf2Poly> found;
+    for (const auto &p : irr) {
+        if (p.isPrimitive())
+            found.push_back(p);
+    }
+
+    std::lock_guard<std::mutex> lock(catalog_mutex);
+    return cache.emplace(degree, std::move(found)).first->second;
+}
+
+Gf2Poly
+PolyCatalog::irreducible(unsigned degree, std::size_t k)
+{
+    const auto &all = allIrreducible(degree);
+    CAC_ASSERT(k < all.size());
+    return all[k];
+}
+
+Gf2Poly
+PolyCatalog::primitive(unsigned degree, std::size_t k)
+{
+    const auto &all = allPrimitive(degree);
+    CAC_ASSERT(k < all.size());
+    return all[k];
+}
+
+std::size_t
+PolyCatalog::countIrreducible(unsigned degree)
+{
+    return allIrreducible(degree).size();
+}
+
+Gf2Poly
+PolyCatalog::classicPrimitive(unsigned degree)
+{
+    CAC_ASSERT(degree >= 1 && degree <= 32);
+    return Gf2Poly{kClassicPrimitive[degree]};
+}
+
+std::size_t
+PolyCatalog::theoreticalIrreducibleCount(unsigned degree)
+{
+    CAC_ASSERT(degree >= 1 && degree <= 62);
+    // N(n) = (1/n) sum_{d|n} mu(d) 2^{n/d}; all terms are exact in
+    // 64-bit for n <= 62.
+    std::int64_t sum = 0;
+    for (unsigned d = 1; d <= degree; ++d) {
+        if (degree % d != 0)
+            continue;
+        sum += static_cast<std::int64_t>(moebius(d))
+               * static_cast<std::int64_t>(std::uint64_t{1} << (degree / d));
+    }
+    CAC_ASSERT(sum > 0 && sum % static_cast<std::int64_t>(degree) == 0);
+    return static_cast<std::size_t>(sum / static_cast<std::int64_t>(degree));
+}
+
+} // namespace cac

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Catalog of irreducible and primitive polynomials over GF(2).
+ *
+ * The I-Poly scheme needs, for a cache with 2^m sets, one polynomial of
+ * degree m per way (distinct polynomials per way give the *skewed*
+ * variant, a2-Hp-Sk). This catalog enumerates irreducible polynomials of
+ * a given degree in increasing coefficient order, memoizing results, so
+ * any configuration can deterministically pick "the k-th irreducible
+ * polynomial of degree m". A small table of well-known primitive
+ * polynomials is also provided for documentation and cross-checks.
+ */
+
+#ifndef CAC_POLY_CATALOG_HH
+#define CAC_POLY_CATALOG_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "poly/gf2poly.hh"
+
+namespace cac
+{
+
+/**
+ * Enumerates irreducible polynomials of a fixed degree, lazily and in
+ * increasing order of their coefficient word.
+ */
+class PolyCatalog
+{
+  public:
+    /**
+     * The k-th (0-based) irreducible polynomial of @p degree.
+     * Supported degrees: 1..24 (enumeration cost grows as 2^degree).
+     */
+    static Gf2Poly irreducible(unsigned degree, std::size_t k);
+
+    /** The k-th primitive polynomial of @p degree (1..24). */
+    static Gf2Poly primitive(unsigned degree, std::size_t k);
+
+    /** Number of irreducible polynomials of @p degree (1..24). */
+    static std::size_t countIrreducible(unsigned degree);
+
+    /**
+     * A classic primitive polynomial per degree 1..32 (the minimum-weight
+     * entries from standard LFSR tables). Returned value is guaranteed
+     * primitive (and therefore irreducible); tests verify this against
+     * isPrimitive().
+     */
+    static Gf2Poly classicPrimitive(unsigned degree);
+
+    /**
+     * Theoretical count of monic irreducible polynomials of degree n
+     * over GF(2), from the necklace-counting formula
+     * N(n) = (1/n) * sum_{d | n} mu(d) 2^{n/d}.
+     * Used by tests to validate the enumerator.
+     */
+    static std::size_t theoreticalIrreducibleCount(unsigned degree);
+
+  private:
+    static const std::vector<Gf2Poly> &allIrreducible(unsigned degree);
+    static const std::vector<Gf2Poly> &allPrimitive(unsigned degree);
+};
+
+} // namespace cac
+
+#endif // CAC_POLY_CATALOG_HH

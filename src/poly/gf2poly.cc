@@ -1,0 +1,240 @@
+#include "poly/gf2poly.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+/**
+ * Prime factorization by trial division. Sufficient for the arguments we
+ * feed it (polynomial degrees <= 64 and group orders up to 2^32 - 1).
+ */
+std::vector<std::uint64_t>
+primeFactors(std::uint64_t n)
+{
+    std::vector<std::uint64_t> factors;
+    for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+        if (n % p == 0) {
+            factors.push_back(p);
+            while (n % p == 0)
+                n /= p;
+        }
+    }
+    if (n > 1)
+        factors.push_back(n);
+    return factors;
+}
+
+} // anonymous namespace
+
+Gf2Poly
+Gf2Poly::monomial(unsigned k)
+{
+    CAC_ASSERT(k < 64);
+    return Gf2Poly{std::uint64_t{1} << k};
+}
+
+int
+Gf2Poly::degree() const
+{
+    return bits_ == 0 ? -1 : static_cast<int>(msbIndex(bits_));
+}
+
+unsigned
+Gf2Poly::coeff(unsigned i) const
+{
+    return i < 64 ? static_cast<unsigned>((bits_ >> i) & 1) : 0;
+}
+
+Gf2Poly
+Gf2Poly::operator+(const Gf2Poly &o) const
+{
+    return Gf2Poly{bits_ ^ o.bits_};
+}
+
+Gf2Poly
+Gf2Poly::operator*(const Gf2Poly &o) const
+{
+    if (isZero() || o.isZero())
+        return zero();
+    CAC_ASSERT(degree() + o.degree() < 64);
+    std::uint64_t acc = 0;
+    std::uint64_t a = bits_;
+    std::uint64_t b = o.bits_;
+    unsigned shift = 0;
+    while (b) {
+        if (b & 1)
+            acc ^= a << shift;
+        b >>= 1;
+        ++shift;
+    }
+    return Gf2Poly{acc};
+}
+
+Gf2Poly
+Gf2Poly::mod(const Gf2Poly &p) const
+{
+    CAC_ASSERT(!p.isZero());
+    std::uint64_t rem = bits_;
+    const int pd = p.degree();
+    while (rem && static_cast<int>(msbIndex(rem)) >= pd)
+        rem ^= p.bits_ << (msbIndex(rem) - static_cast<unsigned>(pd));
+    return Gf2Poly{rem};
+}
+
+Gf2Poly
+Gf2Poly::div(const Gf2Poly &p) const
+{
+    CAC_ASSERT(!p.isZero());
+    std::uint64_t rem = bits_;
+    std::uint64_t quot = 0;
+    const int pd = p.degree();
+    while (rem && static_cast<int>(msbIndex(rem)) >= pd) {
+        unsigned shift = msbIndex(rem) - static_cast<unsigned>(pd);
+        quot |= std::uint64_t{1} << shift;
+        rem ^= p.bits_ << shift;
+    }
+    return Gf2Poly{quot};
+}
+
+Gf2Poly
+Gf2Poly::gcd(Gf2Poly a, Gf2Poly b)
+{
+    while (!b.isZero()) {
+        Gf2Poly r = a.mod(b);
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+Gf2Poly
+Gf2Poly::mulMod(const Gf2Poly &a, const Gf2Poly &b, const Gf2Poly &modulus)
+{
+    CAC_ASSERT(!modulus.isZero());
+    const int md = modulus.degree();
+    CAC_ASSERT(md >= 1 && md < 63);
+    CAC_ASSERT(a.degree() < md && b.degree() < md);
+
+    // Shift-and-add with reduction after each doubling so the working
+    // value never exceeds degree md.
+    std::uint64_t acc = 0;
+    std::uint64_t shifted = a.bits_;
+    std::uint64_t bb = b.bits_;
+    while (bb) {
+        if (bb & 1)
+            acc ^= shifted;
+        bb >>= 1;
+        shifted <<= 1;
+        if (shifted >> md & 1)
+            shifted ^= modulus.bits_;
+    }
+    return Gf2Poly{acc};
+}
+
+Gf2Poly
+Gf2Poly::powMod(const Gf2Poly &base, std::uint64_t e, const Gf2Poly &modulus)
+{
+    Gf2Poly result = one().mod(modulus);
+    Gf2Poly b = base.mod(modulus);
+    while (e) {
+        if (e & 1)
+            result = mulMod(result, b, modulus);
+        b = mulMod(b, b, modulus);
+        e >>= 1;
+    }
+    return result;
+}
+
+Gf2Poly
+Gf2Poly::xPow2k(unsigned k, const Gf2Poly &modulus)
+{
+    Gf2Poly r = monomial(1).mod(modulus);
+    for (unsigned i = 0; i < k; ++i)
+        r = mulMod(r, r, modulus);
+    return r;
+}
+
+bool
+Gf2Poly::isIrreducible() const
+{
+    const int n = degree();
+    if (n <= 0)
+        return false;
+    if (n == 1)
+        return true; // x and x+1 are irreducible.
+    // Any polynomial with zero constant term is divisible by x.
+    if ((bits_ & 1) == 0)
+        return false;
+
+    const Gf2Poly x = monomial(1);
+
+    // x^(2^n) must equal x mod P (deg P >= 2, so x mod P is just x).
+    if (xPow2k(static_cast<unsigned>(n), *this) != x)
+        return false;
+
+    // For each prime q | n: gcd(x^(2^(n/q)) - x, P) must be 1.
+    for (std::uint64_t q : primeFactors(static_cast<std::uint64_t>(n))) {
+        unsigned k = static_cast<unsigned>(n) / static_cast<unsigned>(q);
+        Gf2Poly g = gcd(xPow2k(k, *this) + x, *this);
+        if (g.degree() != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+Gf2Poly::isPrimitive() const
+{
+    const int n = degree();
+    if (n < 1 || n > 32)
+        return false;
+    if (!isIrreducible())
+        return false;
+    if (n == 1)
+        return bits_ == 0x3; // x+1 is primitive for GF(2); x is not.
+
+    const std::uint64_t group_order =
+        (std::uint64_t{1} << n) - 1;
+    // x must have order exactly 2^n - 1: x^order == 1 and
+    // x^(order/q) != 1 for each prime q dividing the order.
+    if (powMod(monomial(1), group_order, *this) != one())
+        return false;
+    for (std::uint64_t q : primeFactors(group_order)) {
+        if (powMod(monomial(1), group_order / q, *this) == one())
+            return false;
+    }
+    return true;
+}
+
+std::string
+Gf2Poly::toString() const
+{
+    if (isZero())
+        return "0";
+    std::ostringstream os;
+    bool first = true;
+    for (int i = degree(); i >= 0; --i) {
+        if (!coeff(static_cast<unsigned>(i)))
+            continue;
+        if (!first)
+            os << " + ";
+        if (i == 0)
+            os << "1";
+        else if (i == 1)
+            os << "x";
+        else
+            os << "x^" << i;
+        first = false;
+    }
+    return os.str();
+}
+
+} // namespace cac

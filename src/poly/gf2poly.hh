@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Polynomial arithmetic over GF(2).
+ *
+ * A polynomial a_{n-1} x^{n-1} + ... + a_1 x + a_0 with coefficients in
+ * {0,1} is stored densely in a 64-bit word: bit i holds the coefficient
+ * of x^i. This matches the paper's interpretation of an address as a
+ * polynomial (section 2.1.1, eq. iv-v): the integer's binary expansion
+ * *is* the coefficient vector.
+ *
+ * Addition is XOR, multiplication is carry-less multiplication, and the
+ * cache index R(x) = A(x) mod P(x) (eq. vi) is the polynomial remainder.
+ * Degrees are limited to < 64 which is ample: the paper's index functions
+ * consume at most 19 address bits and produce at most ~14 index bits.
+ */
+
+#ifndef CAC_POLY_GF2POLY_HH
+#define CAC_POLY_GF2POLY_HH
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace cac
+{
+
+/**
+ * Value-type polynomial over GF(2) with degree < 64.
+ *
+ * The zero polynomial has degree() == -1 by convention.
+ */
+class Gf2Poly
+{
+  public:
+    /** Construct from a coefficient bit vector (bit i = coeff of x^i). */
+    constexpr explicit Gf2Poly(std::uint64_t coeffs = 0) : bits_(coeffs) {}
+
+    /** The monomial x^k. @p k must be < 64. */
+    static Gf2Poly monomial(unsigned k);
+
+    /** The constant polynomial 1. */
+    static constexpr Gf2Poly one() { return Gf2Poly{1}; }
+
+    /** The zero polynomial. */
+    static constexpr Gf2Poly zero() { return Gf2Poly{0}; }
+
+    /** Raw coefficient bits. */
+    constexpr std::uint64_t coeffs() const { return bits_; }
+
+    /** Degree; -1 for the zero polynomial. */
+    int degree() const;
+
+    /** True if this is the zero polynomial. */
+    constexpr bool isZero() const { return bits_ == 0; }
+
+    /** Coefficient of x^i (0 or 1). */
+    unsigned coeff(unsigned i) const;
+
+    /** Sum (== difference) over GF(2): coefficient-wise XOR. */
+    Gf2Poly operator+(const Gf2Poly &o) const;
+
+    /** Carry-less product. Panics if the product degree would be >= 64. */
+    Gf2Poly operator*(const Gf2Poly &o) const;
+
+    /**
+     * Polynomial remainder: *this mod @p p. @p p must be non-zero.
+     * This is the paper's placement function h(A, P) when applied to an
+     * address polynomial (eq. vi).
+     */
+    Gf2Poly mod(const Gf2Poly &p) const;
+
+    /** Polynomial quotient: *this div @p p. @p p must be non-zero. */
+    Gf2Poly div(const Gf2Poly &p) const;
+
+    /** Greatest common divisor (monic by construction over GF(2)). */
+    static Gf2Poly gcd(Gf2Poly a, Gf2Poly b);
+
+    /**
+     * Modular product (a * b) mod @p modulus, reducing as it multiplies
+     * so intermediate degrees never exceed deg(modulus) + 1. Both a and b
+     * must already have degree < deg(modulus).
+     */
+    static Gf2Poly mulMod(const Gf2Poly &a, const Gf2Poly &b,
+                          const Gf2Poly &modulus);
+
+    /** Modular exponentiation: base^e mod @p modulus. */
+    static Gf2Poly powMod(const Gf2Poly &base, std::uint64_t e,
+                          const Gf2Poly &modulus);
+
+    /**
+     * Compute x^(2^k) mod @p modulus by repeated squaring (k squarings).
+     * Used by the irreducibility test.
+     */
+    static Gf2Poly xPow2k(unsigned k, const Gf2Poly &modulus);
+
+    /**
+     * Rabin irreducibility test. A polynomial P of degree n >= 1 is
+     * irreducible over GF(2) iff x^(2^n) == x (mod P) and, for every
+     * prime divisor q of n, gcd(x^(2^(n/q)) - x mod P, P) == 1.
+     */
+    bool isIrreducible() const;
+
+    /**
+     * Primitivity test: the polynomial is irreducible and x generates
+     * the full multiplicative group of GF(2^n), i.e. the order of x is
+     * 2^n - 1. Supported for degrees 1..32.
+     */
+    bool isPrimitive() const;
+
+    /** Render as e.g. "x^7 + x^3 + 1". */
+    std::string toString() const;
+
+    auto operator<=>(const Gf2Poly &) const = default;
+
+  private:
+    std::uint64_t bits_;
+};
+
+} // namespace cac
+
+#endif // CAC_POLY_GF2POLY_HH

@@ -1,0 +1,88 @@
+#include "poly/xor_matrix.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace cac
+{
+
+XorMatrix::XorMatrix(const Gf2Poly &p, unsigned input_bits)
+    : modulus_(p), input_bits_(input_bits)
+{
+    const int deg = p.degree();
+    CAC_ASSERT(deg >= 1 && deg < 63);
+    output_bits_ = static_cast<unsigned>(deg);
+    CAC_ASSERT(input_bits_ >= output_bits_ && input_bits_ <= 64);
+
+    row_masks_.assign(output_bits_, 0);
+    // Column j of the reduction matrix is x^j mod P; scatter it into the
+    // row masks so evaluation is a parity per output bit.
+    for (unsigned j = 0; j < input_bits_; ++j) {
+        Gf2Poly col = (j < 63 ? Gf2Poly::monomial(j)
+                              : Gf2Poly{std::uint64_t{1} << j}).mod(p);
+        for (unsigned i = 0; i < output_bits_; ++i) {
+            if (col.coeff(i))
+                row_masks_[i] |= std::uint64_t{1} << j;
+        }
+    }
+}
+
+std::uint64_t
+XorMatrix::apply(std::uint64_t value) const
+{
+    const std::uint64_t in = value & mask(input_bits_);
+    std::uint64_t index = 0;
+    for (unsigned i = 0; i < output_bits_; ++i)
+        index |= static_cast<std::uint64_t>(parity(in & row_masks_[i])) << i;
+    return index;
+}
+
+std::uint64_t
+XorMatrix::rowMask(unsigned i) const
+{
+    CAC_ASSERT(i < output_bits_);
+    return row_masks_[i];
+}
+
+unsigned
+XorMatrix::fanIn(unsigned i) const
+{
+    return popCount(rowMask(i));
+}
+
+unsigned
+XorMatrix::maxFanIn() const
+{
+    unsigned fi = 0;
+    for (unsigned i = 0; i < output_bits_; ++i)
+        fi = std::max(fi, fanIn(i));
+    return fi;
+}
+
+std::string
+XorMatrix::describe() const
+{
+    std::ostringstream os;
+    os << "P(x) = " << modulus_.toString()
+       << ", v = " << input_bits_ << " input bits, m = " << output_bits_
+       << " index bits\n";
+    for (unsigned i = 0; i < output_bits_; ++i) {
+        os << "  index[" << i << "] = XOR(";
+        bool first = true;
+        for (unsigned j = 0; j < input_bits_; ++j) {
+            if (row_masks_[i] >> j & 1) {
+                if (!first)
+                    os << ", ";
+                os << "a" << j;
+                first = false;
+            }
+        }
+        os << ")  fan-in " << fanIn(i) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace cac

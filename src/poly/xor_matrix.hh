@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hardware-faithful compilation of the polynomial modulus into XOR trees.
+ *
+ * Because reduction mod P(x) is linear over GF(2), the map from the v
+ * input address bits to the m index bits is a binary matrix: column j is
+ * x^j mod P(x). In hardware each index bit is one XOR gate whose inputs
+ * are the address bits selected by that matrix row (section 3 of the
+ * paper: "bit 0 of the cache index may be computed as the exclusive-OR
+ * of bits 0, 11, 14 and 19 of the original address"). This class builds
+ * the matrix once and then evaluates indices with m parity operations,
+ * and can report the per-gate fan-in for the critical-path analysis of
+ * section 3.4.
+ */
+
+#ifndef CAC_POLY_XOR_MATRIX_HH
+#define CAC_POLY_XOR_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/gf2poly.hh"
+
+namespace cac
+{
+
+/**
+ * Precompiled XOR network computing A(x) mod P(x) for A restricted to
+ * @p inputBits low-order bits.
+ */
+class XorMatrix
+{
+  public:
+    /**
+     * Compile the reduction network.
+     *
+     * @param p polynomial modulus; degree m defines the output width.
+     * @param input_bits number of low-order input bits v (m <= v <= 64).
+     */
+    XorMatrix(const Gf2Poly &p, unsigned input_bits);
+
+    /** Number of output (index) bits m. */
+    unsigned outputBits() const { return output_bits_; }
+
+    /** Number of input bits v. */
+    unsigned inputBits() const { return input_bits_; }
+
+    /** The modulus this network reduces by. */
+    const Gf2Poly &modulus() const { return modulus_; }
+
+    /**
+     * Evaluate the network: returns A(x) mod P(x) as an integer index,
+     * where only the low inputBits() of @p value are consumed.
+     */
+    std::uint64_t apply(std::uint64_t value) const;
+
+    /**
+     * The input-bit mask feeding output bit @p i: bit j is set when
+     * address bit j is an input of XOR gate i.
+     */
+    std::uint64_t rowMask(unsigned i) const;
+
+    /** Fan-in (number of XOR inputs) of output gate @p i. */
+    unsigned fanIn(unsigned i) const;
+
+    /** Largest gate fan-in across all output bits. */
+    unsigned maxFanIn() const;
+
+    /** Human-readable gate listing, one line per index bit. */
+    std::string describe() const;
+
+  private:
+    Gf2Poly modulus_;
+    unsigned input_bits_;
+    unsigned output_bits_;
+    /** row_masks_[i] selects the address bits XORed into index bit i. */
+    std::vector<std::uint64_t> row_masks_;
+};
+
+} // namespace cac
+
+#endif // CAC_POLY_XOR_MATRIX_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Convenience emitter for building synthetic traces.
+ *
+ * Workload kernels are ordinary C++ loops that call the emit helpers;
+ * each call site becomes one *static* instruction whose synthetic PC is
+ * derived from std::source_location, so every dynamic instance of the
+ * same source line shares a PC. That property is what makes the
+ * branch-history table and the memory-address predictor behave as they
+ * would on real code (loads in a loop exhibit a stable stride per PC).
+ */
+
+#ifndef CAC_TRACE_BUILDER_HH
+#define CAC_TRACE_BUILDER_HH
+
+#include <source_location>
+#include <unordered_map>
+
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** Architectural register helpers. */
+namespace reg
+{
+
+/** Integer register i (0..31). */
+constexpr std::int8_t
+r(unsigned i)
+{
+    return static_cast<std::int8_t>(i & 31);
+}
+
+/** Floating-point register i (0..31, stored as 32..63). */
+constexpr std::int8_t
+f(unsigned i)
+{
+    return static_cast<std::int8_t>(32 + (i & 31));
+}
+
+constexpr std::int8_t none = -1;
+
+} // namespace reg
+
+/**
+ * Appends records to a Trace with stable synthetic PCs per call site.
+ */
+class TraceBuilder
+{
+  public:
+    /** @param trace destination stream (owned by the caller). */
+    explicit TraceBuilder(Trace &trace) : trace_(trace) {}
+
+    /**
+     * Emit a load of @p addr into @p dst, addressing off @p base.
+     *
+     * @param salt distinguishes static instructions emitted from one
+     *        call site in a loop over arrays (each array's load in real
+     *        code is a separate instruction with its own PC).
+     */
+    void
+    load(std::uint64_t addr, std::int8_t dst, std::int8_t base = reg::none,
+         unsigned salt = 0,
+         std::source_location loc = std::source_location::current())
+    {
+        TraceRecord rec;
+        rec.op = OpClass::Load;
+        rec.dst = dst;
+        rec.src1 = base;
+        rec.addr = addr;
+        rec.pc = pcFor(loc, salt);
+        trace_.push_back(rec);
+    }
+
+    /** Emit a store of @p src to @p addr, addressing off @p base. */
+    void
+    store(std::uint64_t addr, std::int8_t src, std::int8_t base = reg::none,
+          unsigned salt = 0,
+          std::source_location loc = std::source_location::current())
+    {
+        TraceRecord rec;
+        rec.op = OpClass::Store;
+        rec.src1 = src;
+        rec.src2 = base;
+        rec.addr = addr;
+        rec.pc = pcFor(loc, salt);
+        trace_.push_back(rec);
+    }
+
+    /** Emit a non-memory operation. */
+    void
+    alu(OpClass op, std::int8_t dst, std::int8_t src1 = reg::none,
+        std::int8_t src2 = reg::none, unsigned salt = 0,
+        std::source_location loc = std::source_location::current())
+    {
+        TraceRecord rec;
+        rec.op = op;
+        rec.dst = dst;
+        rec.src1 = src1;
+        rec.src2 = src2;
+        rec.pc = pcFor(loc, salt);
+        trace_.push_back(rec);
+    }
+
+    /** Emit a conditional branch with actual direction @p taken. */
+    void
+    branch(bool taken, std::int8_t src1 = reg::none, unsigned salt = 0,
+           std::source_location loc = std::source_location::current())
+    {
+        TraceRecord rec;
+        rec.op = OpClass::Branch;
+        rec.taken = taken;
+        rec.src1 = src1;
+        rec.pc = pcFor(loc, salt);
+        trace_.push_back(rec);
+    }
+
+    /** Number of distinct static instructions emitted so far. */
+    std::size_t staticInstructions() const { return pc_map_.size(); }
+
+    /** Number of dynamic instructions emitted so far. */
+    std::size_t size() const { return trace_.size(); }
+
+  private:
+    std::uint32_t pcFor(const std::source_location &loc, unsigned salt);
+
+    Trace &trace_;
+    /** (file-hash, line, column) -> dense synthetic PC. */
+    std::unordered_map<std::uint64_t, std::uint32_t> pc_map_;
+};
+
+} // namespace cac
+
+#endif // CAC_TRACE_BUILDER_HH

@@ -1,0 +1,107 @@
+#include "trace/io.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'A', 'C', 'T', 'R', 'C', '0', '1'};
+
+/** On-disk record: fixed 24-byte layout independent of host padding. */
+struct PackedRecord
+{
+    std::uint8_t op;
+    std::int8_t dst;
+    std::int8_t src1;
+    std::int8_t src2;
+    std::uint8_t taken;
+    std::uint8_t pad[3];
+    std::uint64_t addr;
+    std::uint32_t pc;
+    std::uint8_t pad2[4];
+};
+
+static_assert(sizeof(PackedRecord) == 24, "trace record layout drifted");
+
+} // anonymous namespace
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+
+    std::uint64_t count = trace.size();
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1
+        || std::fwrite(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        fatal("short write to '%s'", path.c_str());
+    }
+
+    for (const auto &rec : trace) {
+        PackedRecord p{};
+        p.op = static_cast<std::uint8_t>(rec.op);
+        p.dst = rec.dst;
+        p.src1 = rec.src1;
+        p.src2 = rec.src2;
+        p.taken = rec.taken ? 1 : 0;
+        p.addr = rec.addr;
+        p.pc = rec.pc;
+        if (std::fwrite(&p, sizeof(p), 1, f) != 1) {
+            std::fclose(f);
+            fatal("short write to '%s'", path.c_str());
+        }
+    }
+    std::fclose(f);
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '%s' for reading", path.c_str());
+
+    char magic[8];
+    std::uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f) != 1
+        || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        std::fclose(f);
+        fatal("'%s' is not a CACTRC01 trace", path.c_str());
+    }
+    if (std::fread(&count, sizeof(count), 1, f) != 1) {
+        std::fclose(f);
+        fatal("'%s': truncated header", path.c_str());
+    }
+
+    Trace trace;
+    trace.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord p;
+        if (std::fread(&p, sizeof(p), 1, f) != 1) {
+            std::fclose(f);
+            fatal("'%s': truncated at record %llu", path.c_str(),
+                  static_cast<unsigned long long>(i));
+        }
+        TraceRecord rec;
+        rec.op = static_cast<OpClass>(p.op);
+        rec.dst = p.dst;
+        rec.src1 = p.src1;
+        rec.src2 = p.src2;
+        rec.taken = p.taken != 0;
+        rec.addr = p.addr;
+        rec.pc = p.pc;
+        trace.push_back(rec);
+    }
+    std::fclose(f);
+    return trace;
+}
+
+} // namespace cac

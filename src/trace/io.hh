@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary trace file format.
+ *
+ * Layout: 8-byte magic "CACTRC01", a little-endian 64-bit record count,
+ * then packed records (op, dst, src1, src2, taken, pad[3], addr, pc,
+ * pad4) of 24 bytes each. The format exists so expensive workloads can
+ * be generated once and replayed, and so external tools can feed real
+ * traces into the simulator.
+ */
+
+#ifndef CAC_TRACE_IO_HH
+#define CAC_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** Serialize @p trace to @p path. Fatal on I/O failure. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Deserialize a trace from @p path. Fatal on I/O or format failure. */
+Trace readTrace(const std::string &path);
+
+} // namespace cac
+
+#endif // CAC_TRACE_IO_HH

@@ -1,0 +1,36 @@
+#include "trace/record.hh"
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+std::string
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return "int_alu";
+      case OpClass::IntMul:
+        return "int_mul";
+      case OpClass::IntDiv:
+        return "int_div";
+      case OpClass::FpAdd:
+        return "fp_add";
+      case OpClass::FpMul:
+        return "fp_mul";
+      case OpClass::FpDiv:
+        return "fp_div";
+      case OpClass::FpSqrt:
+        return "fp_sqrt";
+      case OpClass::Load:
+        return "load";
+      case OpClass::Store:
+        return "store";
+      case OpClass::Branch:
+        return "branch";
+    }
+    panic("bad OpClass %d", static_cast<int>(op));
+}
+
+} // namespace cac

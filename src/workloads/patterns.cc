@@ -1,0 +1,220 @@
+#include "workloads/patterns.hh"
+
+#include "common/logging.hh"
+
+namespace cac
+{
+
+std::uint64_t
+ArrayArena::alloc(std::uint64_t bytes, std::uint64_t align,
+                  std::uint64_t offset)
+{
+    CAC_ASSERT(align != 0);
+    std::uint64_t base = (cursor_ + align - 1) / align * align + offset;
+    cursor_ = base + bytes;
+    return base;
+}
+
+namespace patterns
+{
+
+namespace
+{
+
+/**
+ * Emit the shared iteration tail: a chain of dependent compute ops on
+ * the loaded values, an optional store, the index update and the loop
+ * branch. @p loaded is how many destination registers the loads wrote.
+ */
+void
+iterationTail(TraceBuilder &b, const PatternConfig &cfg, unsigned loaded,
+              std::uint64_t store_addr, bool last_iteration)
+{
+    // Fold the loaded values into four rotating accumulators: the
+    // chains are dependent *within* an accumulator but independent
+    // across them, giving the instruction-level parallelism real
+    // compute kernels expose to an out-of-order core.
+    const unsigned chains = std::max(1u, std::min(cfg.accumulators, 8u));
+    auto acc = [&](unsigned k) {
+        return cfg.fp ? reg::f(16 + k % chains)
+                      : reg::r(16 + k % chains);
+    };
+    for (unsigned k = 0; k < cfg.computeOps; ++k) {
+        const auto src = cfg.fp ? reg::f(k % std::max(1u, loaded))
+                                : reg::r(k % std::max(1u, loaded));
+        // Without a carry chain the first op of each chain re-seeds
+        // its accumulator from the loads, cutting the trip-to-trip
+        // dependence.
+        const bool seeds = !cfg.carryChain && k < cfg.accumulators;
+        b.alu(cfg.fp ? (k % 2 ? OpClass::FpMul : OpClass::FpAdd)
+                     : OpClass::IntAlu,
+              acc(k), seeds ? src : acc(k), src, k);
+    }
+    if (cfg.emitStore)
+        b.store(store_addr, acc(0), reg::r(30));
+    // Index increment and loop branch (taken except on the last trip).
+    b.alu(OpClass::IntAlu, reg::r(30), reg::r(30));
+    b.branch(!last_iteration, reg::r(30));
+}
+
+} // anonymous namespace
+
+void
+streamSweep(TraceBuilder &b, const std::vector<std::uint64_t> &bases,
+            std::size_t total_elems, std::size_t iterations,
+            PhaseCursor &cursor, const PatternConfig &cfg)
+{
+    CAC_ASSERT(!bases.empty() && total_elems > 0);
+    for (std::size_t t = 0; t < iterations; ++t) {
+        const std::uint64_t i = cursor.pos++ % total_elems;
+        const std::uint64_t off = i * cfg.elementBytes;
+        for (unsigned a = 0; a < bases.size(); ++a) {
+            b.load(bases[a] + off, cfg.fp ? reg::f(a % 8) : reg::r(a % 8),
+                   reg::r(30), a);
+        }
+        iterationTail(b, cfg, static_cast<unsigned>(bases.size()),
+                      bases.back() + off, t + 1 == iterations);
+    }
+}
+
+void
+stridedSweep(TraceBuilder &b, const std::vector<std::uint64_t> &bases,
+             std::size_t total_elems, std::uint64_t stride_bytes,
+             std::size_t iterations, PhaseCursor &cursor,
+             const PatternConfig &cfg)
+{
+    CAC_ASSERT(!bases.empty() && total_elems > 0);
+    for (std::size_t t = 0; t < iterations; ++t) {
+        const std::uint64_t i = cursor.pos++ % total_elems;
+        const std::uint64_t off = i * stride_bytes;
+        for (unsigned a = 0; a < bases.size(); ++a) {
+            b.load(bases[a] + off, cfg.fp ? reg::f(a % 8) : reg::r(a % 8),
+                   reg::r(30), a);
+        }
+        iterationTail(b, cfg, static_cast<unsigned>(bases.size()),
+                      bases.back() + off, t + 1 == iterations);
+    }
+}
+
+void
+stencilSweep(TraceBuilder &b, const std::vector<std::uint64_t> &bases,
+             std::size_t total_elems, std::uint64_t stride_bytes,
+             std::size_t iterations, PhaseCursor &cursor,
+             const PatternConfig &cfg)
+{
+    CAC_ASSERT(!bases.empty() && total_elems >= 3);
+    const std::size_t interior = total_elems - 2;
+    for (std::size_t t = 0; t < iterations; ++t) {
+        const std::uint64_t i = 1 + cursor.pos++ % interior;
+        auto dst = [&](unsigned a, unsigned p) {
+            return cfg.fp ? reg::f((a + p) % 8) : reg::r((a + p) % 8);
+        };
+        auto emit = [&](unsigned a, unsigned p) {
+            // One static instruction per (array, point) pair.
+            b.load(bases[a] + (i + p - 1) * stride_bytes, dst(a, p),
+                   reg::r(30), 3 * a + p);
+        };
+        if (cfg.interleaveByPoint) {
+            for (unsigned p = 0; p < 3; ++p)
+                for (unsigned a = 0; a < bases.size(); ++a)
+                    emit(a, p);
+        } else {
+            for (unsigned a = 0; a < bases.size(); ++a)
+                for (unsigned p = 0; p < 3; ++p)
+                    emit(a, p);
+        }
+        iterationTail(b, cfg, 3, bases.back() + i * stride_bytes,
+                      t + 1 == iterations);
+    }
+}
+
+void
+randomAccess(TraceBuilder &b, Rng &rng, std::uint64_t base,
+             std::uint64_t region_bytes, std::size_t iterations,
+             const PatternConfig &cfg)
+{
+    const std::uint64_t slots = region_bytes / cfg.elementBytes;
+    CAC_ASSERT(slots > 0);
+    for (std::size_t t = 0; t < iterations; ++t) {
+        const std::uint64_t addr =
+            base + rng.nextBelow(slots) * cfg.elementBytes;
+        if (cfg.serialRandom) {
+            // Hash-table dependence: the probe's address register is
+            // rewritten from the loaded value (serializes misses).
+            b.load(addr, cfg.fp ? reg::f(0) : reg::r(0), reg::r(29));
+            b.alu(OpClass::IntAlu, reg::r(29), reg::r(29),
+                  cfg.fp ? reg::f(0) : reg::r(0));
+        } else {
+            // Independent gather: probes overlap in the MSHRs.
+            b.load(addr, cfg.fp ? reg::f(0) : reg::r(0), reg::none);
+            b.alu(OpClass::IntAlu, reg::r(29), reg::r(29));
+        }
+        iterationTail(b, cfg, 1,
+                      base + rng.nextBelow(slots) * cfg.elementBytes,
+                      t + 1 == iterations);
+    }
+}
+
+std::vector<std::uint32_t>
+makeChaseCycle(Rng &rng, std::size_t nodes)
+{
+    CAC_ASSERT(nodes > 0);
+    // Sattolo's algorithm: a uniform single-cycle permutation, so the
+    // chase visits every node before repeating.
+    std::vector<std::uint32_t> next(nodes);
+    for (std::size_t i = 0; i < nodes; ++i)
+        next[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t i = nodes - 1; i > 0; --i) {
+        const std::size_t j = rng.nextBelow(i);
+        std::swap(next[i], next[j]);
+    }
+    return next;
+}
+
+void
+pointerChase(TraceBuilder &b, const std::vector<std::uint32_t> &next,
+             std::uint64_t base, std::uint64_t node_bytes,
+             std::size_t iterations, PhaseCursor &cursor,
+             const PatternConfig &cfg)
+{
+    CAC_ASSERT(!next.empty());
+    std::size_t cur = cursor.pos % next.size();
+    for (std::size_t t = 0; t < iterations; ++t) {
+        // The load of node->next feeds the next iteration's address:
+        // model the serialization by making the load write the base
+        // register the next load reads.
+        b.load(base + cur * node_bytes, reg::r(28), reg::r(28));
+        // A second field access on the same node (payload).
+        b.load(base + cur * node_bytes + cfg.elementBytes, reg::r(1),
+               reg::r(28));
+        iterationTail(b, cfg, 1, base + cur * node_bytes,
+                      t + 1 == iterations);
+        cur = next[cur];
+    }
+    cursor.pos = cur;
+}
+
+void
+branchyWork(TraceBuilder &b, Rng &rng, std::uint64_t base,
+            std::uint64_t region_bytes, std::size_t iterations,
+            double taken_prob, const PatternConfig &cfg)
+{
+    const std::uint64_t slots = region_bytes / cfg.elementBytes;
+    CAC_ASSERT(slots > 0);
+    for (std::size_t t = 0; t < iterations; ++t) {
+        const std::uint64_t addr =
+            base + rng.nextBelow(slots) * cfg.elementBytes;
+        b.load(addr, reg::r(2), reg::r(27));
+        b.alu(OpClass::IntAlu, reg::r(3), reg::r(2), reg::r(3));
+        // Data-dependent decision branch.
+        b.branch(rng.chance(taken_prob), reg::r(3));
+        b.alu(OpClass::IntAlu, reg::r(4), reg::r(3), reg::r(4));
+        b.alu(OpClass::IntAlu, reg::r(27), reg::r(27));
+        // Loop back-edge.
+        b.branch(t + 1 != iterations, reg::r(27), 1);
+    }
+}
+
+} // namespace patterns
+
+} // namespace cac

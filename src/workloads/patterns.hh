@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Reusable access-pattern emitters for the synthetic Spec95 proxies.
+ *
+ * Each pattern emits a realistic little loop body — loads, dependent
+ * arithmetic, an optional store, an index update and a loop branch —
+ * parameterized by the arrays it walks and the dependence depth. The
+ * proxies in spec_proxy.cc are compositions of these patterns over
+ * array layouts chosen to reproduce each program's conflict behaviour.
+ *
+ * Patterns are *resumable*: a PhaseCursor carries the walk position
+ * across calls, so a proxy can interleave phases at a fine grain while
+ * each phase still sweeps its whole footprint over time.
+ */
+
+#ifndef CAC_WORKLOADS_PATTERNS_HH
+#define CAC_WORKLOADS_PATTERNS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/builder.hh"
+
+namespace cac
+{
+
+/**
+ * Bump allocator for laying out a proxy's arrays in its synthetic
+ * address space. Alignment is the lever that creates or avoids
+ * cross-array conflicts: bases aligned to a multiple of the cache way
+ * size are congruent modulo the conventional index and therefore
+ * collide; odd block-sized paddings decorrelate them.
+ */
+class ArrayArena
+{
+  public:
+    /** @param base first byte address handed out. */
+    explicit ArrayArena(std::uint64_t base = std::uint64_t{1} << 22)
+        : cursor_(base)
+    {
+    }
+
+    /**
+     * Allocate @p bytes aligned to @p align, then offset by @p offset
+     * bytes (offset lets a caller place arrays an exact distance past
+     * an alignment boundary).
+     */
+    std::uint64_t alloc(std::uint64_t bytes, std::uint64_t align,
+                        std::uint64_t offset = 0);
+
+  private:
+    std::uint64_t cursor_;
+};
+
+/** Knobs shared by the loop patterns. */
+struct PatternConfig
+{
+    bool fp = false;          ///< FP arithmetic (vs integer)
+    unsigned computeOps = 2;  ///< dependent ALU ops per iteration
+    /**
+     * Number of independent accumulator chains the compute ops rotate
+     * over (1 = fully serial, 4 = high ILP). Controls how much memory
+     * latency the kernel can hide.
+     */
+    unsigned accumulators = 4;
+    /**
+     * When true (default) the first compute op reads its accumulator,
+     * creating a loop-carried reduction chain (sum += ...). When false
+     * each trip's chain starts fresh from the loaded values, so
+     * iterations are independent and memory latency lands on the
+     * critical path instead of hiding behind the reduction.
+     */
+    bool carryChain = true;
+    /**
+     * randomAccess only: when true (default) each probe's address
+     * computation consumes the previous probe's data (hash-table
+     * dependence, serializing misses); when false probes are
+     * independent gathers that overlap in the MSHRs.
+     */
+    bool serialRandom = true;
+    bool emitStore = true;    ///< store the result each iteration
+    unsigned elementBytes = 8;
+    /**
+     * Stencil emission order: false = all three points of one array,
+     * then the next array (adjacent same-block loads usually hit even
+     * while thrashing); true = one point across all arrays, then the
+     * next point (co-mapped arrays evict each other between the points,
+     * maximizing conflict misses).
+     */
+    bool interleaveByPoint = false;
+};
+
+/** Resumable walk position for a pattern instance. */
+struct PhaseCursor
+{
+    std::uint64_t pos = 0;
+};
+
+namespace patterns
+{
+
+/**
+ * Unit-stride streaming sweep reading one element per array per
+ * iteration (vector-add style), resuming at @p cursor and wrapping at
+ * @p total_elems.
+ *
+ * @param b trace sink.
+ * @param bases base address per input array.
+ * @param total_elems elements per array (wrap point).
+ * @param iterations loop trips to emit now.
+ * @param cursor persistent walk position.
+ * @param cfg shared knobs; the store goes to bases.back().
+ */
+void streamSweep(TraceBuilder &b, const std::vector<std::uint64_t> &bases,
+                 std::size_t total_elems, std::size_t iterations,
+                 PhaseCursor &cursor, const PatternConfig &cfg);
+
+/**
+ * Strided sweep: trip t touches base + ((cursor+t) % total_elems) *
+ * strideBytes in every array. A power-of-two stride_bytes larger than
+ * the block size exercises exactly the pathological case of section 2
+ * under conventional indexing.
+ */
+void stridedSweep(TraceBuilder &b, const std::vector<std::uint64_t> &bases,
+                  std::size_t total_elems, std::uint64_t stride_bytes,
+                  std::size_t iterations, PhaseCursor &cursor,
+                  const PatternConfig &cfg);
+
+/**
+ * Three-point stencil sweep: each trip loads elements i-1, i, i+1
+ * (@p stride_bytes apart) of each array and stores element i of the
+ * last array. The 3x reuse per element sets the capacity-miss floor a
+ * conflict-free cache achieves; with co-mapped bases and
+ * interleaveByPoint it reproduces the swim/tomcatv thrash.
+ */
+void stencilSweep(TraceBuilder &b, const std::vector<std::uint64_t> &bases,
+                  std::size_t total_elems, std::uint64_t stride_bytes,
+                  std::size_t iterations, PhaseCursor &cursor,
+                  const PatternConfig &cfg);
+
+/**
+ * Uniformly random single-element accesses inside a region — models
+ * hash tables and irregular heaps. Miss ratio is governed by region
+ * size vs capacity, identically for all placement schemes.
+ */
+void randomAccess(TraceBuilder &b, Rng &rng, std::uint64_t base,
+                  std::uint64_t region_bytes, std::size_t iterations,
+                  const PatternConfig &cfg);
+
+/**
+ * Pointer chase through a pseudo-random cycle of @p nodes nodes —
+ * models linked data structures (li, perl). The chain is serialized by
+ * the load-to-address dependence, which depresses IPC independent of
+ * cache behaviour. The cursor holds the current node.
+ */
+void pointerChase(TraceBuilder &b, const std::vector<std::uint32_t> &next,
+                  std::uint64_t base, std::uint64_t node_bytes,
+                  std::size_t iterations, PhaseCursor &cursor,
+                  const PatternConfig &cfg);
+
+/** Build the permutation cycle for pointerChase (Sattolo). */
+std::vector<std::uint32_t> makeChaseCycle(Rng &rng, std::size_t nodes);
+
+/**
+ * Branchy integer work over a small table: data-dependent branches
+ * with @p taken_prob probability, models search/decision codes (go).
+ */
+void branchyWork(TraceBuilder &b, Rng &rng, std::uint64_t base,
+                 std::uint64_t region_bytes, std::size_t iterations,
+                 double taken_prob, const PatternConfig &cfg);
+
+} // namespace patterns
+
+} // namespace cac
+
+#endif // CAC_WORKLOADS_PATTERNS_HH

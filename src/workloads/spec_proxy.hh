@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic Spec95 workload proxies.
+ *
+ * The paper evaluates on the 18 Spec95 programs (Table 2). Those traces
+ * are not redistributable, so each program is replaced by a synthetic
+ * kernel that reproduces its qualitative cache personality:
+ *
+ *  - tomcatv / swim / wave5 — the paper's three high-conflict programs:
+ *    multiple large arrays laid out congruent modulo the conventional
+ *    index (power-of-two strides and co-mapped bases), so a conventional
+ *    8KB 2-way cache thrashes while a conflict-free placement sees only
+ *    compulsory/capacity misses;
+ *  - the 15 remaining programs — moderate/low-conflict mixes (streaming
+ *    with decorrelated bases, pointer chasing, hash tables, branchy
+ *    integer work) whose miss ratio is placement-insensitive.
+ *
+ * DESIGN.md section 2 documents this substitution. The proxies are
+ * deterministic given (name, targetInstructions, seed).
+ */
+
+#ifndef CAC_WORKLOADS_SPEC_PROXY_HH
+#define CAC_WORKLOADS_SPEC_PROXY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** Metadata for one proxy. */
+struct SpecProxyInfo
+{
+    std::string name;    ///< Spec95 program the proxy stands in for
+    bool isFp;           ///< FP benchmark (vs integer)
+    bool highConflict;   ///< one of the paper's three "bad" programs
+    std::string pattern; ///< one-line description of the kernel
+};
+
+/** The 18 proxies in the paper's Table 2 order (integer then FP). */
+const std::vector<SpecProxyInfo> &specProxyList();
+
+/** Lookup by name; fatal if unknown. */
+const SpecProxyInfo &specProxyInfo(const std::string &name);
+
+/**
+ * Build the dynamic trace of a proxy.
+ *
+ * @param name proxy name (e.g. "tomcatv").
+ * @param target_instructions approximate trace length (the builder
+ *        stops at the first loop boundary past the target).
+ * @param seed determinism knob for the randomized patterns.
+ */
+Trace buildSpecProxy(const std::string &name,
+                     std::size_t target_instructions,
+                     std::uint64_t seed = 1);
+
+} // namespace cac
+
+#endif // CAC_WORKLOADS_SPEC_PROXY_HH

@@ -1,0 +1,21 @@
+#include "workloads/stride.hh"
+
+namespace cac
+{
+
+std::vector<std::uint64_t>
+makeStrideAddressTrace(const StrideWorkloadConfig &config)
+{
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(config.sweeps * config.numElements);
+    for (std::size_t s = 0; s < config.sweeps; ++s) {
+        for (std::size_t i = 0; i < config.numElements; ++i) {
+            addrs.push_back(config.base
+                            + static_cast<std::uint64_t>(i)
+                              * config.stride * config.elementBytes);
+        }
+    }
+    return addrs;
+}
+
+} // namespace cac

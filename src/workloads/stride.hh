@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Strided-vector address generator for the Figure 1 experiment.
+ *
+ * The paper drives four cache configurations with "an address trace
+ * representing repeated accesses to a vector of 64 8-byte elements in
+ * which the elements were separated by stride S", for every S in
+ * [1, 4096). With no conflicts such a sequence uses at most half of the
+ * 128 sets of the 8KB 2-way cache, so any steady-state misses are
+ * conflict misses.
+ */
+
+#ifndef CAC_WORKLOADS_STRIDE_HH
+#define CAC_WORKLOADS_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cac
+{
+
+/** Parameters of the strided-vector sweep. */
+struct StrideWorkloadConfig
+{
+    std::size_t numElements = 64;  ///< vector length
+    std::uint64_t elementBytes = 8; ///< element size
+    std::uint64_t stride = 1;      ///< element separation, in elements
+    std::size_t sweeps = 64;       ///< number of passes over the vector
+    std::uint64_t base = 1 << 20;  ///< base byte address
+};
+
+/**
+ * Generate the byte-address sequence of the strided sweep: @p sweeps
+ * passes, each touching elements base + i*stride*elementBytes.
+ */
+std::vector<std::uint64_t>
+makeStrideAddressTrace(const StrideWorkloadConfig &config);
+
+} // namespace cac
+
+#endif // CAC_WORKLOADS_STRIDE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for CacheGeometry derivations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(CacheGeometry, PaperL1Shape)
+{
+    CacheGeometry g = CacheGeometry::paperL1_8k();
+    EXPECT_EQ(g.sizeBytes(), 8u * 1024);
+    EXPECT_EQ(g.blockBytes(), 32u);
+    EXPECT_EQ(g.ways(), 2u);
+    EXPECT_EQ(g.numBlocks(), 256u);
+    EXPECT_EQ(g.numSets(), 128u);
+    EXPECT_EQ(g.offsetBits(), 5u);
+    EXPECT_EQ(g.setBits(), 7u);
+}
+
+TEST(CacheGeometry, SixteenKDoublesSets)
+{
+    CacheGeometry g = CacheGeometry::paperL1_16k();
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.setBits(), 8u);
+}
+
+TEST(CacheGeometry, DirectMapped)
+{
+    CacheGeometry g(256 * 1024, 32, 1);
+    EXPECT_EQ(g.numSets(), g.numBlocks());
+    EXPECT_EQ(g.setBits(), 13u);
+}
+
+TEST(CacheGeometry, FullyAssociativeShape)
+{
+    CacheGeometry g(8 * 1024, 32, 256);
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.setBits(), 0u);
+}
+
+TEST(CacheGeometry, BlockAddrRoundTrip)
+{
+    CacheGeometry g = CacheGeometry::paperL1_8k();
+    EXPECT_EQ(g.blockAddr(0), 0u);
+    EXPECT_EQ(g.blockAddr(31), 0u);
+    EXPECT_EQ(g.blockAddr(32), 1u);
+    EXPECT_EQ(g.byteAddr(g.blockAddr(0xABCDE0)), 0xABCDE0ull & ~31ull);
+}
+
+TEST(CacheGeometry, ToStringReadable)
+{
+    EXPECT_EQ(CacheGeometry::paperL1_8k().toString(), "8KB 2-way 32B");
+    EXPECT_EQ(CacheGeometry(256 * 1024, 32, 1).toString(),
+              "256KB 1-way 32B");
+}
+
+TEST(CacheGeometryDeath, RejectsNonPowerOf2)
+{
+    EXPECT_EXIT(CacheGeometry(7777, 32, 2),
+                ::testing::ExitedWithCode(1), "power");
+}
+
+TEST(CacheGeometryDeath, RejectsZeroWays)
+{
+    EXPECT_EXIT(CacheGeometry(8192, 32, 0),
+                ::testing::ExitedWithCode(1), "way");
+}
+
+TEST(CacheGeometryDeath, RejectsIndivisibleCapacity)
+{
+    EXPECT_EXIT(CacheGeometry(8192, 32, 3),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the MSHR file (lockup-free miss tracking).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(MshrFile, AllocateAndFind)
+{
+    MshrFile m(8);
+    EXPECT_EQ(m.find(0x100), nullptr);
+    Mshr &e = m.allocate(0x100, 22);
+    EXPECT_EQ(e.block, 0x100u);
+    EXPECT_EQ(e.readyTick, 22u);
+    EXPECT_EQ(e.targets, 1u);
+    EXPECT_EQ(m.find(0x100), &e);
+    EXPECT_EQ(m.inFlight(), 1u);
+}
+
+TEST(MshrFile, FullAfterCapacityAllocations)
+{
+    MshrFile m(8); // the paper's 8 outstanding misses
+    for (std::uint64_t b = 0; b < 8; ++b) {
+        EXPECT_FALSE(m.full());
+        m.allocate(b, 100 + b);
+    }
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.inFlight(), 8u);
+}
+
+TEST(MshrFile, SecondaryMissesMerge)
+{
+    MshrFile m(4);
+    Mshr &e = m.allocate(0x40, 30);
+    ++e.targets; // a second access to the in-flight line attaches
+    EXPECT_EQ(m.find(0x40)->targets, 2u);
+    EXPECT_EQ(m.inFlight(), 1u); // still one line in flight
+}
+
+TEST(MshrFile, RetireReadyReleasesAndFills)
+{
+    MshrFile m(4);
+    m.allocate(0x40, 10);
+    m.allocate(0x80, 20);
+    std::vector<std::uint64_t> filled;
+    m.retireReady(15, [&](std::uint64_t b) { filled.push_back(b); });
+    ASSERT_EQ(filled.size(), 1u);
+    EXPECT_EQ(filled[0], 0x40u);
+    EXPECT_EQ(m.find(0x40), nullptr);
+    EXPECT_NE(m.find(0x80), nullptr);
+    EXPECT_EQ(m.inFlight(), 1u);
+}
+
+TEST(MshrFile, AnyReadyBy)
+{
+    MshrFile m(2);
+    m.allocate(0x40, 50);
+    EXPECT_FALSE(m.anyReadyBy(49));
+    EXPECT_TRUE(m.anyReadyBy(50));
+}
+
+TEST(MshrFile, SlotsAreReusable)
+{
+    MshrFile m(2);
+    m.allocate(0x40, 10);
+    m.allocate(0x80, 10);
+    m.retireReady(10, [](std::uint64_t) {});
+    EXPECT_FALSE(m.full());
+    m.allocate(0xC0, 30);
+    m.allocate(0x100, 30);
+    EXPECT_TRUE(m.full());
+}
+
+TEST(MshrFile, ClearDropsEverything)
+{
+    MshrFile m(4);
+    m.allocate(0x40, 10);
+    m.allocate(0x80, 10);
+    m.clear();
+    EXPECT_EQ(m.inFlight(), 0u);
+    EXPECT_EQ(m.find(0x40), nullptr);
+}
+
+TEST(MshrFileDeath, DoubleAllocatePanics)
+{
+    MshrFile m(4);
+    m.allocate(0x40, 10);
+    EXPECT_DEATH(m.allocate(0x40, 20), "");
+}
+
+TEST(MshrFileDeath, AllocateWhenFullPanics)
+{
+    MshrFile m(1);
+    m.allocate(0x40, 10);
+    EXPECT_DEATH(m.allocate(0x80, 20), "full");
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the set-associative / skewed cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.hh"
+#include "common/rng.hh"
+#include "index/factory.hh"
+
+namespace cac
+{
+namespace
+{
+
+std::unique_ptr<SetAssocCache>
+makeCache(IndexKind kind = IndexKind::Modulo,
+          WriteAllocate wa = WriteAllocate::Yes, bool wb = false,
+          const CacheGeometry &geom = CacheGeometry::paperL1_8k())
+{
+    return std::make_unique<SetAssocCache>(
+        geom, makeIndexFn(kind, geom.setBits(), geom.ways(), 14),
+        nullptr, wa, wb);
+}
+
+TEST(SetAssocCache, ColdMissThenHit)
+{
+    auto c = makeCache();
+    EXPECT_FALSE(c->access(0x1000, false).hit);
+    EXPECT_TRUE(c->access(0x1000, false).hit);
+    EXPECT_TRUE(c->access(0x101F, false).hit); // same 32B block
+    EXPECT_FALSE(c->access(0x1020, false).hit); // next block
+    EXPECT_EQ(c->stats().loads, 4u);
+    EXPECT_EQ(c->stats().loadMisses, 2u);
+}
+
+TEST(SetAssocCache, TwoWaysHoldTwoConflictingBlocks)
+{
+    auto c = makeCache();
+    // Same set (4KB apart), two ways: both should stick.
+    c->access(0x0000, false);
+    c->access(0x1000, false);
+    EXPECT_TRUE(c->access(0x0000, false).hit);
+    EXPECT_TRUE(c->access(0x1000, false).hit);
+}
+
+TEST(SetAssocCache, ThirdConflictingBlockEvictsLru)
+{
+    auto c = makeCache();
+    c->access(0x0000, false); // way A
+    c->access(0x1000, false); // way B
+    c->access(0x0000, false); // touch: 0x1000 is now LRU
+    auto r = c->access(0x2000, false); // evicts 0x1000
+    EXPECT_FALSE(r.hit);
+    ASSERT_TRUE(r.evictedAddr.has_value());
+    EXPECT_EQ(*r.evictedAddr, 0x1000u);
+    EXPECT_TRUE(c->access(0x0000, false).hit);
+    EXPECT_FALSE(c->access(0x1000, false).hit);
+}
+
+TEST(SetAssocCache, ProbeHasNoSideEffects)
+{
+    auto c = makeCache();
+    c->access(0x0000, false);
+    c->access(0x1000, false);
+    // Probing 0x0000 must not refresh its LRU position.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(c->probe(0x0000));
+    c->access(0x2000, false); // LRU is 0x0000 (probes didn't touch)
+    EXPECT_FALSE(c->probe(0x0000));
+    EXPECT_TRUE(c->probe(0x1000));
+    const CacheStats &s = c->stats();
+    EXPECT_EQ(s.loads, 3u); // probes not counted
+}
+
+TEST(SetAssocCache, InvalidateRemovesBlock)
+{
+    auto c = makeCache();
+    c->access(0x5000, false);
+    EXPECT_TRUE(c->invalidate(0x5008)); // same block
+    EXPECT_FALSE(c->probe(0x5000));
+    EXPECT_FALSE(c->invalidate(0x5000)); // already gone
+    EXPECT_EQ(c->stats().invalidations, 1u);
+}
+
+TEST(SetAssocCache, FlushEmptiesEverything)
+{
+    auto c = makeCache();
+    for (std::uint64_t a = 0; a < 8192; a += 32)
+        c->access(a, false);
+    c->flush();
+    for (std::uint64_t a = 0; a < 8192; a += 32)
+        EXPECT_FALSE(c->probe(a));
+}
+
+TEST(SetAssocCache, WriteNoAllocateSkipsFill)
+{
+    auto c = makeCache(IndexKind::Modulo, WriteAllocate::No);
+    auto r = c->access(0x3000, true);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.filled);
+    EXPECT_FALSE(c->probe(0x3000));
+    EXPECT_EQ(c->stats().storeMisses, 1u);
+}
+
+TEST(SetAssocCache, WriteAllocateFills)
+{
+    auto c = makeCache(IndexKind::Modulo, WriteAllocate::Yes);
+    c->access(0x3000, true);
+    EXPECT_TRUE(c->probe(0x3000));
+    EXPECT_TRUE(c->access(0x3000, true).hit);
+}
+
+TEST(SetAssocCache, WriteBackTracksDirtyEvictions)
+{
+    auto c = makeCache(IndexKind::Modulo, WriteAllocate::Yes, true);
+    c->access(0x0000, true);  // dirty fill
+    c->access(0x1000, false); // clean fill
+    EXPECT_TRUE(c->isDirty(0x0000));
+    EXPECT_FALSE(c->isDirty(0x1000));
+    c->access(0x0000, false); // touch so 0x1000 is LRU
+    auto r1 = c->access(0x2000, false); // evicts clean 0x1000
+    EXPECT_FALSE(r1.evictedDirty);
+    c->access(0x2000, false);
+    auto r2 = c->access(0x3000, false); // evicts dirty 0x0000
+    ASSERT_TRUE(r2.evictedAddr.has_value());
+    EXPECT_EQ(*r2.evictedAddr, 0x0000u);
+    EXPECT_TRUE(r2.evictedDirty);
+    EXPECT_EQ(c->stats().writebacks, 1u);
+}
+
+TEST(SetAssocCache, FillBypassesAccessCounters)
+{
+    auto c = makeCache();
+    c->fill(0x4000);
+    EXPECT_TRUE(c->probe(0x4000));
+    EXPECT_EQ(c->stats().loads, 0u);
+    EXPECT_EQ(c->stats().fills, 1u);
+}
+
+TEST(SetAssocCache, SkewedPlacementStoresFullBlockAddress)
+{
+    // Under a skewed index the same block maps to different sets per
+    // way; hits must still be exact-block matches.
+    auto c = makeCache(IndexKind::IPolySkew);
+    Rng rng(1);
+    std::vector<std::uint64_t> addrs;
+    for (int i = 0; i < 64; ++i)
+        addrs.push_back(rng.nextBelow(1 << 22) & ~31ull);
+    for (auto a : addrs)
+        c->access(a, false);
+    // No false hits: a fresh distinct block must miss.
+    std::uint64_t fresh = (1ull << 23) | 0x40;
+    EXPECT_FALSE(c->access(fresh, false).hit);
+}
+
+TEST(SetAssocCache, SkewedAbsorbsConventionalConflicts)
+{
+    // Three blocks congruent mod 4KB thrash a conventional 2-way set
+    // but coexist under skewed I-Poly placement.
+    auto conv = makeCache(IndexKind::Modulo);
+    auto poly = makeCache(IndexKind::IPolySkew);
+    const std::uint64_t addrs[] = {0x0000, 0x1000, 0x2000};
+    for (int round = 0; round < 50; ++round)
+        for (auto a : addrs) {
+            conv->access(a, false);
+            poly->access(a, false);
+        }
+    EXPECT_GT(conv->stats().loadMisses, 100u); // thrash
+    EXPECT_LE(poly->stats().loadMisses, 6u);   // compulsory-ish
+}
+
+TEST(SetAssocCache, CapacityBound)
+{
+    // Never hold more distinct blocks than the geometry allows.
+    auto c = makeCache(IndexKind::IPolySkew);
+    for (std::uint64_t a = 0; a < (1 << 20); a += 32)
+        c->access(a, false);
+    unsigned resident = 0;
+    for (std::uint64_t a = 0; a < (1 << 20); a += 32)
+        resident += c->probe(a);
+    EXPECT_LE(resident, c->geometry().numBlocks());
+}
+
+TEST(SetAssocCache, StatsResetKeepsContents)
+{
+    auto c = makeCache();
+    c->access(0x7000, false);
+    c->resetStats();
+    EXPECT_EQ(c->stats().loads, 0u);
+    EXPECT_TRUE(c->probe(0x7000));
+}
+
+TEST(SetAssocCache, NameIncludesGeometryAndScheme)
+{
+    auto c = makeCache(IndexKind::IPolySkew);
+    EXPECT_EQ(c->name(), "8KB 2-way 32B a2-Hp-Sk");
+}
+
+/** Replacement-policy sweep: the cache works with every policy. */
+class SetAssocRepl : public ::testing::TestWithParam<ReplKind>
+{
+};
+
+TEST_P(SetAssocRepl, HitsAndCapacityHoldForEveryPolicy)
+{
+    const CacheGeometry geom = CacheGeometry::paperL1_8k();
+    auto cache = std::make_unique<SetAssocCache>(
+        geom, makeIndexFn(IndexKind::Modulo, geom.setBits(),
+                          geom.ways(), 14),
+        makeReplacementPolicy(GetParam(), geom.numSets(), geom.ways()));
+    // A working set half the cache must fully hit in steady state.
+    for (int round = 0; round < 4; ++round)
+        for (std::uint64_t a = 0; a < 4096; a += 32)
+            cache->access(a, false);
+    const CacheStats &s = cache->stats();
+    EXPECT_EQ(s.loadMisses, 128u); // compulsory only
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SetAssocRepl,
+                         ::testing::Values(ReplKind::Lru, ReplKind::Fifo,
+                                           ReplKind::Random, ReplKind::Nru,
+                                           ReplKind::TreePlru));
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(Bits, IsPowerOf2RecognizesPowers)
+{
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << i)) << i;
+}
+
+TEST(Bits, IsPowerOf2RejectsZero)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+}
+
+TEST(Bits, IsPowerOf2RejectsComposites)
+{
+    for (std::uint64_t x : {3ull, 5ull, 6ull, 7ull, 12ull, 1023ull,
+                            (1ull << 40) + 1}) {
+        EXPECT_FALSE(isPowerOf2(x)) << x;
+    }
+}
+
+TEST(Bits, FloorLog2ExactPowers)
+{
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(floorLog2(std::uint64_t{1} << i), i);
+}
+
+TEST(Bits, FloorLog2Intermediate)
+{
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(5), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(0), 0u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1 << 20), 20u);
+    EXPECT_EQ(ceilLog2((1 << 20) + 1), 21u);
+}
+
+TEST(Bits, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(32), 0xFFFFFFFFull);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractFields)
+{
+    const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+    EXPECT_EQ(bits(v, 0, 4), 0xDull);
+    EXPECT_EQ(bits(v, 4, 8), 0x00ull);
+    EXPECT_EQ(bits(v, 32, 16), 0xBEEFull);
+    EXPECT_EQ(bits(v, 48, 16), 0xDEADull);
+    EXPECT_EQ(bits(v, 0, 64), v);
+}
+
+TEST(Bits, ExtractBeyondWordIsZero)
+{
+    EXPECT_EQ(bits(0xFFFF, 64, 4), 0u);
+    EXPECT_EQ(bits(0xFFFF, 100, 4), 0u);
+}
+
+TEST(Bits, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xFF), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t{0}), 64u);
+    EXPECT_EQ(popCount(0x5555555555555555ull), 32u);
+}
+
+TEST(Bits, ParityMatchesPopcountLsb)
+{
+    std::uint64_t x = 0x123456789ABCDEFull;
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(parity(x), popCount(x) & 1u);
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+    }
+}
+
+TEST(Bits, MsbIndex)
+{
+    EXPECT_EQ(msbIndex(1), 0u);
+    EXPECT_EQ(msbIndex(0x80), 7u);
+    EXPECT_EQ(msbIndex(0x80000000ull), 31u);
+    EXPECT_EQ(msbIndex(~std::uint64_t{0}), 63u);
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the deterministic xorshift* generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u); // xorshift with zero state sticks at zero
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng r(7);
+    std::uint64_t first = r.next();
+    r.seed(7);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversSmallRange)
+{
+    Rng r(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.nextBelow(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceTracksProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, MatchesClosedForm)
+{
+    RunningStat s;
+    const double xs[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 2.0); // population variance
+    EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.0));
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, StableForLargeOffsets)
+{
+    // Welford should not lose precision with a big common offset.
+    RunningStat s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(1e9 + (i % 2));
+    EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(Means, ArithmeticMean)
+{
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(Means, GeometricMean)
+{
+    EXPECT_EQ(geometricMean({}), 0.0);
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    // geo mean <= arith mean (AM-GM)
+    std::vector<double> xs = {1.1, 0.9, 2.3, 1.7};
+    EXPECT_LE(geometricMean(xs), arithmeticMean(xs));
+}
+
+TEST(Means, PopulationStddev)
+{
+    EXPECT_EQ(populationStddev({1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(populationStddev({1.0, 3.0}), 1.0);
+}
+
+TEST(Histogram, BinsAndEdges)
+{
+    Histogram h(0.0, 1.0, 10);
+    EXPECT_EQ(h.numBins(), 10u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 0.1);
+    EXPECT_DOUBLE_EQ(h.binLo(9), 0.9);
+}
+
+TEST(Histogram, AddPlacesSamples)
+{
+    Histogram h(0.0, 1.0, 10);
+    h.add(0.05); // bin 0
+    h.add(0.15); // bin 1
+    h.add(0.95); // bin 9
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0); // clamps to bin 0
+    h.add(2.0);  // clamps to last bin
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, CountAtLeast)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (double x : {0.05, 0.55, 0.65, 0.95})
+        h.add(x);
+    EXPECT_EQ(h.countAtLeast(0.5), 3u);
+    EXPECT_EQ(h.countAtLeast(0.9), 1u);
+    EXPECT_EQ(h.countAtLeast(0.0), 4u);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.1);
+    h.add(0.9);
+    std::string out = h.render("test");
+    EXPECT_NE(out.find("test"), std::string::npos);
+    EXPECT_NE(out.find("2 samples"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace cac

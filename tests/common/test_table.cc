@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t;
+    t.header({"name", "ipc"});
+    t.beginRow();
+    t.cell("swim");
+    t.cell(1.53, 2);
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("swim"), std::string::npos);
+    EXPECT_NE(out.find("1.53"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.beginRow();
+    t.cell("longer-name");
+    t.cell("x");
+    std::string out = t.render();
+    // Header row must be padded at least as wide as the longest cell.
+    auto first_line_len = out.find('\n');
+    ASSERT_NE(first_line_len, std::string::npos);
+    EXPECT_GE(first_line_len, std::string("longer-name").size());
+}
+
+TEST(TextTable, NumericPrecision)
+{
+    TextTable t;
+    t.beginRow();
+    t.cell(3.14159, 3);
+    t.cell(static_cast<long long>(42));
+    std::string out = t.render();
+    EXPECT_NE(out.find("3.142"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorEmitsRule)
+{
+    TextTable t;
+    t.header({"x"});
+    t.beginRow();
+    t.cell("a");
+    t.separator();
+    t.beginRow();
+    t.cell("b");
+    std::string out = t.render();
+    // Two rules: one under the header, one at the separator.
+    std::size_t dashes = 0, pos = 0;
+    while ((pos = out.find("---", pos)) != std::string::npos) {
+        ++dashes;
+        pos = out.find('\n', pos);
+    }
+    EXPECT_EQ(dashes, 2u);
+}
+
+} // anonymous namespace
+} // namespace cac

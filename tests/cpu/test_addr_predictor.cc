@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the memory address predictor (section 4 semantics: last
+ * address + stride + 2-bit confidence, untagged direct-mapped table).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/addr_predictor.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(AddrPredictor, LearnsConstantStride)
+{
+    AddrPredictor ap(1024);
+    const std::uint32_t pc = 0x40;
+    std::uint64_t addr = 0x10000;
+    // Train on a stride-64 stream.
+    for (int i = 0; i < 6; ++i) {
+        ap.update(pc, addr);
+        addr += 64;
+    }
+    auto p = ap.predict(pc);
+    EXPECT_TRUE(p.confident);
+    EXPECT_EQ(p.addr, addr);
+}
+
+TEST(AddrPredictor, NotConfidentWhileCold)
+{
+    AddrPredictor ap(1024);
+    EXPECT_FALSE(ap.predict(0x40).confident);
+    ap.update(0x40, 0x1000);
+    EXPECT_FALSE(ap.predict(0x40).confident);
+}
+
+TEST(AddrPredictor, ConfidenceRequiresTwoCorrectPredictions)
+{
+    AddrPredictor ap(1024);
+    const std::uint32_t pc = 0x80;
+    ap.update(pc, 0x1000); // stride unknown (0), addr recorded
+    ap.update(pc, 0x1008); // predicted 0x1000, wrong; stride := 8
+    ap.update(pc, 0x1010); // predicted 0x1010, correct; ctr 1
+    EXPECT_FALSE(ap.predict(pc).confident);
+    ap.update(pc, 0x1018); // correct; ctr 2 -> MSB set
+    EXPECT_TRUE(ap.predict(pc).confident);
+}
+
+TEST(AddrPredictor, StrideFrozenWhileConfident)
+{
+    // Paper: "the stride field is only updated when the counter goes
+    // below 10b". One deviating address must not retrain the stride.
+    AddrPredictor ap(1024);
+    const std::uint32_t pc = 0xC0;
+    std::uint64_t addr = 0x2000;
+    for (int i = 0; i < 8; ++i) {
+        ap.update(pc, addr);
+        addr += 8;
+    }
+    EXPECT_TRUE(ap.predict(pc).confident);
+    // One irregular access (e.g. a boundary): counter drops to 2-1=...,
+    // stride stays 8 because the counter is still >= 10b after one
+    // decrement from 3.
+    ap.update(pc, 0x9000);
+    auto p = ap.predict(pc);
+    EXPECT_EQ(p.addr, 0x9000u + 8); // last addr updated, stride kept
+}
+
+TEST(AddrPredictor, RetrainsAfterRepeatedMisses)
+{
+    AddrPredictor ap(1024);
+    const std::uint32_t pc = 0x100;
+    std::uint64_t addr = 0x3000;
+    for (int i = 0; i < 8; ++i) {
+        ap.update(pc, addr);
+        addr += 8;
+    }
+    // Switch to stride 256: after enough misses confidence drops below
+    // 10b and the new stride is learned, then confidence recovers.
+    addr = 0x100000;
+    for (int i = 0; i < 8; ++i) {
+        ap.update(pc, addr);
+        addr += 256;
+    }
+    auto p = ap.predict(pc);
+    EXPECT_TRUE(p.confident);
+    EXPECT_EQ(p.addr, addr);
+}
+
+TEST(AddrPredictor, UntaggedTableAliases)
+{
+    AddrPredictor ap(64); // index = (pc>>2) & 63
+    std::uint64_t addr = 0x4000;
+    for (int i = 0; i < 6; ++i) {
+        ap.update(0x0, addr);
+        addr += 8;
+    }
+    // A colliding pc sees the same entry (no tags, by design).
+    auto p = ap.predict(64 * 4);
+    EXPECT_TRUE(p.confident);
+}
+
+TEST(AddrPredictor, CoverageAndAccuracyStats)
+{
+    AddrPredictor ap(1024);
+    std::uint64_t addr = 0x5000;
+    for (int i = 0; i < 100; ++i) {
+        ap.update(0x40, addr);
+        addr += 16;
+    }
+    // After warmup nearly every reference was confidently predicted.
+    EXPECT_GT(ap.coverage(), 0.9);
+    EXPECT_GT(ap.accuracy(), 0.95);
+    EXPECT_EQ(ap.lookups(), 100u);
+}
+
+TEST(AddrPredictor, RandomStreamGetsLowCoverage)
+{
+    AddrPredictor ap(1024);
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        ap.update(0x40, x);
+    }
+    EXPECT_LT(ap.coverage(), 0.05);
+}
+
+TEST(AddrPredictor, PaperCoverageBallpark)
+{
+    // Reference [9]: ~75% of loads predictable with this scheme. A mix
+    // of strided PCs (predictable) and one random PC should land in
+    // that region by construction.
+    AddrPredictor ap(1024);
+    std::uint64_t a0 = 0, a1 = 1 << 20, x = 999;
+    for (int i = 0; i < 3000; ++i) {
+        ap.update(0x40, a0 += 8);   // predictable
+        ap.update(0x44, a1 += 32);  // predictable
+        if (i % 2 == 0) {
+            x = x * 6364136223846793005ull + 1;
+            ap.update(0x48, x);     // unpredictable, half the rate
+        }
+    }
+    EXPECT_GT(ap.coverage(), 0.6);
+    EXPECT_LT(ap.coverage(), 0.9);
+}
+
+} // anonymous namespace
+} // namespace cac

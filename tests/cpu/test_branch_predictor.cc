@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the bimodal branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(2048);
+    for (int i = 0; i < 4; ++i)
+        bp.update(0x100, true);
+    EXPECT_TRUE(bp.predict(0x100));
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(2048);
+    for (int i = 0; i < 4; ++i)
+        bp.update(0x100, false);
+    EXPECT_FALSE(bp.predict(0x100));
+}
+
+TEST(BranchPredictor, HysteresisSurvivesOneAnomaly)
+{
+    BranchPredictor bp(2048);
+    for (int i = 0; i < 4; ++i)
+        bp.update(0x100, true); // saturate at 3
+    bp.update(0x100, false);    // one not-taken drops to 2
+    EXPECT_TRUE(bp.predict(0x100));
+    bp.update(0x100, false);    // second one flips
+    EXPECT_FALSE(bp.predict(0x100));
+}
+
+TEST(BranchPredictor, CountersSaturate)
+{
+    BranchPredictor bp(64);
+    for (int i = 0; i < 100; ++i)
+        bp.update(0x40, true);
+    // Still takes exactly two not-takens to flip.
+    bp.update(0x40, false);
+    EXPECT_TRUE(bp.predict(0x40));
+    bp.update(0x40, false);
+    EXPECT_FALSE(bp.predict(0x40));
+}
+
+TEST(BranchPredictor, DistinctPcsAreIndependent)
+{
+    BranchPredictor bp(2048);
+    for (int i = 0; i < 4; ++i) {
+        bp.update(0x100, true);
+        bp.update(0x104, false);
+    }
+    EXPECT_TRUE(bp.predict(0x100));
+    EXPECT_FALSE(bp.predict(0x104));
+}
+
+TEST(BranchPredictor, AliasingWrapsAtTableSize)
+{
+    BranchPredictor bp(64); // entries indexed by (pc>>2) & 63
+    for (int i = 0; i < 4; ++i)
+        bp.update(0x0, true);
+    // pc 0x100 maps to (0x100>>2)&63 = 0; same entry.
+    EXPECT_TRUE(bp.predict(0x100));
+}
+
+TEST(BranchPredictor, AccuracyAccounting)
+{
+    BranchPredictor bp(2048);
+    bp.recordOutcome(true);
+    bp.recordOutcome(true);
+    bp.recordOutcome(false);
+    EXPECT_EQ(bp.predictions(), 3u);
+    EXPECT_EQ(bp.mispredictions(), 1u);
+    EXPECT_NEAR(bp.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BranchPredictor, LoopPatternAccuracy)
+{
+    // A 100-iteration loop branch: bimodal mispredicts only the exit.
+    BranchPredictor bp(2048);
+    int mispredicts = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            const bool taken = i != 99;
+            mispredicts += bp.predict(0x200) != taken;
+            bp.update(0x200, taken);
+        }
+    }
+    EXPECT_LE(mispredicts, 25); // ~2 per round after warmup
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the CPU configuration presets (the Table 2 columns and the
+ * Table 1 parameters they encode).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/config.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(CpuConfig, PaperDefaultMatchesSection4)
+{
+    CpuConfig cfg = CpuConfig::paperDefault();
+    EXPECT_EQ(cfg.fetchWidth, 4u);   // four-way superscalar
+    EXPECT_EQ(cfg.robEntries, 32u);  // reorder buffer
+    EXPECT_EQ(cfg.intPhysRegs, 64u); // two 64-entry register files
+    EXPECT_EQ(cfg.fpPhysRegs, 64u);
+    EXPECT_EQ(cfg.bhtEntries, 2048u); // 2K-entry BHT
+    EXPECT_EQ(cfg.cacheBytes, 8u * 1024);
+    EXPECT_EQ(cfg.blockBytes, 32u);
+    EXPECT_EQ(cfg.cacheWays, 2u);
+    EXPECT_EQ(cfg.hitCycles, 2u);
+    EXPECT_EQ(cfg.missPenaltyCycles, 20u);
+    EXPECT_EQ(cfg.mshrs, 8u);     // 8 outstanding misses
+    EXPECT_EQ(cfg.memPorts, 2u);  // two memory ports
+    EXPECT_EQ(cfg.busCyclesPerLine, 4u); // 32B line on a 64-bit bus
+    EXPECT_EQ(cfg.addrPredEntries, 1024u); // 1K-entry predictor
+    EXPECT_EQ(cfg.indexKind, IndexKind::Modulo);
+    EXPECT_FALSE(cfg.xorInCriticalPath);
+    EXPECT_FALSE(cfg.addressPrediction);
+}
+
+TEST(CpuConfig, HashBitsExcludeBlockOffset)
+{
+    CpuConfig cfg = CpuConfig::paperDefault();
+    EXPECT_EQ(cfg.hashAddressBits, 19u); // 19 LSBs per section 3.4
+    EXPECT_EQ(cfg.hashBlockBits(), 14u); // minus 5 offset bits
+}
+
+TEST(CpuConfig, TableConfigColumns)
+{
+    EXPECT_EQ(CpuConfig::tableConfig("16k-conv").cacheBytes, 16u * 1024);
+    EXPECT_EQ(CpuConfig::tableConfig("8k-conv").cacheBytes, 8u * 1024);
+    EXPECT_TRUE(CpuConfig::tableConfig("8k-conv-pred").addressPrediction);
+
+    CpuConfig nocp = CpuConfig::tableConfig("8k-ipoly-nocp");
+    EXPECT_EQ(nocp.indexKind, IndexKind::IPolySkew);
+    EXPECT_FALSE(nocp.xorInCriticalPath);
+
+    CpuConfig cp = CpuConfig::tableConfig("8k-ipoly-cp");
+    EXPECT_TRUE(cp.xorInCriticalPath);
+    EXPECT_FALSE(cp.addressPrediction);
+
+    CpuConfig cpp = CpuConfig::tableConfig("8k-ipoly-cp-pred");
+    EXPECT_TRUE(cpp.xorInCriticalPath);
+    EXPECT_TRUE(cpp.addressPrediction);
+}
+
+TEST(CpuConfig, L1GeometryDerived)
+{
+    CacheGeometry geom = CpuConfig::tableConfig("16k-conv").l1Geometry();
+    EXPECT_EQ(geom.numSets(), 256u);
+    EXPECT_EQ(geom.setBits(), 8u);
+}
+
+TEST(CpuConfig, ToStringMentionsOptions)
+{
+    CpuConfig cfg = CpuConfig::tableConfig("8k-ipoly-cp-pred");
+    const std::string s = cfg.toString();
+    EXPECT_NE(s.find("Hp-Sk"), std::string::npos);
+    EXPECT_NE(s.find("xor-in-cp"), std::string::npos);
+    EXPECT_NE(s.find("addr-pred"), std::string::npos);
+}
+
+TEST(CpuConfigDeath, UnknownColumnIsFatal)
+{
+    EXPECT_EXIT((void)CpuConfig::tableConfig("32k-magic"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the Table-1 functional-unit pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/func_units.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(FuncUnits, Table1Latencies)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::IntMul), 9u);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 67u);
+    EXPECT_EQ(opLatency(OpClass::FpAdd), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpMul), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 16u);
+    EXPECT_EQ(opLatency(OpClass::FpSqrt), 35u);
+    EXPECT_EQ(opLatency(OpClass::Load), 1u);  // EA stage only
+    EXPECT_EQ(opLatency(OpClass::Store), 1u);
+}
+
+TEST(FuncUnits, Table1RepeatRates)
+{
+    EXPECT_EQ(opRepeatRate(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opRepeatRate(OpClass::IntMul), 1u); // pipelined
+    EXPECT_EQ(opRepeatRate(OpClass::IntDiv), 67u);
+    EXPECT_EQ(opRepeatRate(OpClass::FpDiv), 16u);
+    EXPECT_EQ(opRepeatRate(OpClass::FpSqrt), 35u);
+}
+
+TEST(FuncUnits, ClassAssignment)
+{
+    EXPECT_EQ(fuClassFor(OpClass::Branch), FuClass::SimpleInt);
+    EXPECT_EQ(fuClassFor(OpClass::IntMul), FuClass::ComplexInt);
+    EXPECT_EQ(fuClassFor(OpClass::IntDiv), FuClass::ComplexInt);
+    EXPECT_EQ(fuClassFor(OpClass::Load), FuClass::EffAddr);
+    EXPECT_EQ(fuClassFor(OpClass::Store), FuClass::EffAddr);
+    EXPECT_EQ(fuClassFor(OpClass::FpDiv), FuClass::FpDivSqrt);
+    EXPECT_EQ(fuClassFor(OpClass::FpSqrt), FuClass::FpDivSqrt);
+}
+
+TEST(FuncUnits, SingleSimpleIntUnitPerCycle)
+{
+    FuncUnitPool pool;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 0));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntAlu, 0)); // one unit
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 1));  // repeat rate 1
+}
+
+TEST(FuncUnits, TwoEffectiveAddressUnits)
+{
+    FuncUnitPool pool;
+    EXPECT_TRUE(pool.tryIssue(OpClass::Load, 0));
+    EXPECT_TRUE(pool.tryIssue(OpClass::Store, 0));
+    EXPECT_FALSE(pool.tryIssue(OpClass::Load, 0)); // both busy
+    EXPECT_TRUE(pool.tryIssue(OpClass::Load, 1));
+}
+
+TEST(FuncUnits, DividerBlocksForRepeatInterval)
+{
+    FuncUnitPool pool;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntDiv, 0));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntDiv, 1));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntDiv, 66));
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntDiv, 67));
+}
+
+TEST(FuncUnits, DividerAlsoBlocksMultiplier)
+{
+    // Multiply and divide share the single complex-integer unit.
+    FuncUnitPool pool;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntDiv, 0));
+    EXPECT_FALSE(pool.tryIssue(OpClass::IntMul, 10));
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntMul, 67));
+}
+
+TEST(FuncUnits, PipelinedMultiplierSustainsOnePerCycle)
+{
+    FuncUnitPool pool;
+    for (std::uint64_t c = 0; c < 20; ++c)
+        EXPECT_TRUE(pool.tryIssue(OpClass::IntMul, c)) << c;
+}
+
+TEST(FuncUnits, FpDivAndSqrtShareTheUnit)
+{
+    FuncUnitPool pool;
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpSqrt, 0));
+    EXPECT_FALSE(pool.tryIssue(OpClass::FpDiv, 20));
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpDiv, 35));
+}
+
+TEST(FuncUnits, IndependentClassesDoNotInterfere)
+{
+    FuncUnitPool pool;
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntAlu, 0));
+    EXPECT_TRUE(pool.tryIssue(OpClass::IntMul, 0));
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpAdd, 0));
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpMul, 0));
+    EXPECT_TRUE(pool.tryIssue(OpClass::FpDiv, 0));
+    EXPECT_TRUE(pool.tryIssue(OpClass::Load, 0));
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the timed, lockup-free L1 data cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/timing_cache.hh"
+
+namespace cac
+{
+namespace
+{
+
+CpuConfig
+baseConfig()
+{
+    return CpuConfig::paperDefault();
+}
+
+TEST(TimingCache, HitLatencyIsTwoCycles)
+{
+    TimingCache c(baseConfig());
+    (void)c.load(0x1000, 0); // cold miss fills
+    auto t = c.load(0x1000, 100);
+    EXPECT_TRUE(t.accepted);
+    EXPECT_FALSE(t.miss);
+    EXPECT_EQ(t.readyTick, 102u);
+}
+
+TEST(TimingCache, MissPaysHitPlusPenalty)
+{
+    TimingCache c(baseConfig());
+    auto t = c.load(0x1000, 10);
+    EXPECT_TRUE(t.miss);
+    EXPECT_EQ(t.readyTick, 10u + 2 + 20);
+}
+
+TEST(TimingCache, SecondaryMissMergesWithInFlightLine)
+{
+    TimingCache c(baseConfig());
+    auto t1 = c.load(0x1000, 0);   // primary miss, ready at 22
+    auto t2 = c.load(0x1008, 1);   // same line: merge
+    EXPECT_TRUE(t1.miss);
+    EXPECT_FALSE(t2.miss); // line miss counted once (Tables 2-3 metric)
+    EXPECT_EQ(t2.readyTick, t1.readyTick);
+}
+
+TEST(TimingCache, EightOutstandingMissesMax)
+{
+    TimingCache c(baseConfig());
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(c.load(i * 0x1000, 0).accepted);
+    EXPECT_FALSE(c.wouldAccept(0x9000, 0));
+    auto t = c.load(0x9000, 0);
+    EXPECT_FALSE(t.accepted);
+}
+
+TEST(TimingCache, MshrsFreeAfterFillCompletes)
+{
+    TimingCache c(baseConfig());
+    for (std::uint64_t i = 0; i < 8; ++i)
+        (void)c.load(i * 0x1000, 0);
+    // All fills complete by tick 22 + bus queueing; far later all slots
+    // are free again.
+    EXPECT_TRUE(c.wouldAccept(0x9000, 100));
+    auto t = c.load(0x9000, 100);
+    EXPECT_TRUE(t.accepted);
+    EXPECT_TRUE(t.miss);
+}
+
+TEST(TimingCache, BusSerializesLineFills)
+{
+    // Two simultaneous misses: the second line transfer queues behind
+    // the first on the 64-bit bus (4 cycles per 32B line).
+    TimingCache c(baseConfig());
+    auto t1 = c.load(0x1000, 0);
+    auto t2 = c.load(0x2000, 0);
+    EXPECT_EQ(t1.readyTick, 22u);
+    EXPECT_GE(t2.readyTick, t1.readyTick); // queued behind
+}
+
+TEST(TimingCache, BusSaturationDelaysManyMisses)
+{
+    TimingCache c(baseConfig());
+    std::uint64_t last = 0;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        last = c.load(i * 0x1000, 0).readyTick;
+    // 8 transfers x 4 cycles each cannot finish before 32.
+    EXPECT_GE(last, 32u);
+}
+
+TEST(TimingCache, WriteThroughNoAllocate)
+{
+    TimingCache c(baseConfig());
+    c.storeCommit(0x3000, 0);
+    EXPECT_FALSE(c.array().probe(0x3000)); // no allocation
+    // A store to a resident line updates it and stays resident.
+    (void)c.load(0x4000, 0);
+    c.storeCommit(0x4000, 50);
+    EXPECT_TRUE(c.array().probe(0x4000));
+}
+
+TEST(TimingCache, StoresOccupyTheBus)
+{
+    TimingCache c(baseConfig());
+    const std::uint64_t done1 = c.storeCommit(0x3000, 10);
+    const std::uint64_t done2 = c.storeCommit(0x3008, 10);
+    EXPECT_EQ(done1, 11u);
+    EXPECT_EQ(done2, 12u); // serialized behind the first
+}
+
+TEST(TimingCache, LoadMissRatioTracksFunctionalArray)
+{
+    TimingCache c(baseConfig());
+    (void)c.load(0x1000, 0);
+    (void)c.load(0x1000, 100);
+    (void)c.load(0x2000, 200);
+    EXPECT_EQ(c.stats().loads, 3u);
+    EXPECT_EQ(c.stats().loadMisses, 2u);
+    EXPECT_NEAR(c.loadMissRatioPct(), 66.7, 0.1);
+}
+
+TEST(TimingCache, IPolyConfigUsesPolynomialPlacement)
+{
+    CpuConfig cfg = CpuConfig::tableConfig("8k-ipoly-nocp");
+    TimingCache c(cfg);
+    // Three 4KB-congruent lines coexist under skewed I-Poly.
+    for (int round = 0; round < 10; ++round)
+        for (std::uint64_t a : {0x0000ull, 0x1000ull, 0x2000ull})
+            (void)c.load(a, round * 1000);
+    EXPECT_LE(c.stats().loadMisses, 6u);
+}
+
+TEST(TimingCache, XorPenaltyIsCallersResponsibility)
+{
+    // The +1 XOR cycle is applied by the core via start_tick; the
+    // timing cache itself charges identical latency.
+    TimingCache c(baseConfig());
+    (void)c.load(0x1000, 0);
+    EXPECT_EQ(c.load(0x1000, 50).readyTick, 52u);
+    EXPECT_EQ(c.load(0x1000, 51).readyTick, 53u);
+}
+
+} // anonymous namespace
+} // namespace cac

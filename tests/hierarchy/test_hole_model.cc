@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the analytic hole model of section 3.3 (equations vii-ix).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/hole_model.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(HoleModel, PaperExampleValue)
+{
+    // "an 8KB L1 cache and a 256KB L2 cache with 32 byte lines yield
+    //  P_H = 0.031": 256 vs 8192 blocks -> m1=8, m2=13.
+    HoleModel m = HoleModel::fromBlockCounts(256, 8192);
+    EXPECT_EQ(m.m1, 8u);
+    EXPECT_EQ(m.m2, 13u);
+    EXPECT_NEAR(m.holePerL2Miss(), 0.031, 0.0005);
+}
+
+TEST(HoleModel, ReplacedInL1IsSizeRatio)
+{
+    HoleModel m{8, 13};
+    EXPECT_DOUBLE_EQ(m.replacedInL1(), 1.0 / 32.0); // 2^(8-13)
+}
+
+TEST(HoleModel, InvalidationLeavesHoleNearOne)
+{
+    HoleModel m{8, 13};
+    EXPECT_DOUBLE_EQ(m.invalidationLeavesHole(), 255.0 / 256.0);
+}
+
+TEST(HoleModel, ProductIdentity)
+{
+    // P_H == P_r * P_d must hold exactly (eq. ix).
+    for (unsigned m1 = 4; m1 <= 10; ++m1) {
+        for (unsigned m2 = m1; m2 <= 16; ++m2) {
+            HoleModel m{m1, m2};
+            EXPECT_DOUBLE_EQ(m.holePerL2Miss(),
+                             m.replacedInL1()
+                                 * m.invalidationLeavesHole());
+        }
+    }
+}
+
+TEST(HoleModel, ClosedFormMatches)
+{
+    // P_H = (2^m1 - 1) / 2^m2.
+    HoleModel m{8, 13};
+    EXPECT_DOUBLE_EQ(m.holePerL2Miss(), 255.0 / 8192.0);
+}
+
+TEST(HoleModel, ShrinksWithL2Growth)
+{
+    double prev = 1.0;
+    for (unsigned m2 = 8; m2 <= 20; ++m2) {
+        HoleModel m{8, m2};
+        EXPECT_LT(m.holePerL2Miss(), prev + 1e-12);
+        prev = m.holePerL2Miss();
+    }
+}
+
+TEST(HoleModel, ExtraMissRatioScalesWithL2Misses)
+{
+    HoleModel m{8, 13};
+    EXPECT_DOUBLE_EQ(m.extraL1MissRatio(0.0), 0.0);
+    EXPECT_NEAR(m.extraL1MissRatio(0.10), 0.0031, 0.0001);
+}
+
+TEST(HoleModel, FromBlockCountsValidatesShape)
+{
+    HoleModel m = HoleModel::fromBlockCounts(256, 256);
+    EXPECT_EQ(m.m1, m.m2);
+    EXPECT_NEAR(m.holePerL2Miss(), 255.0 / 256.0, 1e-12);
+}
+
+TEST(HoleModelDeath, RejectsL2SmallerThanL1)
+{
+    EXPECT_DEATH(HoleModel::fromBlockCounts(512, 256), "");
+}
+
+} // anonymous namespace
+} // namespace cac

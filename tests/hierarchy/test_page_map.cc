@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the virtual-to-physical page mapping model.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/page_map.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(PageMap, PreservesPageOffset)
+{
+    PageMap pm(4096);
+    for (std::uint64_t v : {0x1234ull, 0xABCDEull, 0x7FFF123ull}) {
+        const std::uint64_t p = pm.translate(v);
+        EXPECT_EQ(p & 4095, v & 4095);
+    }
+}
+
+TEST(PageMap, TranslationIsStable)
+{
+    PageMap pm;
+    const std::uint64_t p1 = pm.translate(0x10000);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(pm.translate(0x10000 + i), p1 + i);
+}
+
+TEST(PageMap, DistinctPagesGetDistinctFrames)
+{
+    PageMap pm(4096, 1 << 20, 42);
+    std::set<std::uint64_t> frames;
+    for (std::uint64_t page = 0; page < 2000; ++page)
+        frames.insert(pm.translate(page * 4096) >> 12);
+    EXPECT_EQ(frames.size(), 2000u);
+    EXPECT_EQ(pm.mappedPages(), 2000u);
+}
+
+TEST(PageMap, DeterministicPerSeed)
+{
+    PageMap a(4096, 1 << 20, 7), b(4096, 1 << 20, 7);
+    for (std::uint64_t page = 0; page < 100; ++page)
+        EXPECT_EQ(a.translate(page << 12), b.translate(page << 12));
+}
+
+TEST(PageMap, SeedsChangeTheMap)
+{
+    PageMap a(4096, 1 << 20, 1), b(4096, 1 << 20, 2);
+    int same = 0;
+    for (std::uint64_t page = 0; page < 100; ++page)
+        same += a.translate(page << 12) == b.translate(page << 12);
+    EXPECT_LT(same, 5);
+}
+
+TEST(PageMap, MappingDecorrelatesCacheIndexBits)
+{
+    // The point of the model: virtual-address index bits above the page
+    // offset must not survive translation systematically.
+    PageMap pm(4096, 1 << 20, 9);
+    int preserved = 0;
+    const int n = 512;
+    for (std::uint64_t page = 0; page < n; ++page) {
+        const std::uint64_t v = page << 12;
+        const std::uint64_t p = pm.translate(v);
+        preserved += ((v >> 12) & 0x7) == ((p >> 12) & 0x7);
+    }
+    // Random agreement is 1/8; allow generous slack.
+    EXPECT_LT(preserved, n / 4);
+}
+
+TEST(PageMap, AliasSharesFrame)
+{
+    PageMap pm;
+    const std::uint64_t target = 0x40000;
+    const std::uint64_t alias = 0x90000;
+    pm.aliasTo(alias, target);
+    EXPECT_EQ(pm.translate(alias) >> 12, pm.translate(target) >> 12);
+    EXPECT_EQ(pm.translate(alias + 100) & 4095,
+              (alias + 100) & 4095u);
+}
+
+TEST(PageMap, LargePagesSupported)
+{
+    PageMap pm(256 * 1024); // section 3.1 option 2: 256KB pages
+    EXPECT_EQ(pm.pageBytes(), 256u * 1024);
+    const std::uint64_t v = 0x123456;
+    EXPECT_EQ(pm.translate(v) & (256 * 1024 - 1),
+              v & (256 * 1024 - 1));
+}
+
+} // anonymous namespace
+} // namespace cac

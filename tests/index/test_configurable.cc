@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the runtime-configurable AND-XOR index function (paper
+ * section 3.1, option 2: polynomial indexing only when page sizes
+ * allow, conventional otherwise, flushing on each switch).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.hh"
+#include "index/configurable.hh"
+#include "index/ipoly.hh"
+#include "poly/catalog.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(ConfigurableIndex, StartsConventional)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    EXPECT_FALSE(idx.polynomialMode());
+    EXPECT_FALSE(idx.isSkewed());
+    for (std::uint64_t block : {0ull, 127ull, 128ull, 0xABCDEull})
+        EXPECT_EQ(idx.index(block, 0), block & 127);
+}
+
+TEST(ConfigurableIndex, MatchesIPolyAfterLoading)
+{
+    ConfigurableIndex cfg(7, 2, 14);
+    cfg.setCatalogPolynomials(true);
+    IPolyIndex fixed(7, 2, 14, true);
+    for (std::uint64_t block = 0; block < 4096; block += 37) {
+        EXPECT_EQ(cfg.index(block, 0), fixed.index(block, 0));
+        EXPECT_EQ(cfg.index(block, 1), fixed.index(block, 1));
+    }
+    EXPECT_TRUE(cfg.polynomialMode());
+    EXPECT_TRUE(cfg.isSkewed());
+}
+
+TEST(ConfigurableIndex, RevertsToConventional)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    idx.setCatalogPolynomials(false);
+    idx.setConventional();
+    EXPECT_FALSE(idx.polynomialMode());
+    EXPECT_EQ(idx.index(0x1234, 1), 0x1234ull & 127);
+}
+
+TEST(ConfigurableIndex, GenerationBumpsOnEverySwitch)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    const auto g0 = idx.generation();
+    idx.setCatalogPolynomials(true);
+    EXPECT_GT(idx.generation(), g0);
+    const auto g1 = idx.generation();
+    idx.setConventional();
+    EXPECT_GT(idx.generation(), g1);
+    const auto g2 = idx.generation();
+    idx.setPolynomials({PolyCatalog::irreducible(7, 2),
+                        PolyCatalog::irreducible(7, 3)});
+    EXPECT_GT(idx.generation(), g2);
+}
+
+TEST(ConfigurableIndex, UnskewedWhenPolynomialsMatch)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    idx.setCatalogPolynomials(false);
+    EXPECT_TRUE(idx.polynomialMode());
+    EXPECT_FALSE(idx.isSkewed());
+}
+
+TEST(ConfigurableIndex, NameTracksMode)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    EXPECT_EQ(idx.name(), "a2-cfg");
+    idx.setCatalogPolynomials(true);
+    EXPECT_EQ(idx.name(), "a2-cfg-Hp-Sk");
+    idx.setCatalogPolynomials(false);
+    EXPECT_EQ(idx.name(), "a2-cfg-Hp");
+}
+
+TEST(ConfigurableIndexDeath, RejectsWrongDegree)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    EXPECT_EXIT(idx.setPolynomials({PolyCatalog::irreducible(8, 0),
+                                    PolyCatalog::irreducible(8, 1)}),
+                ::testing::ExitedWithCode(1), "degree");
+}
+
+TEST(ConfigurableIndexDeath, RejectsWrongCount)
+{
+    ConfigurableIndex idx(7, 2, 14);
+    EXPECT_EXIT(idx.setPolynomials({PolyCatalog::irreducible(7, 0)}),
+                ::testing::ExitedWithCode(1), "per way");
+}
+
+TEST(ConfigurableIndex, Option2FlowSwitchAndFlush)
+{
+    // The paper's O/S flow: start conventional (small pages), later
+    // enable polynomial indexing and flush, observe the conflict
+    // behaviour change; revert and flush again.
+    const CacheGeometry geom = CacheGeometry::paperL1_8k();
+    auto owned = std::make_unique<ConfigurableIndex>(7, 2, 14);
+    ConfigurableIndex *idx = owned.get();
+    SetAssocCache cache(geom, std::move(owned));
+
+    auto thrash = [&] {
+        cache.resetStats();
+        for (int round = 0; round < 40; ++round)
+            for (std::uint64_t a : {0x0000ull, 0x1000ull, 0x2000ull})
+                cache.access(a, false);
+        return cache.stats().loadMisses;
+    };
+
+    // Conventional: three 4KB-congruent blocks thrash.
+    EXPECT_GT(thrash(), 80u);
+
+    // Large pages detected: enable I-Poly, flush, rerun.
+    idx->setCatalogPolynomials(true);
+    cache.flush();
+    EXPECT_LE(thrash(), 6u);
+
+    // Small pages return: back to conventional + flush.
+    idx->setConventional();
+    cache.flush();
+    EXPECT_GT(thrash(), 80u);
+}
+
+} // anonymous namespace
+} // namespace cac

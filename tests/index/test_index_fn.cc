@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the placement-function implementations and factory.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "index/factory.hh"
+#include "index/ipoly.hh"
+#include "index/xor_skew.hh"
+#include "poly/catalog.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(ModuloIndex, SelectsLowBits)
+{
+    ModuloIndex idx(7, 2);
+    EXPECT_EQ(idx.index(0, 0), 0u);
+    EXPECT_EQ(idx.index(127, 1), 127u);
+    EXPECT_EQ(idx.index(128, 0), 0u);
+    EXPECT_EQ(idx.index(0x12345, 0), 0x12345ull & 127);
+}
+
+TEST(ModuloIndex, SameForAllWays)
+{
+    ModuloIndex idx(7, 4);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t block = rng.next();
+        for (unsigned w = 1; w < 4; ++w)
+            EXPECT_EQ(idx.index(block, w), idx.index(block, 0));
+    }
+    EXPECT_FALSE(idx.isSkewed());
+}
+
+TEST(XorSkewIndex, InRange)
+{
+    XorSkewIndex idx(7, 2, true);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t block = rng.next();
+        EXPECT_LT(idx.index(block, 0), 128u);
+        EXPECT_LT(idx.index(block, 1), 128u);
+    }
+}
+
+TEST(XorSkewIndex, WaysDifferWhenSkewed)
+{
+    XorSkewIndex idx(7, 2, true);
+    Rng rng(3);
+    int differing = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t block = rng.next();
+        differing += idx.index(block, 0) != idx.index(block, 1);
+    }
+    // Most blocks should land in different sets per way.
+    EXPECT_GT(differing, 800);
+    EXPECT_TRUE(idx.isSkewed());
+}
+
+TEST(XorSkewIndex, UnskewedWaysMatch)
+{
+    XorSkewIndex idx(7, 2, false);
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t block = rng.next();
+        EXPECT_EQ(idx.index(block, 0), idx.index(block, 1));
+    }
+    EXPECT_FALSE(idx.isSkewed());
+}
+
+TEST(XorSkewIndex, XorsTwoFields)
+{
+    XorSkewIndex idx(7, 1, false);
+    // block = low 7 bits ^ next 7 bits
+    const std::uint64_t block = (0x55ull << 7) | 0x2A;
+    EXPECT_EQ(idx.index(block, 0), 0x55ull ^ 0x2A);
+}
+
+TEST(IPolyIndex, InRangeAndDeterministic)
+{
+    IPolyIndex idx(7, 2, 14, true);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t block = rng.next();
+        const std::uint64_t s0 = idx.index(block, 0);
+        EXPECT_LT(s0, 128u);
+        EXPECT_EQ(idx.index(block, 0), s0);
+    }
+}
+
+TEST(IPolyIndex, SkewedUsesDistinctPolynomials)
+{
+    IPolyIndex idx(7, 2, 14, true);
+    EXPECT_NE(idx.polynomial(0), idx.polynomial(1));
+    EXPECT_TRUE(idx.isSkewed());
+
+    IPolyIndex same(7, 2, 14, false);
+    EXPECT_EQ(same.polynomial(0), same.polynomial(1));
+    EXPECT_FALSE(same.isSkewed());
+}
+
+TEST(IPolyIndex, MatchesXorMatrix)
+{
+    IPolyIndex idx(7, 2, 14, true);
+    Rng rng(6);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t block = rng.nextBelow(1 << 14);
+        for (unsigned w = 0; w < 2; ++w)
+            EXPECT_EQ(idx.index(block, w), idx.matrix(w).apply(block));
+    }
+}
+
+TEST(IPolyIndex, ExplicitPolynomials)
+{
+    std::vector<Gf2Poly> polys = {PolyCatalog::irreducible(7, 3),
+                                  PolyCatalog::irreducible(7, 5)};
+    IPolyIndex idx(polys, 14);
+    EXPECT_EQ(idx.polynomial(0), polys[0]);
+    EXPECT_EQ(idx.polynomial(1), polys[1]);
+    EXPECT_EQ(idx.setBits(), 7u);
+    EXPECT_EQ(idx.numWays(), 2u);
+}
+
+TEST(IPolyIndex, UniformDistribution)
+{
+    // Pseudo-random placement should spread random blocks about
+    // uniformly over the sets (chi-square-ish sanity bound).
+    IPolyIndex idx(7, 1, 14, false);
+    std::vector<unsigned> counts(128, 0);
+    Rng rng(7);
+    const int n = 128 * 200;
+    for (int i = 0; i < n; ++i)
+        ++counts[idx.index(rng.nextBelow(1 << 14), 0)];
+    for (unsigned c : counts) {
+        EXPECT_GT(c, 100u);
+        EXPECT_LT(c, 320u);
+    }
+}
+
+TEST(Factory, ParsesPaperLabels)
+{
+    EXPECT_EQ(parseIndexKind("a2"), IndexKind::Modulo);
+    EXPECT_EQ(parseIndexKind("a4"), IndexKind::Modulo);
+    EXPECT_EQ(parseIndexKind("mod"), IndexKind::Modulo);
+    EXPECT_EQ(parseIndexKind("a2-Hx"), IndexKind::Xor);
+    EXPECT_EQ(parseIndexKind("a2-Hx-Sk"), IndexKind::XorSkew);
+    EXPECT_EQ(parseIndexKind("a2-Hp"), IndexKind::IPoly);
+    EXPECT_EQ(parseIndexKind("a2-Hp-Sk"), IndexKind::IPolySkew);
+    EXPECT_EQ(parseIndexKind("Hp-Sk"), IndexKind::IPolySkew);
+}
+
+TEST(Factory, BuildsEveryKind)
+{
+    for (IndexKind kind : {IndexKind::Modulo, IndexKind::Xor,
+                           IndexKind::XorSkew, IndexKind::IPoly,
+                           IndexKind::IPolySkew}) {
+        auto fn = makeIndexFn(kind, 7, 2, 14);
+        ASSERT_NE(fn, nullptr);
+        EXPECT_EQ(fn->setBits(), 7u);
+        EXPECT_EQ(fn->numWays(), 2u);
+        EXPECT_LT(fn->index(0xABCDE, 0), 128u);
+    }
+}
+
+TEST(Factory, NamesRoundTrip)
+{
+    auto fn = makeIndexFn(IndexKind::IPolySkew, 7, 2, 14);
+    EXPECT_EQ(fn->name(), "a2-Hp-Sk");
+    EXPECT_EQ(parseIndexKind(fn->name()), IndexKind::IPolySkew);
+}
+
+} // anonymous namespace
+} // namespace cac

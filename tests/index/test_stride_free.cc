@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Property tests of the paper's central theoretical claim
+ * (section 2.1.2): under polynomial-modulus placement, "all strides of
+ * the form 2^k produce address sequences that are free from conflicts"
+ * — when the strided stream is partitioned into M-long sub-sequences
+ * (M = number of cache blocks), every sub-sequence maps to M distinct
+ * sets.
+ *
+ * The algebra: within an aligned window, two elements differ by
+ * (t1 XOR t2) * x^k with 0 < deg(t1 XOR t2) < m, and an irreducible P
+ * of degree m divides neither factor, so their residues differ. We
+ * verify this exhaustively for cache-sized parameters, plus a
+ * low-offset base term (which XORs in below the stride bits and cancels
+ * in differences), and contrast with conventional indexing which
+ * degenerates for every k >= m.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "index/factory.hh"
+#include "index/ipoly.hh"
+#include "poly/catalog.hh"
+
+namespace cac
+{
+namespace
+{
+
+/** (set_bits m, stride_log2 k) sweep parameter. */
+using StrideParam = std::tuple<unsigned, unsigned>;
+
+class StrideFreedom : public ::testing::TestWithParam<StrideParam>
+{
+};
+
+TEST_P(StrideFreedom, AlignedSubsequencesMapToDistinctSets)
+{
+    const auto [m, k] = GetParam();
+    const std::uint64_t sets = std::uint64_t{1} << m;
+    const unsigned input_bits = m + k + 1; // room for a full window
+    IPolyIndex idx(m, 1, input_bits, /*skewed=*/false);
+
+    // Partition the strided stream into M-long windows (window j holds
+    // elements jM..jM+M-1) and check each window's image is M distinct
+    // sets. A base offset below the stride does not disturb this.
+    for (std::uint64_t base : {std::uint64_t{0},
+                               (std::uint64_t{1} << k) - 1}) {
+        for (std::uint64_t window = 0; window < 2; ++window) {
+            std::set<std::uint64_t> seen;
+            for (std::uint64_t t = 0; t < sets; ++t) {
+                const std::uint64_t i = window * sets + t;
+                const std::uint64_t block = base + (i << k);
+                seen.insert(idx.index(block, 0));
+            }
+            EXPECT_EQ(seen.size(), sets)
+                << "m=" << m << " k=" << k << " base=" << base
+                << " window=" << window;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerOf2Strides, StrideFreedom,
+    ::testing::Combine(::testing::Values(5u, 6u, 7u, 8u),
+                       ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u)));
+
+TEST(StrideFreedomContrast, ConventionalDegeneratesForLargeStrides)
+{
+    // With stride 2^m blocks, conventional indexing maps *every*
+    // element to the same set — the worst case motivating the paper.
+    const unsigned m = 7;
+    auto conv = makeIndexFn(IndexKind::Modulo, m, 1);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        seen.insert(conv->index(i << m, 0));
+    EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(StrideFreedomContrast, IPolySpreadsTheSameStream)
+{
+    const unsigned m = 7;
+    IPolyIndex idx(m, 1, 14, false);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        seen.insert(idx.index(i << m, 0));
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(StrideFreedomContrast, HoldsForEveryDegree7Polynomial)
+{
+    // The conflict-freedom property holds for any irreducible modulus,
+    // not just the catalog's first: multiplication by x^k is injective
+    // in the field.
+    const unsigned m = 7;
+    for (std::size_t p = 0; p < PolyCatalog::countIrreducible(m); ++p) {
+        IPolyIndex idx({PolyCatalog::irreducible(m, p)}, 14);
+        std::set<std::uint64_t> seen;
+        for (std::uint64_t i = 0; i < 128; ++i)
+            seen.insert(idx.index(i << 5, 0));
+        EXPECT_EQ(seen.size(), 128u)
+            << PolyCatalog::irreducible(m, p).toString();
+    }
+}
+
+TEST(StrideFreedomContrast, ReduciblePolynomialBreaksTheGuarantee)
+{
+    // x^7 + x^3 (no constant term) is divisible by x: stride sequences
+    // can collide. This is why the modulus "for best performance will
+    // be an irreducible polynomial".
+    IPolyIndex idx({Gf2Poly{0x88}}, 14); // x^7 + x^3, reducible
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 128; ++i)
+        seen.insert(idx.index(i << 5, 0));
+    EXPECT_LT(seen.size(), 128u);
+}
+
+TEST(StrideFreedomContrast, OddStridesAreNotPathologicalForIPoly)
+{
+    // Beyond the provable 2^k case, no stride in a modest sweep should
+    // drive more than half the stream into one set.
+    const unsigned m = 7;
+    IPolyIndex idx(m, 1, 14, false);
+    for (std::uint64_t stride : {3ull, 5ull, 7ull, 9ull, 33ull, 65ull,
+                                 127ull, 129ull}) {
+        std::vector<unsigned> counts(1 << m, 0);
+        const int n = 64;
+        for (int i = 0; i < n; ++i)
+            ++counts[idx.index(i * stride, 0)];
+        for (unsigned c : counts)
+            EXPECT_LE(c, static_cast<unsigned>(n) / 2) << stride;
+    }
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the irreducible/primitive polynomial catalog.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "poly/catalog.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(PolyCatalog, CountsMatchNecklaceFormula)
+{
+    // Number of monic irreducible polynomials over GF(2):
+    // deg:   1  2  3  4  5  6  7   8   9   10
+    // count: 2  1  2  3  6  9  18  30  56  99
+    const std::size_t expected[] = {0, 2, 1, 2, 3, 6, 9, 18, 30, 56, 99};
+    for (unsigned deg = 1; deg <= 10; ++deg) {
+        EXPECT_EQ(PolyCatalog::countIrreducible(deg), expected[deg])
+            << "degree " << deg;
+        EXPECT_EQ(PolyCatalog::theoreticalIrreducibleCount(deg),
+                  expected[deg])
+            << "degree " << deg;
+    }
+}
+
+TEST(PolyCatalog, EnumeratedPolysAreIrreducible)
+{
+    for (unsigned deg = 2; deg <= 12; ++deg) {
+        const std::size_t n =
+            std::min<std::size_t>(PolyCatalog::countIrreducible(deg), 8);
+        for (std::size_t k = 0; k < n; ++k) {
+            Gf2Poly p = PolyCatalog::irreducible(deg, k);
+            EXPECT_EQ(p.degree(), static_cast<int>(deg));
+            EXPECT_TRUE(p.isIrreducible()) << p.toString();
+        }
+    }
+}
+
+TEST(PolyCatalog, EnumerationIsSortedAndDistinct)
+{
+    for (unsigned deg : {4u, 7u, 8u}) {
+        const std::size_t n = PolyCatalog::countIrreducible(deg);
+        std::set<std::uint64_t> seen;
+        std::uint64_t prev = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::uint64_t c =
+                PolyCatalog::irreducible(deg, k).coeffs();
+            EXPECT_GT(c, prev);
+            prev = c;
+            seen.insert(c);
+        }
+        EXPECT_EQ(seen.size(), n);
+    }
+}
+
+TEST(PolyCatalog, PrimitiveEntriesArePrimitive)
+{
+    for (unsigned deg = 2; deg <= 10; ++deg) {
+        Gf2Poly p = PolyCatalog::primitive(deg, 0);
+        EXPECT_TRUE(p.isPrimitive()) << p.toString();
+    }
+}
+
+TEST(PolyCatalog, ClassicPrimitivesVerify)
+{
+    // The hand-entered LFSR table must agree with the algebraic test.
+    for (unsigned deg = 1; deg <= 24; ++deg) {
+        Gf2Poly p = PolyCatalog::classicPrimitive(deg);
+        EXPECT_EQ(p.degree(), static_cast<int>(deg));
+        EXPECT_TRUE(p.isPrimitive())
+            << "degree " << deg << ": " << p.toString();
+    }
+}
+
+TEST(PolyCatalog, ClassicPrimitivesVerifyLargeDegrees)
+{
+    for (unsigned deg = 25; deg <= 32; ++deg) {
+        Gf2Poly p = PolyCatalog::classicPrimitive(deg);
+        EXPECT_EQ(p.degree(), static_cast<int>(deg));
+        EXPECT_TRUE(p.isPrimitive())
+            << "degree " << deg << ": " << p.toString();
+    }
+}
+
+TEST(PolyCatalog, Degree7HasEnoughForEightWays)
+{
+    // An 8-way skewed I-Poly cache with 128 sets needs 8 distinct
+    // degree-7 irreducible polynomials; there are 18.
+    EXPECT_GE(PolyCatalog::countIrreducible(7), 8u);
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit and property tests for GF(2) polynomial arithmetic — the
+ * mathematical foundation of I-Poly indexing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "poly/catalog.hh"
+#include "poly/gf2poly.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(Gf2Poly, DegreeConventions)
+{
+    EXPECT_EQ(Gf2Poly::zero().degree(), -1);
+    EXPECT_EQ(Gf2Poly::one().degree(), 0);
+    EXPECT_EQ(Gf2Poly::monomial(1).degree(), 1);
+    EXPECT_EQ(Gf2Poly{0x89}.degree(), 7); // x^7 + x^3 + 1
+}
+
+TEST(Gf2Poly, AdditionIsXor)
+{
+    Gf2Poly a{0b1011}, b{0b0110};
+    EXPECT_EQ((a + b).coeffs(), 0b1101u);
+}
+
+TEST(Gf2Poly, AdditionSelfInverse)
+{
+    Gf2Poly a{0xABCD};
+    EXPECT_TRUE((a + a).isZero());
+}
+
+TEST(Gf2Poly, MultiplicationBasics)
+{
+    // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+    Gf2Poly xp1{0b11};
+    EXPECT_EQ((xp1 * xp1).coeffs(), 0b101u);
+    // x^3 * x^4 = x^7
+    EXPECT_EQ((Gf2Poly::monomial(3) * Gf2Poly::monomial(4)).coeffs(),
+              0x80u);
+}
+
+TEST(Gf2Poly, MultiplicationIdentityAndZero)
+{
+    Gf2Poly a{0x1234};
+    EXPECT_EQ(a * Gf2Poly::one(), a);
+    EXPECT_TRUE((a * Gf2Poly::zero()).isZero());
+}
+
+TEST(Gf2Poly, MultiplicationCommutes)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        Gf2Poly a{rng.nextBelow(1 << 16)};
+        Gf2Poly b{rng.nextBelow(1 << 16)};
+        EXPECT_EQ(a * b, b * a);
+    }
+}
+
+TEST(Gf2Poly, DivModInvariant)
+{
+    // Property: a == (a div p) * p + (a mod p), and deg(r) < deg(p).
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        Gf2Poly a{rng.nextBelow(1ull << 30)};
+        Gf2Poly p{(rng.nextBelow(1 << 10)) | (1 << 10) | 1};
+        Gf2Poly q = a.div(p);
+        Gf2Poly r = a.mod(p);
+        EXPECT_LT(r.degree(), p.degree());
+        EXPECT_EQ(q * p + r, a);
+    }
+}
+
+TEST(Gf2Poly, ModIsLinear)
+{
+    // Reduction mod P is GF(2)-linear: (a+b) mod p == a mod p + b mod p.
+    // This linearity is exactly what makes the XOR-tree implementation
+    // of the index function possible.
+    Rng rng(3);
+    Gf2Poly p{0x89};
+    for (int i = 0; i < 500; ++i) {
+        Gf2Poly a{rng.nextBelow(1ull << 40)};
+        Gf2Poly b{rng.nextBelow(1ull << 40)};
+        EXPECT_EQ((a + b).mod(p), a.mod(p) + b.mod(p));
+    }
+}
+
+TEST(Gf2Poly, GcdBasics)
+{
+    Gf2Poly a{0b110};  // x^2 + x = x(x+1)
+    Gf2Poly b{0b10};   // x
+    EXPECT_EQ(Gf2Poly::gcd(a, b).coeffs(), 0b10u);
+    EXPECT_EQ(Gf2Poly::gcd(a, Gf2Poly::zero()), a);
+}
+
+TEST(Gf2Poly, GcdDividesBoth)
+{
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        Gf2Poly a{rng.nextBelow(1 << 20) | 1};
+        Gf2Poly b{rng.nextBelow(1 << 20) | 1};
+        Gf2Poly g = Gf2Poly::gcd(a, b);
+        EXPECT_TRUE(a.mod(g).isZero());
+        EXPECT_TRUE(b.mod(g).isZero());
+    }
+}
+
+TEST(Gf2Poly, MulModMatchesMulThenMod)
+{
+    Rng rng(5);
+    Gf2Poly p{0x11D}; // degree 8
+    for (int i = 0; i < 500; ++i) {
+        Gf2Poly a{rng.nextBelow(1 << 8)};
+        Gf2Poly b{rng.nextBelow(1 << 8)};
+        EXPECT_EQ(Gf2Poly::mulMod(a, b, p), (a * b).mod(p));
+    }
+}
+
+TEST(Gf2Poly, PowModAgreesWithRepeatedMul)
+{
+    Gf2Poly p{0x89};
+    Gf2Poly x = Gf2Poly::monomial(1);
+    Gf2Poly acc = Gf2Poly::one();
+    for (unsigned e = 0; e < 40; ++e) {
+        EXPECT_EQ(Gf2Poly::powMod(x, e, p), acc) << "e=" << e;
+        acc = Gf2Poly::mulMod(acc, x, p);
+    }
+}
+
+TEST(Gf2Poly, XPow2kMatchesPowMod)
+{
+    Gf2Poly p{0x11D};
+    for (unsigned k = 0; k < 6; ++k) {
+        EXPECT_EQ(Gf2Poly::xPow2k(k, p),
+                  Gf2Poly::powMod(Gf2Poly::monomial(1),
+                                  std::uint64_t{1} << k, p));
+    }
+}
+
+TEST(Gf2Poly, KnownIrreducibles)
+{
+    // Classic small irreducible polynomials.
+    for (std::uint64_t bits : {0x7ull,   // x^2+x+1
+                               0xBull,   // x^3+x+1
+                               0xDull,   // x^3+x^2+1
+                               0x13ull,  // x^4+x+1
+                               0x89ull,  // x^7+x^3+1
+                               0x11Dull}) {
+        EXPECT_TRUE(Gf2Poly{bits}.isIrreducible()) << std::hex << bits;
+    }
+}
+
+TEST(Gf2Poly, KnownReducibles)
+{
+    // x^2+1 = (x+1)^2; x^4+x^2+1=(x^2+x+1)^2; anything without the
+    // constant term is divisible by x.
+    for (std::uint64_t bits : {0x5ull, 0x15ull, 0x6ull, 0x9ull,
+                               0xFull}) {
+        EXPECT_FALSE(Gf2Poly{bits}.isIrreducible()) << std::hex << bits;
+    }
+}
+
+TEST(Gf2Poly, IrreducibleProductIsReducible)
+{
+    Gf2Poly a{0xB}, b{0x13};
+    EXPECT_FALSE((a * b).isIrreducible());
+}
+
+TEST(Gf2Poly, PrimitiveImpliesIrreducible)
+{
+    for (unsigned deg = 2; deg <= 10; ++deg) {
+        Gf2Poly p = PolyCatalog::classicPrimitive(deg);
+        EXPECT_TRUE(p.isPrimitive()) << p.toString();
+        EXPECT_TRUE(p.isIrreducible()) << p.toString();
+    }
+}
+
+TEST(Gf2Poly, IrreducibleButNotPrimitive)
+{
+    // x^4 + x^3 + x^2 + x + 1 is irreducible of degree 4 but has order
+    // 5 (divides 15), so it is not primitive.
+    Gf2Poly p{0x1F};
+    EXPECT_TRUE(p.isIrreducible());
+    EXPECT_FALSE(p.isPrimitive());
+}
+
+TEST(Gf2Poly, ToStringFormats)
+{
+    EXPECT_EQ(Gf2Poly::zero().toString(), "0");
+    EXPECT_EQ(Gf2Poly::one().toString(), "1");
+    EXPECT_EQ(Gf2Poly{0x89}.toString(), "x^7 + x^3 + 1");
+    EXPECT_EQ(Gf2Poly{0b11}.toString(), "x + 1");
+}
+
+/** Degrees for the parameterized Fermat-style property sweep. */
+class Gf2PolyDegree : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Gf2PolyDegree, IrreducibleSatisfiesFieldProperty)
+{
+    // In GF(2^n) built from an irreducible P, every element satisfies
+    // a^(2^n) == a. Check for x and a few random elements.
+    const unsigned n = GetParam();
+    Gf2Poly p = PolyCatalog::irreducible(n, 0);
+    Rng rng(n);
+    for (int i = 0; i < 20; ++i) {
+        Gf2Poly a{rng.nextBelow(std::uint64_t{1} << n)};
+        Gf2Poly apow = a;
+        for (unsigned k = 0; k < n; ++k)
+            apow = Gf2Poly::mulMod(apow, apow, p);
+        EXPECT_EQ(apow, a.mod(p)) << "degree " << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, Gf2PolyDegree,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u, 14u));
+
+} // anonymous namespace
+} // namespace cac

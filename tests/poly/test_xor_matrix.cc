@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the XOR-tree compilation of the polynomial modulus.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "poly/catalog.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(XorMatrix, MatchesPolynomialModulus)
+{
+    // Property: the compiled network computes exactly
+    // A(x) mod P(x) restricted to the input bits.
+    Rng rng(1);
+    for (unsigned deg : {5u, 7u, 8u, 10u}) {
+        Gf2Poly p = PolyCatalog::irreducible(deg, 0);
+        XorMatrix m(p, 19);
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t a = rng.nextBelow(1ull << 19);
+            EXPECT_EQ(m.apply(a), Gf2Poly{a}.mod(p).coeffs());
+        }
+    }
+}
+
+TEST(XorMatrix, IgnoresHighBits)
+{
+    Gf2Poly p = PolyCatalog::irreducible(7, 0);
+    XorMatrix m(p, 14);
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t low = rng.nextBelow(1 << 14);
+        const std::uint64_t high = rng.next() << 14;
+        EXPECT_EQ(m.apply(low), m.apply(low | high));
+    }
+}
+
+TEST(XorMatrix, IsLinear)
+{
+    // apply(a ^ b) == apply(a) ^ apply(b): the hardware is XOR trees.
+    Gf2Poly p = PolyCatalog::irreducible(7, 1);
+    XorMatrix m(p, 19);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t a = rng.nextBelow(1ull << 19);
+        const std::uint64_t b = rng.nextBelow(1ull << 19);
+        EXPECT_EQ(m.apply(a ^ b), m.apply(a) ^ m.apply(b));
+    }
+}
+
+TEST(XorMatrix, IdentityOnLowBits)
+{
+    // x^j mod P == x^j for j < deg P, so the low m bits pass through.
+    Gf2Poly p = PolyCatalog::irreducible(7, 0);
+    XorMatrix m(p, 19);
+    for (unsigned j = 0; j < 7; ++j)
+        EXPECT_EQ(m.apply(std::uint64_t{1} << j), std::uint64_t{1} << j);
+}
+
+TEST(XorMatrix, OutputStaysInRange)
+{
+    Gf2Poly p = PolyCatalog::irreducible(8, 2);
+    XorMatrix m(p, 20);
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(m.apply(rng.next()), 1u << 8);
+}
+
+TEST(XorMatrix, FanInMatchesRowMask)
+{
+    Gf2Poly p = PolyCatalog::irreducible(7, 0);
+    XorMatrix m(p, 14);
+    unsigned max_fi = 0;
+    for (unsigned i = 0; i < m.outputBits(); ++i) {
+        EXPECT_EQ(m.fanIn(i), popCount(m.rowMask(i)));
+        max_fi = std::max(max_fi, m.fanIn(i));
+    }
+    EXPECT_EQ(m.maxFanIn(), max_fi);
+}
+
+TEST(XorMatrix, PaperFanInBound)
+{
+    // Section 3.4: "the number of inputs is never higher than 5" for
+    // the functions used in the paper (19 address bits, degree-7
+    // modulus). Verify a suitable catalog polynomial exists.
+    bool found = false;
+    for (std::size_t k = 0; k < PolyCatalog::countIrreducible(7); ++k) {
+        XorMatrix m(PolyCatalog::irreducible(7, k), 14);
+        if (m.maxFanIn() <= 5)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(XorMatrix, DescribeListsEveryIndexBit)
+{
+    Gf2Poly p = PolyCatalog::irreducible(5, 0);
+    XorMatrix m(p, 10);
+    const std::string d = m.describe();
+    for (unsigned i = 0; i < 5; ++i) {
+        EXPECT_NE(d.find("index[" + std::to_string(i) + "]"),
+                  std::string::npos);
+    }
+}
+
+TEST(XorMatrix, MinimalInputWidthIsIdentity)
+{
+    // With v == m the function degenerates to bit selection.
+    Gf2Poly p = PolyCatalog::irreducible(6, 0);
+    XorMatrix m(p, 6);
+    for (std::uint64_t a = 0; a < 64; ++a)
+        EXPECT_EQ(m.apply(a), a);
+}
+
+} // anonymous namespace
+} // namespace cac

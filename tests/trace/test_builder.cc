@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the trace builder and its synthetic-PC assignment.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/builder.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(TraceBuilder, EmitsRecords)
+{
+    Trace t;
+    TraceBuilder b(t);
+    b.load(0x1000, reg::r(1), reg::r(2));
+    b.store(0x2000, reg::r(1), reg::r(2));
+    b.alu(OpClass::FpMul, reg::f(0), reg::f(1), reg::f(2));
+    b.branch(true, reg::r(3));
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].op, OpClass::Load);
+    EXPECT_EQ(t[0].addr, 0x1000u);
+    EXPECT_EQ(t[0].dst, reg::r(1));
+    EXPECT_EQ(t[1].op, OpClass::Store);
+    EXPECT_EQ(t[2].op, OpClass::FpMul);
+    EXPECT_EQ(t[3].op, OpClass::Branch);
+    EXPECT_TRUE(t[3].taken);
+    EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(TraceBuilder, SameCallSiteSharesPc)
+{
+    Trace t;
+    TraceBuilder b(t);
+    for (int i = 0; i < 10; ++i)
+        b.load(0x1000 + 8 * i, reg::r(1)); // one static instruction
+    std::set<std::uint32_t> pcs;
+    for (const auto &rec : t)
+        pcs.insert(rec.pc);
+    EXPECT_EQ(pcs.size(), 1u);
+    EXPECT_EQ(b.staticInstructions(), 1u);
+}
+
+TEST(TraceBuilder, DifferentCallSitesGetDistinctPcs)
+{
+    Trace t;
+    TraceBuilder b(t);
+    b.load(0x1000, reg::r(1));
+    b.load(0x2000, reg::r(2));
+    EXPECT_NE(t[0].pc, t[1].pc);
+    EXPECT_EQ(b.staticInstructions(), 2u);
+}
+
+TEST(TraceBuilder, SaltSeparatesLoopOverArrays)
+{
+    // One source line looping over arrays must produce one PC per
+    // array so the address predictor sees clean per-PC strides.
+    Trace t;
+    TraceBuilder b(t);
+    for (int i = 0; i < 4; ++i)
+        for (unsigned a = 0; a < 3; ++a)
+            b.load(a * 0x10000 + i * 8, reg::r(1), reg::none, a);
+    std::set<std::uint32_t> pcs;
+    for (const auto &rec : t)
+        pcs.insert(rec.pc);
+    EXPECT_EQ(pcs.size(), 3u);
+}
+
+TEST(TraceBuilder, PcsAreFourByteSpaced)
+{
+    Trace t;
+    TraceBuilder b(t);
+    b.alu(OpClass::IntAlu, reg::r(1));
+    b.alu(OpClass::IntAlu, reg::r(2));
+    b.alu(OpClass::IntAlu, reg::r(3));
+    std::set<std::uint32_t> pcs;
+    for (const auto &rec : t)
+        pcs.insert(rec.pc);
+    for (auto pc : pcs)
+        EXPECT_EQ(pc % 4, 0u);
+}
+
+TEST(TraceBuilder, RegisterHelpers)
+{
+    EXPECT_EQ(reg::r(0), 0);
+    EXPECT_EQ(reg::r(31), 31);
+    EXPECT_EQ(reg::f(0), 32);
+    EXPECT_EQ(reg::f(31), 63);
+    EXPECT_EQ(reg::none, -1);
+    // Wrap instead of overflowing the architectural file.
+    EXPECT_EQ(reg::r(32), 0);
+    EXPECT_EQ(reg::f(32), 32);
+}
+
+TEST(OpClass, Names)
+{
+    EXPECT_EQ(opClassName(OpClass::Load), "load");
+    EXPECT_EQ(opClassName(OpClass::FpSqrt), "fp_sqrt");
+}
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::Branch));
+    EXPECT_TRUE(isFpOp(OpClass::FpDiv));
+    EXPECT_FALSE(isFpOp(OpClass::IntMul));
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Round-trip tests for the binary trace format.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "trace/io.hh"
+
+namespace cac
+{
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Trace
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Trace t;
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceRecord rec;
+        rec.op = static_cast<OpClass>(rng.nextBelow(10));
+        rec.dst = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.nextBelow(65)) - 1);
+        rec.src1 = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.nextBelow(65)) - 1);
+        rec.src2 = -1;
+        rec.taken = rng.chance(0.5);
+        rec.addr = rng.next();
+        rec.pc = static_cast<std::uint32_t>(rng.nextBelow(1 << 20)) * 4;
+        t.push_back(rec);
+    }
+    return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const std::string path = tmpPath("cac_roundtrip.trc");
+    Trace original = randomTrace(5000, 1);
+    writeTrace(original, path);
+    Trace loaded = readTrace(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].op, original[i].op);
+        EXPECT_EQ(loaded[i].dst, original[i].dst);
+        EXPECT_EQ(loaded[i].src1, original[i].src1);
+        EXPECT_EQ(loaded[i].src2, original[i].src2);
+        EXPECT_EQ(loaded[i].taken, original[i].taken);
+        EXPECT_EQ(loaded[i].addr, original[i].addr);
+        EXPECT_EQ(loaded[i].pc, original[i].pc);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const std::string path = tmpPath("cac_empty.trc");
+    writeTrace({}, path);
+    EXPECT_TRUE(readTrace(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT((void)readTrace("/nonexistent/path/x.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoDeath, BadMagicIsFatal)
+{
+    const std::string path = tmpPath("cac_badmagic.trc");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("NOTATRACE_______", 16, 1, f);
+    std::fclose(f);
+    EXPECT_EXIT((void)readTrace(path), ::testing::ExitedWithCode(1),
+                "not a CACTRC01");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, TruncatedBodyIsFatal)
+{
+    const std::string path = tmpPath("cac_trunc.trc");
+    writeTrace(randomTrace(100, 2), path);
+    // Chop the file.
+    std::filesystem::resize_file(path, 16 + 24 * 50 + 7);
+    EXPECT_EXIT((void)readTrace(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace cac

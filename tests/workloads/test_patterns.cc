@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the access-pattern emitters underlying the proxies.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/patterns.hh"
+#include "workloads/stride.hh"
+
+namespace cac
+{
+namespace
+{
+
+using namespace patterns;
+
+TEST(ArrayArena, AlignmentAndOffset)
+{
+    ArrayArena arena(1 << 20);
+    const std::uint64_t a = arena.alloc(100, 4096);
+    EXPECT_EQ(a % 4096, 0u);
+    const std::uint64_t b = arena.alloc(100, 4096);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_GT(b, a);
+    const std::uint64_t c = arena.alloc(64, 32, 32 * 3);
+    EXPECT_EQ(c % 32, 0u);
+    EXPECT_EQ((c / 32) % 2, 1u); // odd block offset
+}
+
+TEST(Patterns, StreamSweepWalksAllArraysInLockstep)
+{
+    Trace t;
+    TraceBuilder b(t);
+    PhaseCursor cur;
+    PatternConfig cfg;
+    streamSweep(b, {0x1000, 0x2000}, 64, 8, cur, cfg);
+    // Per iteration: 2 loads + computeOps(2) + store + alu + branch.
+    std::size_t loads = 0, stores = 0, branches = 0;
+    for (const auto &rec : t) {
+        loads += rec.op == OpClass::Load;
+        stores += rec.op == OpClass::Store;
+        branches += rec.op == OpClass::Branch;
+    }
+    EXPECT_EQ(loads, 16u);
+    EXPECT_EQ(stores, 8u);
+    EXPECT_EQ(branches, 8u);
+    EXPECT_EQ(t[0].addr, 0x1000u);
+    EXPECT_EQ(t[1].addr, 0x2000u);
+}
+
+TEST(Patterns, CursorResumesAcrossCalls)
+{
+    Trace t;
+    TraceBuilder b(t);
+    PhaseCursor cur;
+    PatternConfig cfg;
+    streamSweep(b, {0x1000}, 100, 4, cur, cfg);
+    const std::size_t first_chunk = t.size();
+    streamSweep(b, {0x1000}, 100, 4, cur, cfg);
+    // The 5th iteration must continue at element 4, not restart at 0.
+    EXPECT_EQ(t[first_chunk].addr, 0x1000u + 4 * 8);
+}
+
+TEST(Patterns, CursorWrapsAtTotalElems)
+{
+    Trace t;
+    TraceBuilder b(t);
+    PhaseCursor cur;
+    PatternConfig cfg;
+    streamSweep(b, {0x1000}, 4, 6, cur, cfg);
+    // Elements: 0,1,2,3,0,1
+    std::vector<std::uint64_t> loads;
+    for (const auto &rec : t)
+        if (rec.op == OpClass::Load)
+            loads.push_back(rec.addr);
+    ASSERT_EQ(loads.size(), 6u);
+    EXPECT_EQ(loads[4], 0x1000u);
+    EXPECT_EQ(loads[5], 0x1008u);
+}
+
+TEST(Patterns, StridedSweepUsesStride)
+{
+    Trace t;
+    TraceBuilder b(t);
+    PhaseCursor cur;
+    PatternConfig cfg;
+    stridedSweep(b, {0x10000}, 8, 4096, 3, cur, cfg);
+    std::vector<std::uint64_t> loads;
+    for (const auto &rec : t)
+        if (rec.op == OpClass::Load)
+            loads.push_back(rec.addr);
+    EXPECT_EQ(loads[1] - loads[0], 4096u);
+    EXPECT_EQ(loads[2] - loads[1], 4096u);
+}
+
+TEST(Patterns, StencilTouchesThreePoints)
+{
+    Trace t;
+    TraceBuilder b(t);
+    PhaseCursor cur;
+    PatternConfig cfg;
+    stencilSweep(b, {0x10000}, 16, 8, 1, cur, cfg);
+    std::vector<std::uint64_t> loads;
+    for (const auto &rec : t)
+        if (rec.op == OpClass::Load)
+            loads.push_back(rec.addr);
+    ASSERT_EQ(loads.size(), 3u);
+    EXPECT_EQ(loads[0], 0x10000u);      // i-1 with i=1
+    EXPECT_EQ(loads[1], 0x10000u + 8);  // i
+    EXPECT_EQ(loads[2], 0x10000u + 16); // i+1
+}
+
+TEST(Patterns, StencilInterleaveOrders)
+{
+    PatternConfig by_array;
+    PatternConfig by_point;
+    by_point.interleaveByPoint = true;
+
+    Trace ta, tp;
+    {
+        TraceBuilder b(ta);
+        PhaseCursor cur;
+        stencilSweep(b, {0x10000, 0x20000}, 16, 8, 1, cur, by_array);
+    }
+    {
+        TraceBuilder b(tp);
+        PhaseCursor cur;
+        stencilSweep(b, {0x10000, 0x20000}, 16, 8, 1, cur, by_point);
+    }
+    auto loadAddrs = [](const Trace &t) {
+        std::vector<std::uint64_t> v;
+        for (const auto &rec : t)
+            if (rec.op == OpClass::Load)
+                v.push_back(rec.addr);
+        return v;
+    };
+    auto a = loadAddrs(ta), p = loadAddrs(tp);
+    ASSERT_EQ(a.size(), 6u);
+    ASSERT_EQ(p.size(), 6u);
+    // By-array: a0.p0 a0.p1 a0.p2 a1.p0 ...; by-point: a0.p0 a1.p0 ...
+    EXPECT_EQ(a[1], 0x10000u + 8);
+    EXPECT_EQ(p[1], 0x20000u);
+}
+
+TEST(Patterns, RandomAccessStaysInRegion)
+{
+    Trace t;
+    TraceBuilder b(t);
+    Rng rng(1);
+    PatternConfig cfg;
+    randomAccess(b, rng, 0x40000, 4096, 200, cfg);
+    for (const auto &rec : t) {
+        if (rec.op == OpClass::Load || rec.op == OpClass::Store) {
+            EXPECT_GE(rec.addr, 0x40000u);
+            EXPECT_LT(rec.addr, 0x41000u);
+        }
+    }
+}
+
+TEST(Patterns, ChaseCycleIsSingleCycle)
+{
+    Rng rng(2);
+    auto next = makeChaseCycle(rng, 64);
+    // Following next from node 0 must visit all 64 nodes then return.
+    std::set<std::uint32_t> visited;
+    std::uint32_t cur = 0;
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_TRUE(visited.insert(cur).second);
+        cur = next[cur];
+    }
+    EXPECT_EQ(cur, 0u);
+}
+
+TEST(Patterns, PointerChaseSerializesThroughR28)
+{
+    Trace t;
+    TraceBuilder b(t);
+    Rng rng(3);
+    auto cycle = makeChaseCycle(rng, 16);
+    PhaseCursor cur;
+    PatternConfig cfg;
+    pointerChase(b, cycle, 0x50000, 64, 8, cur, cfg);
+    // Every next-pointer load reads and writes r28 (the chain).
+    std::size_t chain_loads = 0;
+    for (const auto &rec : t) {
+        if (rec.op == OpClass::Load && rec.dst == reg::r(28)) {
+            EXPECT_EQ(rec.src1, reg::r(28));
+            ++chain_loads;
+        }
+    }
+    EXPECT_EQ(chain_loads, 8u);
+}
+
+TEST(Patterns, BranchyWorkEmitsDecisionBranches)
+{
+    Trace t;
+    TraceBuilder b(t);
+    Rng rng(4);
+    PatternConfig cfg;
+    branchyWork(b, rng, 0x60000, 4096, 100, 0.4, cfg);
+    std::size_t branches = 0, taken = 0;
+    for (const auto &rec : t) {
+        if (rec.op == OpClass::Branch) {
+            ++branches;
+            taken += rec.taken;
+        }
+    }
+    EXPECT_EQ(branches, 200u); // decision + loop per iteration
+    EXPECT_GT(taken, 100u);    // loop branches nearly always taken
+    EXPECT_LT(taken, 180u);    // decision branches only ~40%
+}
+
+TEST(StrideWorkload, GeneratesExpectedSequence)
+{
+    StrideWorkloadConfig cfg;
+    cfg.numElements = 4;
+    cfg.stride = 3;
+    cfg.sweeps = 2;
+    cfg.base = 0x1000;
+    auto addrs = makeStrideAddressTrace(cfg);
+    ASSERT_EQ(addrs.size(), 8u);
+    EXPECT_EQ(addrs[0], 0x1000u);
+    EXPECT_EQ(addrs[1], 0x1000u + 24);
+    EXPECT_EQ(addrs[4], 0x1000u); // second sweep restarts
+}
+
+} // anonymous namespace
+} // namespace cac

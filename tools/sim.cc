@@ -1,0 +1,125 @@
+/**
+ * @file
+ * cac_sim — drive a CACTRC01 trace through either a standalone cache
+ * organization (functional, miss ratios) or the full out-of-order CPU
+ * model (timing, IPC).
+ *
+ * Usage:
+ *   cac_sim --trace swim.trc --org a2-Hp-Sk [--size 8192] [--ways 2]
+ *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
+ *   cac_sim --trace swim.trc --compare        # all standard orgs
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cac.hh"
+
+namespace
+{
+
+using namespace cac;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  cac_sim --trace FILE --org LABEL [--size BYTES] [--ways N] "
+        "[--block BYTES]\n"
+        "  cac_sim --trace FILE --cpu CONFIG\n"
+        "  cac_sim --trace FILE --compare\n"
+        "orgs: dm a2 a4 a2-Hx-Sk a2-Hp a2-Hp-Sk victim hash-rehash "
+        "column-poly full\n"
+        "cpu configs: 16k-conv 8k-conv 8k-conv-pred 8k-ipoly-nocp "
+        "8k-ipoly-cp 8k-ipoly-cp-pred\n");
+    std::exit(1);
+}
+
+const char *
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return argv[++i];
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path, org, cpu;
+    bool compare = false;
+    OrgSpec spec;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--trace"))
+            trace_path = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--org"))
+            org = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--cpu"))
+            cpu = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--compare"))
+            compare = true;
+        else if (!std::strcmp(arg, "--size"))
+            spec.sizeBytes = std::strtoull(argValue(argc, argv, i),
+                                           nullptr, 0);
+        else if (!std::strcmp(arg, "--ways"))
+            spec.ways = static_cast<unsigned>(
+                std::strtoul(argValue(argc, argv, i), nullptr, 0));
+        else if (!std::strcmp(arg, "--block"))
+            spec.blockBytes = std::strtoull(argValue(argc, argv, i),
+                                            nullptr, 0);
+        else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            usage();
+        }
+    }
+
+    if (trace_path.empty() || (org.empty() && cpu.empty() && !compare))
+        usage();
+
+    const Trace trace = readTrace(trace_path);
+    std::printf("trace: %s (%zu instructions)\n", trace_path.c_str(),
+                trace.size());
+
+    if (!cpu.empty()) {
+        OooCore core(CpuConfig::tableConfig(cpu));
+        CpuStats stats = core.run(trace);
+        std::printf("config          %s\n",
+                    CpuConfig::tableConfig(cpu).toString().c_str());
+        std::printf("cycles          %llu\n",
+                    static_cast<unsigned long long>(stats.cycles));
+        std::printf("IPC             %.3f\n", stats.ipc());
+        std::printf("load miss ratio %.2f%%\n",
+                    stats.loadMissRatioPct());
+        std::printf("branch mispred  %llu / %llu (%.1f%% accuracy)\n",
+                    static_cast<unsigned long long>(
+                        stats.branchMispredicts),
+                    static_cast<unsigned long long>(stats.branches),
+                    100.0 * core.branchPredictor().accuracy());
+        return 0;
+    }
+
+    TextTable table;
+    table.header({"organization", "loads", "load miss%", "overall miss%"});
+    const auto labels =
+        compare ? standardComparisonLabels()
+                : std::vector<std::string>{org};
+    for (const auto &label : labels) {
+        auto cache = makeOrganization(label, spec);
+        const CacheStats s = runTraceMemory(*cache, trace);
+        table.beginRow();
+        table.cell(cache->name());
+        table.cell(static_cast<long long>(s.loads));
+        table.cell(100.0 * s.loadMissRatio(), 2);
+        table.cell(100.0 * s.missRatio(), 2);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
