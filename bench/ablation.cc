@@ -8,12 +8,15 @@
  *  4. replacement policy under skewed placement.
  *
  * Each ablation is scored on the three high-conflict proxies (where
- * placement matters) and the fifteen low-conflict ones (where it must
- * not hurt).
+ * placement matters) and the five low-conflict ones (where it must not
+ * hurt). All variants run as one SweepRunner grid — custom cache
+ * builders register alongside the registry's "a2" baseline, each proxy
+ * trace is built once, and the (variant x proxy) cells execute on a
+ * thread pool.
  */
 
 #include <cstdio>
-#include <functional>
+#include <thread>
 
 #include "core/cac.hh"
 
@@ -22,30 +25,17 @@ namespace
 
 using namespace cac;
 
-/** Average load-miss%% over a set of proxies for a cache builder. */
-double
-avgMiss(const std::vector<std::string> &names,
-        const std::function<std::unique_ptr<CacheModel>()> &build)
-{
-    std::vector<double> misses;
-    for (const auto &name : names) {
-        const Trace trace = buildSpecProxy(name, 120000);
-        auto cache = build();
-        misses.push_back(runTraceMemory(*cache, trace).loadMissRatio()
-                         * 100.0);
-    }
-    return arithmeticMean(misses);
-}
-
-std::unique_ptr<CacheModel>
+SweepRunner::OrgBuilder
 ipolyCache(const std::vector<Gf2Poly> &polys, unsigned input_bits,
            ReplKind repl = ReplKind::Lru)
 {
-    const CacheGeometry geom = CacheGeometry::paperL1_8k();
-    return std::make_unique<SetAssocCache>(
-        geom, std::make_unique<IPolyIndex>(polys, input_bits),
-        makeReplacementPolicy(repl, geom.numSets(), geom.ways()),
-        WriteAllocate::No);
+    return [polys, input_bits, repl] {
+        const CacheGeometry geom = CacheGeometry::paperL1_8k();
+        return std::make_unique<SetAssocCache>(
+            geom, std::make_unique<IPolyIndex>(polys, input_bits),
+            makeReplacementPolicy(repl, geom.numSets(), geom.ways()),
+            WriteAllocate::No);
+    };
 }
 
 const std::vector<std::string> kBad = {"tomcatv", "swim", "wave5"};
@@ -66,53 +56,63 @@ main()
     const Gf2Poly reducible{0x88};   // x^7 + x^3 = x^3(x^4 + 1)
     const Gf2Poly trivial{0x80};     // x^7: degenerates to bit select
 
-    TextTable table;
-    table.header({"variant", "bad miss%", "good miss%"});
-    auto row = [&](const std::string &label,
-                   const std::function<std::unique_ptr<CacheModel>()>
-                       &build) {
-        table.beginRow();
-        table.cell(label);
-        table.cell(avgMiss(kBad, build), 2);
-        table.cell(avgMiss(kGood, build), 2);
-    };
+    OrgSpec spec;
+    spec.writeAllocate = false;
+    SweepRunner sweep(std::thread::hardware_concurrency());
+    sweep.setSpec(spec);
 
     // 1. Skewing.
-    row("ipoly skewed (P0,P1), v=14",
-        [&] { return ipolyCache({p0, p1}, 14); });
-    row("ipoly unskewed (P0,P0), v=14",
-        [&] { return ipolyCache({p0, p0}, 14); });
+    sweep.addOrg("ipoly skewed (P0,P1), v=14", ipolyCache({p0, p1}, 14));
+    sweep.addOrg("ipoly unskewed (P0,P0), v=14",
+                 ipolyCache({p0, p0}, 14));
 
     // 2. Polynomial quality.
-    row("reducible modulus x^7+x^3",
-        [&] { return ipolyCache({reducible, reducible}, 14); });
-    row("trivial modulus x^7 (bit select)",
-        [&] { return ipolyCache({trivial, trivial}, 14); });
+    sweep.addOrg("reducible modulus x^7+x^3",
+                 ipolyCache({reducible, reducible}, 14));
+    sweep.addOrg("trivial modulus x^7 (bit select)",
+                 ipolyCache({trivial, trivial}, 14));
 
     // 3. Hashed input width (paper section 3.1: 13 unmapped bits with
     // 256KB pages vs 19 bits with the virtual-real hierarchy).
-    row("skewed, v=8 (13 addr bits)",
-        [&] { return ipolyCache({p0, p1}, 8); });
-    row("skewed, v=14 (19 addr bits)",
-        [&] { return ipolyCache({p0, p1}, 14); });
-    row("skewed, v=20 (25 addr bits)",
-        [&] { return ipolyCache({p0, p1}, 20); });
+    sweep.addOrg("skewed, v=8 (13 addr bits)", ipolyCache({p0, p1}, 8));
+    sweep.addOrg("skewed, v=14 (19 addr bits)", ipolyCache({p0, p1}, 14));
+    sweep.addOrg("skewed, v=20 (25 addr bits)", ipolyCache({p0, p1}, 20));
 
     // 4. Replacement policy under skewed placement.
     for (ReplKind kind : {ReplKind::Lru, ReplKind::Fifo,
                           ReplKind::Random, ReplKind::Nru}) {
-        auto policy_name =
-            makeReplacementPolicy(kind, 1, 1)->name();
-        row("skewed v=14, repl=" + policy_name,
-            [&] { return ipolyCache({p0, p1}, 14, kind); });
+        const auto policy_name = makeReplacementPolicy(kind, 1, 1)->name();
+        sweep.addOrg("skewed v=14, repl=" + policy_name,
+                     ipolyCache({p0, p1}, 14, kind));
     }
 
-    // Baseline for scale.
-    row("conventional a2", [&] {
-        OrgSpec spec;
-        spec.writeAllocate = false;
-        return makeOrganization("a2", spec);
-    });
+    // Baseline for scale, straight from the registry.
+    sweep.addOrg("conventional a2",
+                 [spec] { return makeOrganization("a2", spec); });
+
+    // Score every variant on the same eight proxy traces, built once.
+    for (const auto &name : kBad)
+        sweep.addTraceWorkload(name, buildSpecProxy(name, 120000));
+    for (const auto &name : kGood)
+        sweep.addTraceWorkload(name, buildSpecProxy(name, 120000));
+
+    const std::vector<SweepCell> cells = sweep.run();
+
+    TextTable table;
+    table.header({"variant", "bad miss%", "good miss%"});
+    const std::size_t orgs = sweep.numOrgs();
+    for (std::size_t o = 0; o < orgs; ++o) {
+        std::vector<double> bad, good;
+        for (std::size_t w = 0; w < sweep.numWorkloads(); ++w) {
+            const double pct =
+                cells[w * orgs + o].stats.loadMissRatio() * 100.0;
+            (w < kBad.size() ? bad : good).push_back(pct);
+        }
+        table.beginRow();
+        table.cell(cells[o].org);
+        table.cell(arithmeticMean(bad), 2);
+        table.cell(arithmeticMean(good), 2);
+    }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("expected: skew helps worst-case strides; reducible/"

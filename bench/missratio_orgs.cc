@@ -8,10 +8,14 @@
  * standard deviation that motivates the predictability claim
  * (paper: conventional 2-way 13.84%% avg vs I-Poly 7.14%% vs fully
  * associative 6.80%%; stddev 18.49 -> 5.16).
+ *
+ * The (proxy x organization) grid runs on the SweepRunner engine: one
+ * cell per pair, executed across a thread pool, results in grid order.
  */
 
 #include <cstdio>
 #include <map>
+#include <thread>
 
 #include "core/cac.hh"
 
@@ -28,6 +32,17 @@ main()
 
     const auto labels = standardComparisonLabels();
 
+    OrgSpec spec;
+    spec.writeAllocate = false;
+    SweepRunner sweep(std::thread::hardware_concurrency());
+    sweep.setSpec(spec);
+    sweep.addOrgs(labels);
+    for (const auto &info : specProxyList()) {
+        sweep.addTraceWorkload(info.name,
+                               buildSpecProxy(info.name, kInstructions));
+    }
+    const std::vector<SweepCell> cells = sweep.run();
+
     TextTable table;
     {
         std::vector<std::string> header = {"proxy"};
@@ -37,16 +52,13 @@ main()
     }
 
     std::map<std::string, std::vector<double>> ratios;
+    std::size_t cell = 0;
     for (const auto &info : specProxyList()) {
-        const Trace trace = buildSpecProxy(info.name, kInstructions);
         table.beginRow();
         table.cell(info.name + (info.highConflict ? "*" : ""));
         for (const auto &label : labels) {
-            OrgSpec spec;
-            spec.writeAllocate = false;
-            auto cache = makeOrganization(label, spec);
             const double pct =
-                runTraceMemory(*cache, trace).loadMissRatio() * 100.0;
+                cells[cell++].stats.loadMissRatio() * 100.0;
             ratios[label].push_back(pct);
             table.cell(pct, 2);
         }

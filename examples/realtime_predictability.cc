@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "core/cac.hh"
@@ -54,31 +55,38 @@ main()
     std::printf("one DSP-style kernel, 256 random linker placements of "
                 "its three 2KB arrays\n\n");
 
+    const std::vector<std::string> schemes = {"a2", "a2-Hx-Sk", "a2-Hp",
+                                              "a2-Hp-Sk", "full"};
+
+    // Every scheme sees the same 256 placements: addresses the
+    // allocator might choose — arbitrary 32B-aligned bases in a 1MB
+    // segment (some will collide mod 4KB, some won't; the analyst
+    // can't control which).
+    SweepRunner sweep(std::thread::hardware_concurrency());
+    sweep.addOrgs(schemes);
+    Rng rng(2024);
+    for (int placement = 0; placement < 256; ++placement) {
+        const std::uint64_t a = (1 << 22) + (rng.nextBelow(1 << 15) << 5);
+        const std::uint64_t b = (1 << 22) + (rng.nextBelow(1 << 15) << 5);
+        const std::uint64_t c = (1 << 22) + (rng.nextBelow(1 << 15) << 5);
+        sweep.addAddressWorkload(
+            "placement-" + std::to_string(placement),
+            [a, b, c] { return taskAddresses(a, b, c); });
+    }
+    const std::vector<SweepCell> cells = sweep.run();
+
     TextTable table;
     table.header({"scheme", "best miss%", "mean miss%", "worst miss%",
                   "stddev"});
 
-    for (const char *scheme : {"a2", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk",
-                               "full"}) {
-        Rng rng(2024);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
         RunningStat stat;
-        for (int placement = 0; placement < 256; ++placement) {
-            // Addresses the allocator might choose: arbitrary 32B-
-            // aligned bases in a 1MB segment (some will collide mod
-            // 4KB, some won't — the analyst can't control which).
-            const std::uint64_t a =
-                (1 << 22) + (rng.nextBelow(1 << 15) << 5);
-            const std::uint64_t b =
-                (1 << 22) + (rng.nextBelow(1 << 15) << 5);
-            const std::uint64_t c =
-                (1 << 22) + (rng.nextBelow(1 << 15) << 5);
-            OrgSpec spec;
-            auto cache = makeOrganization(scheme, spec);
-            runAddressStream(*cache, taskAddresses(a, b, c));
-            stat.add(100.0 * cache->stats().missRatio());
+        for (std::size_t w = 0; w < sweep.numWorkloads(); ++w) {
+            stat.add(100.0
+                     * cells[w * schemes.size() + s].stats.missRatio());
         }
         table.beginRow();
-        table.cell(scheme);
+        table.cell(schemes[s]);
         table.cell(stat.min(), 2);
         table.cell(stat.mean(), 2);
         table.cell(stat.max(), 2);

@@ -16,6 +16,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cac.hh"
@@ -64,33 +66,56 @@ main()
     std::printf("tiled traversal of a %zux%zu double array "
                 "(columns 4KB apart at ld=512)\n\n",
                 kRows, kCols);
+
+    const std::vector<std::size_t> kTileRows = {8, 16, 32, 64};
+    const std::vector<std::size_t> kTileCols = {8, 16, 32};
+
+    // Two engine sweeps over the 12 tile shapes: both organizations at
+    // the pathological ld=512, and the conventional cache again with
+    // one-block padding (ld=516) — the manual fix I-Poly makes moot.
+    auto makeSweep = [&](std::size_t ld) {
+        SweepRunner sweep(std::thread::hardware_concurrency());
+        for (std::size_t tile_rows : kTileRows) {
+            for (std::size_t tile_cols : kTileCols) {
+                sweep.addAddressWorkload(
+                    std::to_string(tile_rows) + "x"
+                        + std::to_string(tile_cols),
+                    [=] {
+                        return tiledTraversal(kRows, kCols, ld,
+                                              tile_rows, tile_cols);
+                    });
+            }
+        }
+        return sweep;
+    };
+
+    SweepRunner unpadded = makeSweep(kLd);
+    unpadded.addOrgs({"a2", "a2-Hp-Sk"});
+    SweepRunner padded = makeSweep(kLd + 4);
+    padded.addOrg("a2");
+
+    const auto unpadded_cells = unpadded.run();
+    const auto padded_cells = padded.run();
+
     TextTable table;
     table.header({"tile (r x c)", "footprint", "a2 ld=512",
                   "a2 ld=516 (padded)", "Hp-Sk ld=512"});
 
-    for (std::size_t tile_rows : {8ull, 16ull, 32ull, 64ull}) {
-        for (std::size_t tile_cols : {8ull, 16ull, 32ull}) {
-            auto miss = [&](const char *label, std::size_t ld) {
-                const auto addrs = tiledTraversal(kRows, kCols, ld,
-                                                  tile_rows, tile_cols);
-                OrgSpec spec;
-                auto cache = makeOrganization(label, spec);
-                runAddressStream(*cache, addrs);
-                return 100.0 * cache->stats().missRatio();
-            };
-
-            char tile[32], foot[32];
-            std::snprintf(tile, sizeof(tile), "%zu x %zu", tile_rows,
-                          tile_cols);
-            std::snprintf(foot, sizeof(foot), "%zuKB",
-                          tile_rows * tile_cols * 8 / 1024);
-            table.beginRow();
-            table.cell(std::string(tile));
-            table.cell(std::string(foot));
-            table.cell(miss("a2", kLd), 1);
-            table.cell(miss("a2", kLd + 4), 1);
-            table.cell(miss("a2-Hp-Sk", kLd), 1);
-        }
+    for (std::size_t w = 0; w < unpadded.numWorkloads(); ++w) {
+        const std::size_t tile_rows = kTileRows[w / kTileCols.size()];
+        const std::size_t tile_cols = kTileCols[w % kTileCols.size()];
+        char tile[32], foot[32];
+        std::snprintf(tile, sizeof(tile), "%zu x %zu", tile_rows,
+                      tile_cols);
+        std::snprintf(foot, sizeof(foot), "%zuKB",
+                      tile_rows * tile_cols * 8 / 1024);
+        table.beginRow();
+        table.cell(std::string(tile));
+        table.cell(std::string(foot));
+        table.cell(100.0 * unpadded_cells[w * 2].stats.missRatio(), 1);
+        table.cell(100.0 * padded_cells[w].stats.missRatio(), 1);
+        table.cell(100.0 * unpadded_cells[w * 2 + 1].stats.missRatio(),
+                   1);
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("takeaway: with a power-of-two leading dimension the "

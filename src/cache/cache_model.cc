@@ -7,4 +7,12 @@ CacheModel::CacheModel(const CacheGeometry &geometry) : geometry_(geometry)
 {
 }
 
+void
+CacheModel::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                        bool is_write)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        access(addrs[i], is_write);
+}
+
 } // namespace cac

@@ -12,6 +12,7 @@
 #ifndef CAC_CACHE_CACHE_MODEL_HH
 #define CAC_CACHE_CACHE_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -85,6 +86,22 @@ class CacheModel
      * @param is_write store when true, load when false.
      */
     virtual AccessResult access(std::uint64_t addr, bool is_write) = 0;
+
+    /**
+     * Perform @p n same-kind accesses in order, updating contents and
+     * statistics exactly as n access() calls would (the batch path is
+     * required to be stats-identical to the scalar path).
+     *
+     * Organizations override this with a tight non-virtual inner loop,
+     * so a driver pays one virtual dispatch per batch instead of one
+     * per access. The base implementation falls back to access().
+     *
+     * @param addrs byte addresses, accessed in array order.
+     * @param n number of accesses.
+     * @param is_write all stores when true, all loads when false.
+     */
+    virtual void accessBatch(const std::uint64_t *addrs, std::size_t n,
+                             bool is_write);
 
     /** Hit check without any state or statistics update. */
     virtual bool probe(std::uint64_t addr) const = 0;

@@ -33,12 +33,17 @@ class FullyAssocCache : public CacheModel
                     bool write_allocate = true);
 
     AccessResult access(std::uint64_t addr, bool is_write) override;
+    void accessBatch(const std::uint64_t *addrs, std::size_t n,
+                     bool is_write) override;
     bool probe(std::uint64_t addr) const override;
     bool invalidate(std::uint64_t addr) override;
     void flush() override;
     std::string name() const override;
 
   private:
+    /** Non-virtual body of access(); the batch loop calls this. */
+    AccessResult accessOne(std::uint64_t addr, bool is_write);
+
     bool write_allocate_;
     /** MRU at front, LRU at back; values are block addresses. */
     std::list<std::uint64_t> lru_;

@@ -62,6 +62,20 @@ SetAssocCache::findLine(std::uint64_t block_addr) const
 AccessResult
 SetAssocCache::access(std::uint64_t addr, bool is_write)
 {
+    return accessOne(addr, is_write);
+}
+
+void
+SetAssocCache::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                           bool is_write)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        accessOne(addrs[i], is_write);
+}
+
+AccessResult
+SetAssocCache::accessOne(std::uint64_t addr, bool is_write)
+{
     ++tick_;
     const std::uint64_t block = geometry_.blockAddr(addr);
     if (is_write)

@@ -50,6 +50,8 @@ class SetAssocCache : public CacheModel
                   bool write_back = false);
 
     AccessResult access(std::uint64_t addr, bool is_write) override;
+    void accessBatch(const std::uint64_t *addrs, std::size_t n,
+                     bool is_write) override;
     bool probe(std::uint64_t addr) const override;
     bool invalidate(std::uint64_t addr) override;
     void flush() override;
@@ -87,6 +89,9 @@ class SetAssocCache : public CacheModel
 
     /** Victim selection + replacement for @p block_addr. */
     AccessResult fillBlock(std::uint64_t block_addr, bool dirty);
+
+    /** Non-virtual body of access(); the batch loop calls this. */
+    AccessResult accessOne(std::uint64_t addr, bool is_write);
 
     std::unique_ptr<IndexFn> index_fn_;
     std::unique_ptr<ReplacementPolicy> repl_;

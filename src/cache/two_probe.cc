@@ -42,6 +42,20 @@ TwoProbeCache::secondaryIndex(std::uint64_t block) const
 AccessResult
 TwoProbeCache::access(std::uint64_t addr, bool is_write)
 {
+    return accessOne(addr, is_write);
+}
+
+void
+TwoProbeCache::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                           bool is_write)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        accessOne(addrs[i], is_write);
+}
+
+AccessResult
+TwoProbeCache::accessOne(std::uint64_t addr, bool is_write)
+{
     const std::uint64_t block = geometry_.blockAddr(addr);
     if (is_write)
         ++stats_.stores;

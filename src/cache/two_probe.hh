@@ -46,6 +46,8 @@ class TwoProbeCache : public CacheModel
                   unsigned input_bits = 14, bool write_allocate = true);
 
     AccessResult access(std::uint64_t addr, bool is_write) override;
+    void accessBatch(const std::uint64_t *addrs, std::size_t n,
+                     bool is_write) override;
     bool probe(std::uint64_t addr) const override;
     bool invalidate(std::uint64_t addr) override;
     void flush() override;
@@ -63,6 +65,9 @@ class TwoProbeCache : public CacheModel
 
     std::uint64_t primaryIndex(std::uint64_t block) const;
     std::uint64_t secondaryIndex(std::uint64_t block) const;
+
+    /** Non-virtual body of access(); the batch loop calls this. */
+    AccessResult accessOne(std::uint64_t addr, bool is_write);
 
     RehashKind rehash_;
     std::unique_ptr<IndexFn> poly_; ///< used when rehash_ == IPoly

@@ -64,6 +64,20 @@ VictimCache::insertVictim(std::uint64_t block)
 AccessResult
 VictimCache::access(std::uint64_t addr, bool is_write)
 {
+    return accessOne(addr, is_write);
+}
+
+void
+VictimCache::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                         bool is_write)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        accessOne(addrs[i], is_write);
+}
+
+AccessResult
+VictimCache::accessOne(std::uint64_t addr, bool is_write)
+{
     ++tick_;
     const std::uint64_t block = geometry_.blockAddr(addr);
     if (is_write)

@@ -29,6 +29,8 @@ class VictimCache : public CacheModel
                 bool write_allocate = true);
 
     AccessResult access(std::uint64_t addr, bool is_write) override;
+    void accessBatch(const std::uint64_t *addrs, std::size_t n,
+                     bool is_write) override;
     bool probe(std::uint64_t addr) const override;
     bool invalidate(std::uint64_t addr) override;
     void flush() override;
@@ -47,6 +49,9 @@ class VictimCache : public CacheModel
 
     /** Insert an evicted block into the buffer, LRU-replacing. */
     void insertVictim(std::uint64_t block);
+
+    /** Non-virtual body of access(); the batch loop calls this. */
+    AccessResult accessOne(std::uint64_t addr, bool is_write);
 
     /** Find a victim-buffer line holding @p block, else nullptr. */
     VictimLine *findVictim(std::uint64_t block);

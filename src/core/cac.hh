@@ -18,7 +18,8 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
-#include "core/organization.hh"
+#include "core/registry.hh"
+#include "core/sweep.hh"
 #include "cpu/addr_predictor.hh"
 #include "cpu/branch_predictor.hh"
 #include "cpu/config.hh"

@@ -1,57 +1,14 @@
 /**
  * @file
- * Named cache-organization factory.
- *
- * Builds every organization the paper (and its companion study [10])
- * compares: direct-mapped, conventional set-associative, fully
- * associative, victim, hash-rehash, column-associative with polynomial
- * rehash, skewed-associative XOR and the I-Poly variants. Benchmarks
- * and examples construct comparison sets from these labels.
+ * Compatibility shim: the named cache-organization factory moved into
+ * the organization registry. OrgSpec, makeOrganization() and
+ * standardComparisonLabels() now live in core/registry.hh; include that
+ * directly in new code.
  */
 
 #ifndef CAC_CORE_ORGANIZATION_HH
 #define CAC_CORE_ORGANIZATION_HH
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "cache/cache_model.hh"
-
-namespace cac
-{
-
-/** Parameters shared by all organizations in a comparison. */
-struct OrgSpec
-{
-    std::uint64_t sizeBytes = 8 * 1024;
-    std::uint64_t blockBytes = 32;
-    unsigned ways = 2;           ///< ignored by "full"
-    unsigned hashBlockBits = 14; ///< v minus offset bits (19 - 5)
-    unsigned victimBlocks = 8;   ///< victim-buffer lines ("victim")
-    bool writeAllocate = true;
-    std::uint64_t seed = 1;      ///< randomized replacement seed
-};
-
-/**
- * Labels understood by makeOrganization():
- *   "dm"           direct mapped, conventional index
- *   "aN"           N-way conventional (e.g. "a2", "a4")
- *   "aN-Hx"        N-way XOR hash, identical per way
- *   "aN-Hx-Sk"     N-way skewed-associative XOR
- *   "aN-Hp"        N-way I-Poly, same polynomial per way
- *   "aN-Hp-Sk"     N-way skewed I-Poly (the paper's best scheme)
- *   "full"         fully associative LRU
- *   "victim"       direct-mapped + victim buffer
- *   "hash-rehash"  two-probe DM, flip-top-bit rehash
- *   "column-poly"  two-probe DM, polynomial rehash (section 3.1 opt. 4)
- */
-std::unique_ptr<CacheModel>
-makeOrganization(const std::string &label, const OrgSpec &spec);
-
-/** The comparison set used by the miss-ratio benchmarks. */
-std::vector<std::string> standardComparisonLabels();
-
-} // namespace cac
+#include "core/registry.hh"
 
 #endif // CAC_CORE_ORGANIZATION_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Name -> builder registry of cache organizations.
+ *
+ * The registry is the single place that knows how to turn an
+ * organization label ("a2-Hp-Sk", "victim", ...) into a CacheModel.
+ * Every driver — cac_sim, the miss-ratio benches, the examples and the
+ * SweepRunner — builds caches through it, so adding a new organization
+ * means adding exactly one registration here (or calling add() at
+ * startup for out-of-tree organizations).
+ *
+ * Two kinds of entries exist:
+ *  - exact labels ("dm", "full", "victim", "hash-rehash", "column-poly");
+ *  - families ("aN", "aN-Hx-Sk", ...) whose associativity N is parsed
+ *    out of the label, so "a2-Hp-Sk", "a8-Hp-Sk" and "a16-Hp-Sk" all
+ *    resolve through one entry.
+ */
+
+#ifndef CAC_CORE_REGISTRY_HH
+#define CAC_CORE_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hh"
+
+namespace cac
+{
+
+/** Parameters shared by all organizations in a comparison. */
+struct OrgSpec
+{
+    std::uint64_t sizeBytes = 8 * 1024;
+    std::uint64_t blockBytes = 32;
+    unsigned ways = 2;           ///< ignored by "full"
+    unsigned hashBlockBits = 14; ///< v minus offset bits (19 - 5)
+    unsigned victimBlocks = 8;   ///< victim-buffer lines ("victim")
+    bool writeAllocate = true;
+    std::uint64_t seed = 1;      ///< randomized replacement seed
+};
+
+/** Registry of named cache organizations. */
+class OrgRegistry
+{
+  public:
+    /** Build a model for @p label under @p spec. */
+    using Builder = std::function<std::unique_ptr<CacheModel>(
+        const std::string &label, const OrgSpec &spec)>;
+
+    /** Does @p label belong to this entry? */
+    using Matcher = std::function<bool(const std::string &label)>;
+
+    /** One registered organization (or family of organizations). */
+    struct Entry
+    {
+        std::string pattern;     ///< display form, e.g. "aN-Hp-Sk"
+        std::string example;     ///< a concrete instance, e.g. "a2-Hp-Sk"
+        std::string description; ///< one-line summary for usage text
+        Matcher matches;
+        Builder build;
+    };
+
+    /**
+     * The process-wide registry, pre-populated with every organization
+     * the paper compares. Registration is not thread safe; concurrent
+     * build() calls on a fully-registered registry are.
+     */
+    static OrgRegistry &global();
+
+    /** Register an exact label. */
+    void add(const std::string &label, const std::string &description,
+             Builder build);
+
+    /**
+     * Register a family of labels.
+     *
+     * @param pattern display form for usage strings ("aN-Hp").
+     * @param example a concrete member used by docs and self-tests.
+     */
+    void addFamily(const std::string &pattern, const std::string &example,
+                   const std::string &description, Matcher matches,
+                   Builder build);
+
+    /** Is @p label resolvable? */
+    bool known(const std::string &label) const;
+
+    /** Build @p label under @p spec; fatal on unknown labels. */
+    std::unique_ptr<CacheModel> build(const std::string &label,
+                                      const OrgSpec &spec) const;
+
+    /** All entries, in registration order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Display patterns in registration order (usage strings). */
+    std::vector<std::string> patterns() const;
+
+    /** One buildable label per entry, in registration order. */
+    std::vector<std::string> exampleLabels() const;
+
+  private:
+    OrgRegistry(); ///< registers the built-in organizations
+
+    const Entry *find(const std::string &label) const;
+
+    std::vector<Entry> entries_;
+};
+
+/** Build a registered organization (shorthand for the global registry). */
+std::unique_ptr<CacheModel>
+makeOrganization(const std::string &label, const OrgSpec &spec);
+
+/** The comparison set used by the miss-ratio benchmarks. */
+std::vector<std::string> standardComparisonLabels();
+
+} // namespace cac
+
+#endif // CAC_CORE_REGISTRY_HH

@@ -1,0 +1,198 @@
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+#include "core/experiment.hh"
+
+namespace cac
+{
+
+SweepRunner::SweepRunner(unsigned threads)
+{
+    setThreads(threads);
+}
+
+void
+SweepRunner::setThreads(unsigned threads)
+{
+    threads_ = threads > 0 ? threads : 1;
+}
+
+void
+SweepRunner::addOrg(const std::string &label)
+{
+    if (!OrgRegistry::global().known(label))
+        fatal("unknown cache organization '%s'", label.c_str());
+    // Capture the spec by value: later setSpec() calls must not affect
+    // organizations already added.
+    addOrg(label, [label, spec = spec_] {
+        return OrgRegistry::global().build(label, spec);
+    });
+}
+
+void
+SweepRunner::addOrgs(const std::vector<std::string> &labels)
+{
+    for (const auto &label : labels)
+        addOrg(label);
+}
+
+void
+SweepRunner::addOrg(const std::string &label, OrgBuilder build)
+{
+    CAC_ASSERT(build != nullptr);
+    orgs_.push_back(Org{label, std::move(build)});
+}
+
+void
+SweepRunner::addAddressWorkload(const std::string &name,
+                                std::vector<std::uint64_t> addrs)
+{
+    Workload w;
+    w.name = name;
+    w.addrs = std::make_shared<const std::vector<std::uint64_t>>(
+        std::move(addrs));
+    workloads_.push_back(std::move(w));
+}
+
+void
+SweepRunner::addAddressWorkload(
+    const std::string &name,
+    std::function<std::vector<std::uint64_t>()> generate)
+{
+    CAC_ASSERT(generate != nullptr);
+    Workload w;
+    w.name = name;
+    w.generate = std::move(generate);
+    workloads_.push_back(std::move(w));
+}
+
+void
+SweepRunner::addTraceWorkload(const std::string &name, Trace trace)
+{
+    addTraceWorkload(name, std::make_shared<const Trace>(std::move(trace)));
+}
+
+void
+SweepRunner::addTraceWorkload(const std::string &name,
+                              std::shared_ptr<const Trace> trace)
+{
+    CAC_ASSERT(trace != nullptr);
+    Workload w;
+    w.name = name;
+    w.trace = std::move(trace);
+    workloads_.push_back(std::move(w));
+}
+
+SweepCell
+SweepRunner::runCell(std::size_t index) const
+{
+    const Workload &workload = workloads_[index / orgs_.size()];
+    const Org &org = orgs_[index % orgs_.size()];
+
+    std::unique_ptr<CacheModel> cache = org.build();
+    CAC_ASSERT(cache != nullptr);
+
+    SweepCell cell;
+    cell.workload = workload.name;
+    cell.org = org.label;
+    cell.cacheName = cache->name();
+    if (workload.trace) {
+        cell.stats = runTraceMemory(*cache, *workload.trace);
+    } else if (workload.addrs) {
+        cell.stats = runAddressStream(*cache, *workload.addrs);
+    } else {
+        const std::vector<std::uint64_t> addrs = workload.generate();
+        cell.stats = runAddressStream(*cache, addrs);
+    }
+    return cell;
+}
+
+std::vector<SweepCell>
+SweepRunner::run() const
+{
+    const std::size_t cells = numCells();
+    std::vector<SweepCell> results(cells);
+    if (cells == 0)
+        return results;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads_, cells));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cells; ++i)
+            results[i] = runCell(i);
+        return results;
+    }
+
+    // Dynamic work sharing: threads pull the next unclaimed cell and
+    // write into its slot, so the output order is the grid order no
+    // matter how cells are interleaved in time.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < cells;
+             i = next.fetch_add(1)) {
+            results[i] = runCell(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+    return results;
+}
+
+namespace
+{
+
+/** RFC-4180 quoting: wrap in quotes, double any embedded quote. */
+std::string
+csvField(const std::string &field)
+{
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+sweepCsv(const std::vector<SweepCell> &cells)
+{
+    std::string out = "workload,organization,cache,loads,stores,"
+                      "load_misses,store_misses,load_miss_pct,miss_pct\n";
+    char numbers[160];
+    for (const SweepCell &cell : cells) {
+        std::snprintf(numbers, sizeof(numbers),
+                      ",%llu,%llu,%llu,%llu,%.4f,%.4f\n",
+                      static_cast<unsigned long long>(cell.stats.loads),
+                      static_cast<unsigned long long>(cell.stats.stores),
+                      static_cast<unsigned long long>(
+                          cell.stats.loadMisses),
+                      static_cast<unsigned long long>(
+                          cell.stats.storeMisses),
+                      100.0 * cell.stats.loadMissRatio(),
+                      100.0 * cell.stats.missRatio());
+        out += csvField(cell.workload);
+        out += ',';
+        out += csvField(cell.org);
+        out += ',';
+        out += csvField(cell.cacheName);
+        out += numbers;
+    }
+    return out;
+}
+
+} // namespace cac

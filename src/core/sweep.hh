@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SweepRunner: the simulation engine behind every (organization x
+ * workload) comparison — Figure 1 stride sweeps, the Table 2/3-style
+ * miss-ratio grids, cac_sim --compare.
+ *
+ * A sweep is a grid: each registered workload is run against a fresh
+ * instance of each registered organization. Cells are independent, so
+ * the runner executes them on a std::thread pool; every thread builds
+ * its own cache instances and drives them through the accessBatch()
+ * fast path. Results come back in a deterministic order — workloads in
+ * insertion order, organizations in insertion order within each
+ * workload — regardless of the thread count.
+ */
+
+#ifndef CAC_CORE_SWEEP_HH
+#define CAC_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "core/registry.hh"
+#include "trace/record.hh"
+
+namespace cac
+{
+
+/** One (workload, organization) result cell. */
+struct SweepCell
+{
+    std::string workload;  ///< workload name
+    std::string org;       ///< organization label
+    std::string cacheName; ///< the model's name() for reports
+    CacheStats stats;
+};
+
+/** Grid executor for (organization x workload) sweeps. */
+class SweepRunner
+{
+  public:
+    /** Build a fresh cache instance (one per cell). */
+    using OrgBuilder = std::function<std::unique_ptr<CacheModel>()>;
+
+    /**
+     * @param threads worker count for run(); 1 executes inline. Values
+     *        above the cell count are clamped.
+     */
+    explicit SweepRunner(unsigned threads = 1);
+
+    void setThreads(unsigned threads);
+    unsigned threads() const { return threads_; }
+
+    /** Spec handed to registry-built organizations added after this. */
+    void setSpec(const OrgSpec &spec) { spec_ = spec; }
+    const OrgSpec &spec() const { return spec_; }
+
+    /** Add a registry organization under the current spec. */
+    void addOrg(const std::string &label);
+
+    /** Add several registry organizations under the current spec. */
+    void addOrgs(const std::vector<std::string> &labels);
+
+    /**
+     * Add a custom organization. @p build is called once per cell, from
+     * worker threads, and must be safe to call concurrently.
+     */
+    void addOrg(const std::string &label, OrgBuilder build);
+
+    /** Add a load-only address-stream workload. */
+    void addAddressWorkload(const std::string &name,
+                            std::vector<std::uint64_t> addrs);
+
+    /**
+     * Add an address-stream workload produced on demand (keeps huge
+     * sweeps from materializing every stream up front). @p generate is
+     * called once per cell, from worker threads, and must be safe to
+     * call concurrently.
+     */
+    void addAddressWorkload(
+        const std::string &name,
+        std::function<std::vector<std::uint64_t>()> generate);
+
+    /** Add an instruction-trace workload (memory operations only). */
+    void addTraceWorkload(const std::string &name, Trace trace);
+
+    /** Add a shared instruction-trace workload without copying it. */
+    void addTraceWorkload(const std::string &name,
+                          std::shared_ptr<const Trace> trace);
+
+    std::size_t numOrgs() const { return orgs_.size(); }
+    std::size_t numWorkloads() const { return workloads_.size(); }
+
+    /** Total number of grid cells. */
+    std::size_t numCells() const
+    {
+        return orgs_.size() * workloads_.size();
+    }
+
+    /**
+     * Execute the grid. Returns one cell per (workload, organization)
+     * pair, workload-major in insertion order; the result is identical
+     * for any thread count.
+     */
+    std::vector<SweepCell> run() const;
+
+  private:
+    struct Org
+    {
+        std::string label;
+        OrgBuilder build;
+    };
+
+    struct Workload
+    {
+        std::string name;
+        /** Exactly one of the three sources is set. */
+        std::shared_ptr<const std::vector<std::uint64_t>> addrs;
+        std::function<std::vector<std::uint64_t>()> generate;
+        std::shared_ptr<const Trace> trace;
+    };
+
+    /** Execute one cell (cell index = workload * numOrgs + org). */
+    SweepCell runCell(std::size_t index) const;
+
+    unsigned threads_;
+    OrgSpec spec_;
+    std::vector<Org> orgs_;
+    std::vector<Workload> workloads_;
+};
+
+/**
+ * Render sweep results as CSV (header + one line per cell), for
+ * machine-readable sweep output (cac_sim --csv).
+ */
+std::string sweepCsv(const std::vector<SweepCell> &cells);
+
+} // namespace cac
+
+#endif // CAC_CORE_SWEEP_HH

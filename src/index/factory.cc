@@ -9,8 +9,8 @@
 namespace cac
 {
 
-IndexKind
-parseIndexKind(const std::string &label)
+std::optional<IndexKind>
+tryParseIndexKind(const std::string &label)
 {
     // Strip an optional associativity prefix ("a2-", "a4-", ...).
     std::string body = label;
@@ -35,6 +35,14 @@ parseIndexKind(const std::string &label)
         return IndexKind::IPoly;
     if (body == "Hp-Sk")
         return IndexKind::IPolySkew;
+    return std::nullopt;
+}
+
+IndexKind
+parseIndexKind(const std::string &label)
+{
+    if (auto kind = tryParseIndexKind(label))
+        return *kind;
     fatal("unknown index scheme label '%s'", label.c_str());
 }
 

@@ -9,6 +9,7 @@
 #define CAC_INDEX_FACTORY_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "index/index_fn.hh"
@@ -28,6 +29,9 @@ enum class IndexKind
 
 /** Parse a scheme label ("a2-Hp-Sk" etc.; the aN prefix is optional). */
 IndexKind parseIndexKind(const std::string &label);
+
+/** Like parseIndexKind() but returns nullopt instead of exiting. */
+std::optional<IndexKind> tryParseIndexKind(const std::string &label);
 
 /** Short name for a kind (without the associativity prefix). */
 std::string indexKindName(IndexKind kind);

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the organization registry: every advertised label builds,
+ * families resolve arbitrary associativity, and custom registrations
+ * slot in beside the built-ins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/fully_assoc.hh"
+#include "core/registry.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(OrgRegistry, EveryAdvertisedLabelBuilds)
+{
+    // The usage string (cac_sim) is generated from entries(); each
+    // entry's example label must round-trip through build().
+    OrgSpec spec;
+    auto &registry = OrgRegistry::global();
+    for (const auto &label : registry.exampleLabels()) {
+        ASSERT_TRUE(registry.known(label)) << label;
+        auto cache = registry.build(label, spec);
+        ASSERT_NE(cache, nullptr) << label;
+        EXPECT_FALSE(cache->name().empty()) << label;
+        EXPECT_FALSE(cache->access(0x1234, false).hit) << label;
+        EXPECT_TRUE(cache->access(0x1234, false).hit) << label;
+    }
+}
+
+TEST(OrgRegistry, StandardComparisonLabelsAreAllRegistered)
+{
+    auto &registry = OrgRegistry::global();
+    for (const auto &label : standardComparisonLabels())
+        EXPECT_TRUE(registry.known(label)) << label;
+}
+
+TEST(OrgRegistry, ExampleNamesReflectTheScheme)
+{
+    OrgSpec spec;
+    auto &registry = OrgRegistry::global();
+    for (const auto &label :
+         {"a2-Hx", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk"}) {
+        auto cache = registry.build(label, spec);
+        const std::string suffix = std::string(label).substr(3);
+        EXPECT_NE(cache->name().find(suffix), std::string::npos)
+            << label << " -> " << cache->name();
+    }
+}
+
+TEST(OrgRegistry, FamiliesResolveArbitraryAssociativity)
+{
+    OrgSpec spec;
+    auto &registry = OrgRegistry::global();
+    // Skewed I-Poly needs one distinct polynomial per way; the catalog
+    // covers the paper's range (up to 4 ways).
+    for (unsigned ways : {1u, 2u, 4u}) {
+        const std::string label = "a" + std::to_string(ways) + "-Hp-Sk";
+        ASSERT_TRUE(registry.known(label)) << label;
+        auto cache = registry.build(label, spec);
+        EXPECT_EQ(cache->geometry().ways(), ways) << label;
+    }
+    // Conventional indexing scales to any power-of-two associativity.
+    auto wide = registry.build("a8", spec);
+    EXPECT_EQ(wide->geometry().ways(), 8u);
+}
+
+TEST(OrgRegistry, MalformedFamilyLabelsAreUnknown)
+{
+    auto &registry = OrgRegistry::global();
+    for (const auto &label :
+         {"a", "a-Hp", "a2-", "a2-bogus", "a2Hp", "aN-Hp", "wombat"}) {
+        EXPECT_FALSE(registry.known(label)) << label;
+    }
+}
+
+TEST(OrgRegistry, PatternsListedInRegistrationOrder)
+{
+    const auto patterns = OrgRegistry::global().patterns();
+    ASSERT_GE(patterns.size(), 10u);
+    EXPECT_EQ(patterns.front(), "dm");
+    // Families are advertised with the aN placeholder.
+    EXPECT_NE(std::find(patterns.begin(), patterns.end(), "aN-Hp-Sk"),
+              patterns.end());
+    EXPECT_NE(std::find(patterns.begin(), patterns.end(), "column-poly"),
+              patterns.end());
+}
+
+TEST(OrgRegistry, CustomRegistrationExtendsTheSet)
+{
+    auto &registry = OrgRegistry::global();
+    ASSERT_FALSE(registry.known("test-custom"));
+    registry.add("test-custom", "test-only organization",
+                 [](const std::string &, const OrgSpec &spec) {
+                     return std::make_unique<FullyAssocCache>(
+                         spec.sizeBytes, spec.blockBytes, true);
+                 });
+    ASSERT_TRUE(registry.known("test-custom"));
+    OrgSpec spec;
+    auto cache = registry.build("test-custom", spec);
+    EXPECT_NE(cache->name().find("fully-assoc"), std::string::npos);
+}
+
+TEST(OrgRegistryDeath, UnknownLabelIsFatal)
+{
+    OrgSpec spec;
+    EXPECT_EXIT((void)OrgRegistry::global().build("wombat", spec),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // anonymous namespace
+} // namespace cac

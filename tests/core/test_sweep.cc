@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the SweepRunner simulation engine: grid ordering, thread
+ * determinism, and agreement with the serial experiment drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "core/sweep.hh"
+#include "trace/builder.hh"
+#include "workloads/stride.hh"
+
+namespace cac
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+strideAddrs(std::uint64_t stride)
+{
+    StrideWorkloadConfig wc;
+    wc.stride = stride;
+    wc.sweeps = 16;
+    return makeStrideAddressTrace(wc);
+}
+
+Trace
+smallTrace()
+{
+    Trace t;
+    TraceBuilder b(t);
+    for (int i = 0; i < 2000; ++i) {
+        b.load(0x4000 + (i % 512) * 32, reg::r(1));
+        b.store(0x9000 + (i % 64) * 32, reg::r(1));
+    }
+    return t;
+}
+
+/** The 4-org x 3-workload grid the determinism test runs. */
+SweepRunner
+makeGrid(unsigned threads)
+{
+    SweepRunner sweep(threads);
+    sweep.addOrgs({"a2", "a2-Hp-Sk", "victim"});
+    sweep.addOrg("custom-full", [] {
+        OrgSpec spec;
+        return makeOrganization("full", spec);
+    });
+    sweep.addAddressWorkload("stride-1", strideAddrs(1));
+    sweep.addAddressWorkload("stride-512",
+                             [] { return strideAddrs(512); });
+    sweep.addTraceWorkload("mixed-trace", smallTrace());
+    return sweep;
+}
+
+void
+expectCellsEqual(const std::vector<SweepCell> &a,
+                 const std::vector<SweepCell> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload) << i;
+        EXPECT_EQ(a[i].org, b[i].org) << i;
+        EXPECT_EQ(a[i].cacheName, b[i].cacheName) << i;
+        EXPECT_EQ(a[i].stats.loads, b[i].stats.loads) << i;
+        EXPECT_EQ(a[i].stats.stores, b[i].stats.stores) << i;
+        EXPECT_EQ(a[i].stats.loadMisses, b[i].stats.loadMisses) << i;
+        EXPECT_EQ(a[i].stats.storeMisses, b[i].stats.storeMisses) << i;
+        EXPECT_EQ(a[i].stats.fills, b[i].stats.fills) << i;
+        EXPECT_EQ(a[i].stats.evictions, b[i].stats.evictions) << i;
+    }
+}
+
+TEST(SweepRunner, GridIsWorkloadMajorInInsertionOrder)
+{
+    SweepRunner sweep = makeGrid(1);
+    ASSERT_EQ(sweep.numCells(), 12u);
+    const auto cells = sweep.run();
+    ASSERT_EQ(cells.size(), 12u);
+
+    const std::vector<std::string> orgs = {"a2", "a2-Hp-Sk", "victim",
+                                           "custom-full"};
+    const std::vector<std::string> workloads = {"stride-1", "stride-512",
+                                                "mixed-trace"};
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (std::size_t o = 0; o < orgs.size(); ++o) {
+            const SweepCell &cell = cells[w * orgs.size() + o];
+            EXPECT_EQ(cell.workload, workloads[w]);
+            EXPECT_EQ(cell.org, orgs[o]);
+        }
+    }
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults)
+{
+    const auto serial = makeGrid(1).run();
+    const auto threaded = makeGrid(4).run();
+    expectCellsEqual(serial, threaded);
+
+    // Oversubscribed relative to the 12 cells: still identical.
+    const auto oversubscribed = makeGrid(64).run();
+    expectCellsEqual(serial, oversubscribed);
+}
+
+TEST(SweepRunner, CellsMatchTheSerialDrivers)
+{
+    const auto cells = makeGrid(4).run();
+
+    // stride-512 x a2 (cell [1][0]) against runAddressStream.
+    {
+        OrgSpec spec;
+        auto cache = makeOrganization("a2", spec);
+        const CacheStats want =
+            runAddressStream(*cache, strideAddrs(512));
+        EXPECT_EQ(cells[4].stats.loads, want.loads);
+        EXPECT_EQ(cells[4].stats.loadMisses, want.loadMisses);
+    }
+    // mixed-trace x victim (cell [2][2]) against runTraceMemory.
+    {
+        OrgSpec spec;
+        auto cache = makeOrganization("victim", spec);
+        const Trace t = smallTrace();
+        const CacheStats want = runTraceMemory(*cache, t);
+        EXPECT_EQ(cells[10].stats.loads, want.loads);
+        EXPECT_EQ(cells[10].stats.stores, want.stores);
+        EXPECT_EQ(cells[10].stats.loadMisses, want.loadMisses);
+        EXPECT_EQ(cells[10].stats.storeMisses, want.storeMisses);
+    }
+}
+
+TEST(SweepRunner, SpecIsCapturedAtAddTime)
+{
+    SweepRunner sweep(2);
+    OrgSpec small;
+    small.sizeBytes = 4 * 1024;
+    sweep.setSpec(small);
+    sweep.addOrg("a2");
+    OrgSpec big;
+    big.sizeBytes = 16 * 1024;
+    sweep.setSpec(big);
+    sweep.addOrg("a4");
+    sweep.addAddressWorkload("stride-1", strideAddrs(1));
+
+    const auto cells = sweep.run();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_NE(cells[0].cacheName.find("4KB"), std::string::npos)
+        << cells[0].cacheName;
+    EXPECT_NE(cells[1].cacheName.find("16KB"), std::string::npos)
+        << cells[1].cacheName;
+}
+
+TEST(SweepRunner, EmptyGridRunsToNothing)
+{
+    SweepRunner sweep(4);
+    sweep.addOrg("a2");
+    EXPECT_EQ(sweep.numCells(), 0u);
+    EXPECT_TRUE(sweep.run().empty());
+}
+
+TEST(SweepRunner, CsvHasHeaderAndOneLinePerCell)
+{
+    const auto cells = makeGrid(2).run();
+    const std::string csv = sweepCsv(cells);
+    std::size_t lines = 0;
+    for (char c : csv) {
+        if (c == '\n')
+            ++lines;
+    }
+    EXPECT_EQ(lines, cells.size() + 1);
+    EXPECT_EQ(csv.rfind("workload,organization,cache,loads,", 0), 0u);
+}
+
+TEST(SweepRunnerDeath, UnknownRegistryLabelIsFatal)
+{
+    SweepRunner sweep(1);
+    EXPECT_EXIT(sweep.addOrg("wombat"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+} // anonymous namespace
+} // namespace cac

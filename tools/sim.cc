@@ -4,16 +4,21 @@
  * organization (functional, miss ratios) or the full out-of-order CPU
  * model (timing, IPC).
  *
+ * Organization runs go through the simulation engine: labels resolve
+ * via the organization registry and the (org x trace) grid executes on
+ * a SweepRunner, so --compare parallelizes across organizations.
+ *
  * Usage:
  *   cac_sim --trace swim.trc --org a2-Hp-Sk [--size 8192] [--ways 2]
  *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
- *   cac_sim --trace swim.trc --compare        # all standard orgs
+ *   cac_sim --trace swim.trc --compare --threads 4 --csv
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/cac.hh"
 
@@ -31,9 +36,14 @@ usage()
         "  cac_sim --trace FILE --org LABEL [--size BYTES] [--ways N] "
         "[--block BYTES]\n"
         "  cac_sim --trace FILE --cpu CONFIG\n"
-        "  cac_sim --trace FILE --compare\n"
-        "orgs: dm a2 a4 a2-Hx-Sk a2-Hp a2-Hp-Sk victim hash-rehash "
-        "column-poly full\n"
+        "  cac_sim --trace FILE --compare [--threads N] [--csv]\n"
+        "orgs:\n");
+    for (const auto &entry : OrgRegistry::global().entries()) {
+        std::fprintf(stderr, "  %-14s %s\n", entry.pattern.c_str(),
+                     entry.description.c_str());
+    }
+    std::fprintf(
+        stderr,
         "cpu configs: 16k-conv 8k-conv 8k-conv-pred 8k-ipoly-nocp "
         "8k-ipoly-cp 8k-ipoly-cp-pred\n");
     std::exit(1);
@@ -54,6 +64,8 @@ main(int argc, char **argv)
 {
     std::string trace_path, org, cpu;
     bool compare = false;
+    bool csv = false;
+    unsigned threads = std::thread::hardware_concurrency();
     OrgSpec spec;
 
     for (int i = 1; i < argc; ++i) {
@@ -66,6 +78,11 @@ main(int argc, char **argv)
             cpu = argValue(argc, argv, i);
         else if (!std::strcmp(arg, "--compare"))
             compare = true;
+        else if (!std::strcmp(arg, "--csv"))
+            csv = true;
+        else if (!std::strcmp(arg, "--threads"))
+            threads = static_cast<unsigned>(
+                std::strtoul(argValue(argc, argv, i), nullptr, 0));
         else if (!std::strcmp(arg, "--size"))
             spec.sizeBytes = std::strtoull(argValue(argc, argv, i),
                                            nullptr, 0);
@@ -84,9 +101,11 @@ main(int argc, char **argv)
     if (trace_path.empty() || (org.empty() && cpu.empty() && !compare))
         usage();
 
-    const Trace trace = readTrace(trace_path);
-    std::printf("trace: %s (%zu instructions)\n", trace_path.c_str(),
-                trace.size());
+    Trace trace = readTrace(trace_path);
+    if (!csv) {
+        std::printf("trace: %s (%zu instructions)\n", trace_path.c_str(),
+                    trace.size());
+    }
 
     if (!cpu.empty()) {
         OooCore core(CpuConfig::tableConfig(cpu));
@@ -106,19 +125,27 @@ main(int argc, char **argv)
         return 0;
     }
 
+    SweepRunner sweep(threads);
+    sweep.setSpec(spec);
+    sweep.addOrgs(compare ? standardComparisonLabels()
+                          : std::vector<std::string>{org});
+    sweep.addTraceWorkload(trace_path,
+                           std::make_shared<const Trace>(std::move(trace)));
+    const std::vector<SweepCell> cells = sweep.run();
+
+    if (csv) {
+        std::printf("%s", sweepCsv(cells).c_str());
+        return 0;
+    }
+
     TextTable table;
     table.header({"organization", "loads", "load miss%", "overall miss%"});
-    const auto labels =
-        compare ? standardComparisonLabels()
-                : std::vector<std::string>{org};
-    for (const auto &label : labels) {
-        auto cache = makeOrganization(label, spec);
-        const CacheStats s = runTraceMemory(*cache, trace);
+    for (const SweepCell &cell : cells) {
         table.beginRow();
-        table.cell(cache->name());
-        table.cell(static_cast<long long>(s.loads));
-        table.cell(100.0 * s.loadMissRatio(), 2);
-        table.cell(100.0 * s.missRatio(), 2);
+        table.cell(cell.cacheName);
+        table.cell(static_cast<long long>(cell.stats.loads));
+        table.cell(100.0 * cell.stats.loadMissRatio(), 2);
+        table.cell(100.0 * cell.stats.missRatio(), 2);
     }
     std::printf("%s", table.render().c_str());
     return 0;
