@@ -1,0 +1,243 @@
+/**
+ * @file
+ * perf_engine — simulator *throughput* benchmark (accesses per second),
+ * the perf trajectory behind the ROADMAP's "as fast as the hardware
+ * allows" goal. Where the other benches reproduce the paper's numbers,
+ * this one measures how fast we can produce them.
+ *
+ * Three measurements, written to BENCH_perf.json:
+ *  1. per-organization scalar throughput — one virtual access() per
+ *     address;
+ *  2. per-organization batch throughput — one accessBatch() per stream,
+ *     the compiled-index-plan hot path every sweep cell runs on;
+ *  3. sweep throughput — a full (organization x workload) SweepRunner
+ *     grid at 1 and at hardware_concurrency threads, including the
+ *     shared materialization of generator workloads.
+ *
+ * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
+ * throughput on the stride mix: that cell is the paper's best scheme
+ * and the one every miss-ratio sweep spends most of its time in.
+ *
+ * Usage: cac_bench_perf_engine [--smoke] [--out FILE] [--threads N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "core/cac.hh"
+
+namespace
+{
+
+using namespace cac;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * The benchmark stream: several full stride sweeps (including the
+ * power-of-two strides that conflict under conventional indexing) plus
+ * a random tail, so every organization sees a realistic hit/miss mix.
+ */
+std::vector<std::uint64_t>
+makeStream(std::size_t target_len)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(target_len + 4096);
+    const std::uint64_t strides[] = {1, 17, 128, 256, 1024};
+    while (out.size() < target_len * 3 / 4) {
+        for (std::uint64_t s : strides) {
+            StrideWorkloadConfig wc;
+            wc.stride = s;
+            wc.sweeps = 8;
+            const auto part = makeStrideAddressTrace(wc);
+            out.insert(out.end(), part.begin(), part.end());
+            if (out.size() >= target_len * 3 / 4)
+                break;
+        }
+    }
+    Rng rng(42);
+    while (out.size() < target_len)
+        out.push_back((rng.next() & mask(19)) << 3);
+    out.resize(target_len);
+    return out;
+}
+
+struct OrgResult
+{
+    std::string org;
+    std::string cacheName;
+    double scalarAps = 0.0;
+    double batchAps = 0.0;
+};
+
+struct SweepResult
+{
+    unsigned threads = 0;
+    double seconds = 0.0;
+    double accessesPerSec = 0.0;
+};
+
+void
+writeJson(const std::string &path, bool smoke, std::size_t stream_len,
+          const std::vector<OrgResult> &orgs, std::size_t sweep_cells,
+          std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
+    std::fprintf(f, "  \"schema\": 1,\n");
+    std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
+    std::fprintf(f, "  \"organizations\": [\n");
+    for (std::size_t i = 0; i < orgs.size(); ++i) {
+        const OrgResult &r = orgs[i];
+        std::fprintf(f,
+                     "    {\"org\": \"%s\", \"cache\": \"%s\", "
+                     "\"scalar_aps\": %.0f, \"batch_aps\": %.0f}%s\n",
+                     r.org.c_str(), r.cacheName.c_str(), r.scalarAps,
+                     r.batchAps, i + 1 < orgs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"sweep\": {\n");
+    std::fprintf(f, "    \"cells\": %zu,\n", sweep_cells);
+    std::fprintf(f, "    \"total_accesses\": %zu,\n", sweep_accesses);
+    std::fprintf(f, "    \"runs\": [\n");
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepResult &s = sweeps[i];
+        std::fprintf(f,
+                     "      {\"threads\": %u, \"seconds\": %.4f, "
+                     "\"accesses_per_sec\": %.0f}%s\n",
+                     s.threads, s.seconds, s.accessesPerSec,
+                     i + 1 < sweeps.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_perf.json";
+    unsigned max_threads = std::thread::hardware_concurrency();
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke")) {
+            smoke = true;
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            max_threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--out FILE] [--threads N]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (max_threads == 0)
+        max_threads = 1;
+
+    const std::size_t stream_len = smoke ? 50000 : 1000000;
+    const double min_seconds = smoke ? 0.02 : 0.25;
+    const std::vector<std::uint64_t> stream = makeStream(stream_len);
+
+    // One organization per distinct hot path: the four model classes
+    // (SetAssocCache x 4 index schemes, TwoProbeCache x 2 rehashes,
+    // VictimCache, FullyAssocCache).
+    const std::vector<std::string> labels = {
+        "dm",     "a2",          "a2-Hx-Sk",    "a2-Hp", "a2-Hp-Sk",
+        "victim", "hash-rehash", "column-poly", "full"};
+
+    OrgSpec spec;
+    std::vector<OrgResult> org_results;
+    std::printf("%-14s %14s %14s %8s\n", "organization", "scalar aps",
+                "batch aps", "batch/s");
+    for (const std::string &label : labels) {
+        OrgResult r;
+        r.org = label;
+        {
+            auto cache = makeOrganization(label, spec);
+            r.cacheName = cache->name();
+            r.scalarAps = measureThroughput(min_seconds, [&] {
+                for (std::uint64_t addr : stream)
+                    cache->access(addr, false);
+                return static_cast<std::uint64_t>(stream.size());
+            }).unitsPerSec;
+        }
+        {
+            auto cache = makeOrganization(label, spec);
+            r.batchAps = measureThroughput(min_seconds, [&] {
+                cache->accessBatch(stream.data(), stream.size(), false);
+                return static_cast<std::uint64_t>(stream.size());
+            }).unitsPerSec;
+        }
+        std::printf("%-14s %14.0f %14.0f %7.2fx\n", label.c_str(),
+                    r.scalarAps, r.batchAps, r.batchAps / r.scalarAps);
+        org_results.push_back(std::move(r));
+    }
+
+    // Sweep throughput: grid of all organizations x generator stride
+    // workloads (generators exercise the runner's shared workload
+    // materialization), at 1 thread and at max_threads.
+    const std::uint64_t sweep_strides[] = {1, 64, 128, 256, 512, 1024};
+    const std::size_t sweeps_per_stride = smoke ? 16 : 128;
+    std::vector<SweepResult> sweep_results;
+    std::size_t sweep_cells = 0;
+    std::size_t sweep_accesses = 0;
+    for (unsigned threads : {1u, max_threads}) {
+        SweepRunner sweep(threads);
+        sweep.addOrgs(labels);
+        for (std::uint64_t s : sweep_strides) {
+            sweep.addAddressWorkload(
+                "stride-" + std::to_string(s), [s, sweeps_per_stride] {
+                    StrideWorkloadConfig wc;
+                    wc.stride = s;
+                    wc.sweeps = sweeps_per_stride;
+                    return makeStrideAddressTrace(wc);
+                });
+        }
+        const auto start = Clock::now();
+        const std::vector<SweepCell> cells = sweep.run();
+        SweepResult sr;
+        sr.threads = threads;
+        sr.seconds = secondsSince(start);
+        sweep_cells = cells.size();
+        sweep_accesses = 0;
+        for (const SweepCell &cell : cells)
+            sweep_accesses += cell.stats.accesses();
+        sr.accessesPerSec =
+            static_cast<double>(sweep_accesses) / sr.seconds;
+        std::printf("sweep %3u thread%s %14.0f aps  (%zu cells, %.3fs)\n",
+                    threads, threads == 1 ? " " : "s", sr.accessesPerSec,
+                    sweep_cells, sr.seconds);
+        sweep_results.push_back(sr);
+        if (max_threads == 1)
+            break;
+    }
+
+    writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
+              sweep_accesses, sweep_results);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -23,6 +23,10 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geometry,
                                       geometry.ways());
     }
     lines_.resize(geometry.numBlocks());
+    plan_ = compilePlan(*index_fn_);
+    plan_epoch_ = index_fn_->planEpoch();
+    way_sets_.resize(geometry.ways());
+    fill_candidates_.resize(geometry.ways());
 }
 
 SetAssocCache::Line &
@@ -40,19 +44,37 @@ SetAssocCache::lineAt(unsigned way, std::uint64_t set) const
 SetAssocCache::Line *
 SetAssocCache::findLine(std::uint64_t block_addr)
 {
-    for (unsigned w = 0; w < geometry_.ways(); ++w) {
-        Line &line = lineAt(w, index_fn_->index(block_addr, w));
-        if (line.valid && line.block == block_addr)
-            return &line;
-    }
-    return nullptr;
+    const Line *line =
+        static_cast<const SetAssocCache *>(this)->findLine(block_addr);
+    return const_cast<Line *>(line);
 }
 
 const SetAssocCache::Line *
 SetAssocCache::findLine(std::uint64_t block_addr) const
 {
-    for (unsigned w = 0; w < geometry_.ways(); ++w) {
-        const Line &line = lineAt(w, index_fn_->index(block_addr, w));
+    ensurePlan();
+    const unsigned ways = geometry_.ways();
+    if (plan_.uniform()) {
+        // Non-skewed placement: one set shared by every way.
+        const std::uint64_t set = plan_.indexOne(block_addr, 0);
+        for (unsigned w = 0; w < ways; ++w) {
+            const Line &line = lineAt(w, set);
+            if (line.valid && line.block == block_addr)
+                return &line;
+        }
+        return nullptr;
+    }
+    // Stack buffer keeps const lookups free of shared mutable state
+    // (concurrent probe() calls stay safe); associativities beyond
+    // kStackWays spill to the per-instance scratch, losing only that
+    // concurrency guarantee.
+    constexpr unsigned kStackWays = 32;
+    std::uint64_t stack_sets[kStackWays];
+    std::uint64_t *sets =
+        ways <= kStackWays ? stack_sets : way_sets_.data();
+    plan_.indexAll(block_addr, sets);
+    for (unsigned w = 0; w < ways; ++w) {
+        const Line &line = lineAt(w, sets[w]);
         if (line.valid && line.block == block_addr)
             return &line;
     }
@@ -127,9 +149,12 @@ SetAssocCache::fillBlock(std::uint64_t block_addr, bool dirty)
     r.filled = true;
     ++stats_.fills;
 
-    std::vector<ReplCandidate> candidates(geometry_.ways());
+    // Reuse the member scratch buffers: the fill path allocates nothing.
+    ensurePlan();
+    plan_.indexAll(block_addr, way_sets_.data());
+    std::vector<ReplCandidate> &candidates = fill_candidates_;
     for (unsigned w = 0; w < geometry_.ways(); ++w) {
-        const std::uint64_t set = index_fn_->index(block_addr, w);
+        const std::uint64_t set = way_sets_[w];
         const Line &line = lineAt(w, set);
         candidates[w].valid = line.valid;
         candidates[w].state = &line.repl;

@@ -9,6 +9,11 @@
  * store the full block address rather than a truncated tag (a real
  * implementation stores enough tag bits to disambiguate; the simulator
  * keeps the whole address for clarity).
+ *
+ * The IndexFn is compiled once at construction into an IndexPlan (see
+ * index/index_plan.hh); every lookup and fill evaluates the plan
+ * inline, so the hot path performs no virtual dispatch and no heap
+ * allocation regardless of the placement scheme.
  */
 
 #ifndef CAC_CACHE_SET_ASSOC_HH
@@ -20,6 +25,7 @@
 #include "cache/cache_model.hh"
 #include "cache/replacement.hh"
 #include "index/index_fn.hh"
+#include "index/index_plan.hh"
 
 namespace cac
 {
@@ -61,6 +67,16 @@ class SetAssocCache : public CacheModel
     const IndexFn &indexFn() const { return *index_fn_; }
 
     /**
+     * The compiled evaluation plan the hot path runs on (recompiled
+     * automatically when indexFn().planEpoch() changes).
+     */
+    const IndexPlan &indexPlan() const
+    {
+        ensurePlan();
+        return plan_;
+    }
+
+    /**
      * Fill a block without recording an access (used by hierarchies and
      * two-probe wrappers that account for the access themselves).
      *
@@ -93,13 +109,38 @@ class SetAssocCache : public CacheModel
     /** Non-virtual body of access(); the batch loop calls this. */
     AccessResult accessOne(std::uint64_t addr, bool is_write);
 
+    /**
+     * Recompile the plan if the index function was reprogrammed since
+     * the last compile (ConfigurableIndex). One load + compare on the
+     * hot path; every other IndexFn keeps a constant epoch.
+     */
+    void ensurePlan() const
+    {
+        if (index_fn_->planEpoch() != plan_epoch_) {
+            plan_ = compilePlan(*index_fn_);
+            plan_epoch_ = index_fn_->planEpoch();
+        }
+    }
+
     std::unique_ptr<IndexFn> index_fn_;
+    /** Compiled form of index_fn_; all lookups go through it. */
+    mutable IndexPlan plan_;
+    mutable std::uint64_t plan_epoch_ = 0;
     std::unique_ptr<ReplacementPolicy> repl_;
     WriteAllocate write_allocate_;
     bool write_back_;
     std::uint64_t tick_ = 0; ///< access counter driving LRU/FIFO
     /** lines_[way * numSets + set]. */
     std::vector<Line> lines_;
+    /**
+     * Per-access scratch: one set index per way (no allocation). Const
+     * lookups only touch it beyond 32 ways (findLine uses a stack
+     * buffer below that), so concurrent probe() calls on realistic
+     * associativities never share mutable state.
+     */
+    mutable std::vector<std::uint64_t> way_sets_;
+    /** Per-fill scratch candidates, sized ways() once (no allocation). */
+    std::vector<ReplCandidate> fill_candidates_;
 };
 
 } // namespace cac

@@ -20,6 +20,7 @@ TwoProbeCache::TwoProbeCache(const CacheGeometry &geometry,
     if (rehash_ == RehashKind::IPoly) {
         poly_ = makeIndexFn(IndexKind::IPoly, geometry.setBits(), 1,
                             input_bits);
+        poly_plan_ = compilePlan(*poly_);
     }
 }
 
@@ -36,7 +37,7 @@ TwoProbeCache::secondaryIndex(std::uint64_t block) const
         return primaryIndex(block)
             ^ (std::uint64_t{1} << (geometry_.setBits() - 1));
     }
-    return poly_->index(block, 0);
+    return poly_plan_.indexOne(block, 0);
 }
 
 AccessResult

@@ -21,6 +21,7 @@
 
 #include "cache/cache_model.hh"
 #include "index/index_fn.hh"
+#include "index/index_plan.hh"
 
 namespace cac
 {
@@ -71,6 +72,12 @@ class TwoProbeCache : public CacheModel
 
     RehashKind rehash_;
     std::unique_ptr<IndexFn> poly_; ///< used when rehash_ == IPoly
+    /**
+     * Compiled form of poly_ built once at construction; the secondary
+     * probe evaluates it inline instead of the virtual index(). (The
+     * flip-top-bit rehash is a single XOR and needs no plan.)
+     */
+    IndexPlan poly_plan_;
     bool write_allocate_;
     std::vector<Line> lines_;
 };

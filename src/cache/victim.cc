@@ -85,9 +85,11 @@ VictimCache::accessOne(std::uint64_t addr, bool is_write)
     else
         ++stats_.loads;
 
-    if (main_.probe(addr)) {
+    // Qualified calls: main_ is a concrete member, so probe/access
+    // dispatch statically into SetAssocCache's compiled-plan hot path.
+    if (main_.SetAssocCache::probe(addr)) {
         // Main-cache hit; forward to keep its LRU state warm.
-        main_.access(addr, is_write);
+        main_.SetAssocCache::access(addr, is_write);
         AccessResult r;
         r.hit = true;
         return r;

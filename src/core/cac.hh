@@ -31,6 +31,7 @@
 #include "index/configurable.hh"
 #include "index/factory.hh"
 #include "index/index_fn.hh"
+#include "index/index_plan.hh"
 #include "index/ipoly.hh"
 #include "index/xor_skew.hh"
 #include "poly/catalog.hh"

@@ -10,6 +10,7 @@
 #define CAC_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,25 @@ namespace cac
 /** Run a pure load-address stream through a cache model. */
 CacheStats runAddressStream(CacheModel &cache,
                             const std::vector<std::uint64_t> &addrs);
+
+/** Outcome of one measureThroughput() run. */
+struct ThroughputResult
+{
+    double unitsPerSec = 0.0; ///< units (accesses) per wall-clock second
+    std::size_t reps = 0;     ///< timed repetitions of the body
+    double seconds = 0.0;     ///< timed wall-clock window
+};
+
+/**
+ * The shared timing methodology of bench/perf_engine and
+ * `cac_sim --bench` (their numbers must stay comparable): run @p body
+ * once untimed as warm-up, then repeat it until @p min_seconds of
+ * wall-clock time elapse. @p body returns the number of units
+ * (accesses) it performed that repetition.
+ */
+ThroughputResult
+measureThroughput(double min_seconds,
+                  const std::function<std::uint64_t()> &body);
 
 /** Run only the memory operations of @p trace through a cache model. */
 CacheStats runTraceMemory(CacheModel &cache, const Trace &trace);

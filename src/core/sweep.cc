@@ -88,10 +88,27 @@ SweepRunner::addTraceWorkload(const std::string &name,
     workloads_.push_back(std::move(w));
 }
 
-SweepCell
-SweepRunner::runCell(std::size_t index) const
+std::vector<SweepRunner::SharedAddrs>
+SweepRunner::materializeWorkloads() const
 {
-    const Workload &workload = workloads_[index / orgs_.size()];
+    std::vector<SharedAddrs> materialized(workloads_.size());
+    for (std::size_t i = 0; i < workloads_.size(); ++i) {
+        const Workload &w = workloads_[i];
+        if (w.generate && !w.addrs && !w.trace) {
+            materialized[i] =
+                std::make_shared<const std::vector<std::uint64_t>>(
+                    w.generate());
+        }
+    }
+    return materialized;
+}
+
+SweepCell
+SweepRunner::runCell(std::size_t index,
+                     const std::vector<SharedAddrs> &materialized) const
+{
+    const std::size_t wi = index / orgs_.size();
+    const Workload &workload = workloads_[wi];
     const Org &org = orgs_[index % orgs_.size()];
 
     std::unique_ptr<CacheModel> cache = org.build();
@@ -106,8 +123,7 @@ SweepRunner::runCell(std::size_t index) const
     } else if (workload.addrs) {
         cell.stats = runAddressStream(*cache, *workload.addrs);
     } else {
-        const std::vector<std::uint64_t> addrs = workload.generate();
-        cell.stats = runAddressStream(*cache, addrs);
+        cell.stats = runAddressStream(*cache, *materialized[wi]);
     }
     return cell;
 }
@@ -120,12 +136,17 @@ SweepRunner::run() const
     if (cells == 0)
         return results;
 
+    // Generator workloads are materialized exactly once, here, before
+    // the fan-out: every organization cell then reads the same shared
+    // immutable stream instead of regenerating it per cell.
+    const std::vector<SharedAddrs> materialized = materializeWorkloads();
+
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(threads_, cells));
 
     if (workers <= 1) {
         for (std::size_t i = 0; i < cells; ++i)
-            results[i] = runCell(i);
+            results[i] = runCell(i, materialized);
         return results;
     }
 
@@ -136,7 +157,7 @@ SweepRunner::run() const
     auto worker = [&] {
         for (std::size_t i = next.fetch_add(1); i < cells;
              i = next.fetch_add(1)) {
-            results[i] = runCell(i);
+            results[i] = runCell(i, materialized);
         }
     };
 

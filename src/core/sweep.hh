@@ -75,10 +75,14 @@ class SweepRunner
                             std::vector<std::uint64_t> addrs);
 
     /**
-     * Add an address-stream workload produced on demand (keeps huge
-     * sweeps from materializing every stream up front). @p generate is
-     * called once per cell, from worker threads, and must be safe to
-     * call concurrently.
+     * Add an address-stream workload produced on demand. run()
+     * materializes the stream exactly once per execution — before the
+     * worker fan-out, on the calling thread — into a shared immutable
+     * buffer that every organization cell reads, so an N-organization
+     * grid pays one generation instead of N. Note the footprint
+     * trade-off: all generator streams are resident simultaneously for
+     * the duration of run(), so bound (workload count x stream bytes)
+     * to your memory budget when sizing huge grids.
      */
     void addAddressWorkload(
         const std::string &name,
@@ -123,8 +127,19 @@ class SweepRunner
         std::shared_ptr<const Trace> trace;
     };
 
+    /** Shared immutable address buffer, one per workload slot. */
+    using SharedAddrs =
+        std::shared_ptr<const std::vector<std::uint64_t>>;
+
+    /**
+     * Materialize every generator workload once (called by run()
+     * before the fan-out); slots for non-generator workloads are null.
+     */
+    std::vector<SharedAddrs> materializeWorkloads() const;
+
     /** Execute one cell (cell index = workload * numOrgs + org). */
-    SweepCell runCell(std::size_t index) const;
+    SweepCell runCell(std::size_t index,
+                      const std::vector<SharedAddrs> &materialized) const;
 
     unsigned threads_;
     OrgSpec spec_;

@@ -35,7 +35,7 @@ ConfigurableIndex::setPolynomials(const std::vector<Gf2Poly> &polys)
         matrices.emplace_back(p, input_bits_);
     }
     matrices_ = std::move(matrices);
-    ++generation_;
+    ++plan_epoch_;
 }
 
 void
@@ -52,7 +52,7 @@ void
 ConfigurableIndex::setConventional()
 {
     matrices_.clear();
-    ++generation_;
+    ++plan_epoch_;
 }
 
 std::uint64_t
@@ -62,6 +62,14 @@ ConfigurableIndex::index(std::uint64_t block_addr, unsigned way) const
     if (matrices_.empty())
         return block_addr & mask(set_bits_);
     return matrices_[way].apply(block_addr);
+}
+
+IndexPlan
+ConfigurableIndex::compile() const
+{
+    if (matrices_.empty())
+        return IndexPlan::makeModulo(set_bits_, num_ways_);
+    return IndexPlan::fromXorMatrices(matrices_);
 }
 
 bool
@@ -78,7 +86,11 @@ ConfigurableIndex::isSkewed() const
 std::string
 ConfigurableIndex::name() const
 {
-    std::string n = "a" + std::to_string(num_ways_) + "-cfg";
+    // Built by append (not operator+) to dodge a GCC 12 -Wrestrict
+    // false positive in the inlined std::string concatenation.
+    std::string n = "a";
+    n += std::to_string(num_ways_);
+    n += "-cfg";
     if (polynomialMode())
         n += isSkewed() ? "-Hp-Sk" : "-Hp";
     return n;

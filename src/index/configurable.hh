@@ -73,18 +73,24 @@ class ConfigurableIndex : public IndexFn
     /**
      * Monotonic configuration generation; bumps on every mode or
      * polynomial change. Caches compare it against the generation they
-     * last flushed at.
+     * last flushed at. This is the plan epoch: the same counter tells
+     * owning caches their compiled IndexPlan is stale.
      */
-    std::uint64_t generation() const { return generation_; }
+    std::uint64_t generation() const { return planEpoch(); }
 
     std::uint64_t index(std::uint64_t block_addr,
                         unsigned way) const override;
+    /**
+     * Lower the current configuration (modulo fast path or the loaded
+     * AND-XOR networks). Every reprogram bumps planEpoch(), which tells
+     * owning caches their compiled plan is stale.
+     */
+    IndexPlan compile() const override;
     bool isSkewed() const override;
     std::string name() const override;
 
   private:
     unsigned input_bits_;
-    std::uint64_t generation_ = 0;
     /** Empty in conventional mode; one matrix per way otherwise. */
     std::vector<XorMatrix> matrices_;
 };

@@ -18,12 +18,24 @@ ModuloIndex::ModuloIndex(unsigned set_bits, unsigned num_ways)
 {
 }
 
+IndexPlan
+IndexFn::compile() const
+{
+    return IndexPlan::fromCallback(*this);
+}
+
 std::uint64_t
 ModuloIndex::index(std::uint64_t block_addr, unsigned way) const
 {
     CAC_ASSERT(way < num_ways_);
     (void)way;
     return block_addr & mask(set_bits_);
+}
+
+IndexPlan
+ModuloIndex::compile() const
+{
+    return IndexPlan::makeModulo(set_bits_, num_ways_);
 }
 
 std::string

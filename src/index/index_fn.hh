@@ -17,6 +17,8 @@
 #include <memory>
 #include <string>
 
+#include "index/index_plan.hh"
+
 namespace cac
 {
 
@@ -38,6 +40,24 @@ class IndexFn
      */
     virtual std::uint64_t index(std::uint64_t block_addr,
                                 unsigned way) const = 0;
+
+    /**
+     * Lower this function into a compiled, non-virtual IndexPlan that
+     * caches evaluate inline (see index_plan.hh). The plan must agree
+     * with index() on every (block_addr, way). The base implementation
+     * returns a Callback plan that forwards to index(), so out-of-tree
+     * subclasses stay correct without lowering; every in-tree function
+     * overrides this with a real compilation.
+     */
+    virtual IndexPlan compile() const;
+
+    /**
+     * Monotonic counter bumped whenever the function's mapping changes
+     * (only ConfigurableIndex does). Caches compare it against the
+     * epoch they compiled their plan at and recompile on mismatch —
+     * one non-virtual load per access, no virtual dispatch.
+     */
+    std::uint64_t planEpoch() const { return plan_epoch_; }
 
     /** Number of index bits m. */
     unsigned setBits() const { return set_bits_; }
@@ -63,6 +83,7 @@ class IndexFn
 
     unsigned set_bits_;
     unsigned num_ways_;
+    std::uint64_t plan_epoch_ = 0; ///< see planEpoch()
 };
 
 /**
@@ -77,6 +98,7 @@ class ModuloIndex : public IndexFn
 
     std::uint64_t index(std::uint64_t block_addr,
                         unsigned way) const override;
+    IndexPlan compile() const override; ///< shift-and-mask fast path
     bool isSkewed() const override { return false; }
     std::string name() const override;
 };

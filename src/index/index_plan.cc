@@ -1,0 +1,166 @@
+#include "index/index_plan.hh"
+
+#include <atomic>
+
+#include "common/logging.hh"
+#include "index/index_fn.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+/** Test hook (see forceCallbackForTests). */
+std::atomic<bool> s_force_callback{false};
+
+} // anonymous namespace
+
+IndexPlan
+IndexPlan::makeModulo(unsigned set_bits, unsigned num_ways)
+{
+    CAC_ASSERT(set_bits >= 1 && set_bits < 63);
+    CAC_ASSERT(num_ways >= 1);
+    IndexPlan plan;
+    plan.kind_ = Kind::Modulo;
+    plan.set_bits_ = set_bits;
+    plan.num_ways_ = num_ways;
+    plan.input_bits_ = set_bits;
+    plan.uniform_ = true;
+    plan.set_mask_ = mask(set_bits);
+    return plan;
+}
+
+IndexPlan
+IndexPlan::fromRowMasks(unsigned set_bits, unsigned num_ways,
+                        unsigned input_bits,
+                        std::vector<std::uint64_t> row_masks)
+{
+    CAC_ASSERT(set_bits >= 1 && set_bits < 63);
+    CAC_ASSERT(num_ways >= 1);
+    CAC_ASSERT(input_bits >= set_bits && input_bits <= 64);
+    CAC_ASSERT(row_masks.size()
+               == static_cast<std::size_t>(num_ways) * set_bits);
+    for (std::uint64_t m : row_masks)
+        CAC_ASSERT(input_bits == 64 || (m & ~mask(input_bits)) == 0);
+
+    IndexPlan plan;
+    plan.set_bits_ = set_bits;
+    plan.num_ways_ = num_ways;
+    plan.input_bits_ = input_bits;
+    plan.set_mask_ = mask(set_bits);
+
+    plan.uniform_ = true;
+    for (unsigned w = 1; w < num_ways && plan.uniform_; ++w) {
+        for (unsigned i = 0; i < set_bits; ++i) {
+            if (row_masks[w * set_bits + i] != row_masks[i]) {
+                plan.uniform_ = false;
+                break;
+            }
+        }
+    }
+
+    if (static_cast<std::uint64_t>(num_ways) * set_bits <= 64) {
+        // Fold every way's parity network into byte-indexed tables whose
+        // entries concatenate the per-way indices: evaluation becomes
+        // ceil(input_bits/8) loads + XORs for *all* ways at once.
+        plan.kind_ = Kind::Packed;
+        plan.chunks_ = (input_bits + 7) / 8;
+        plan.table_.assign(std::size_t{plan.chunks_} << 8, 0);
+        for (unsigned c = 0; c < plan.chunks_; ++c) {
+            for (unsigned b = 0; b < 256; ++b) {
+                const std::uint64_t chunk_bits = std::uint64_t{b} << (8 * c);
+                std::uint64_t packed = 0;
+                for (unsigned w = 0; w < num_ways; ++w) {
+                    for (unsigned i = 0; i < set_bits; ++i) {
+                        const std::uint64_t rm =
+                            row_masks[w * set_bits + i];
+                        packed |= static_cast<std::uint64_t>(
+                                      parity(chunk_bits & rm))
+                               << (w * set_bits + i);
+                    }
+                }
+                plan.table_[(c << 8) | b] = packed;
+            }
+        }
+    } else {
+        plan.kind_ = Kind::RowMask;
+        plan.row_masks_ = std::move(row_masks);
+    }
+    return plan;
+}
+
+IndexPlan
+IndexPlan::fromXorMatrices(const std::vector<XorMatrix> &ways)
+{
+    CAC_ASSERT(!ways.empty());
+    const unsigned set_bits = ways.front().outputBits();
+    const unsigned input_bits = ways.front().inputBits();
+    std::vector<std::uint64_t> rows(ways.size()
+                                    * static_cast<std::size_t>(set_bits));
+    for (std::size_t w = 0; w < ways.size(); ++w) {
+        CAC_ASSERT(ways[w].outputBits() == set_bits);
+        CAC_ASSERT(ways[w].inputBits() == input_bits);
+        for (unsigned i = 0; i < set_bits; ++i)
+            rows[w * set_bits + i] = ways[w].rowMask(i);
+    }
+    return fromRowMasks(set_bits, static_cast<unsigned>(ways.size()),
+                        input_bits, std::move(rows));
+}
+
+IndexPlan
+IndexPlan::fromCallback(const IndexFn &fn)
+{
+    IndexPlan plan;
+    plan.kind_ = Kind::Callback;
+    plan.set_bits_ = fn.setBits();
+    plan.num_ways_ = fn.numWays();
+    plan.input_bits_ = 64;
+    plan.uniform_ = !fn.isSkewed();
+    plan.set_mask_ = mask(fn.setBits());
+    plan.fallback_ = &fn;
+    return plan;
+}
+
+std::uint64_t
+IndexPlan::genericOne(std::uint64_t block_addr, unsigned way) const
+{
+    if (kind_ == Kind::Callback)
+        return fallback_->index(block_addr, way);
+    std::uint64_t index = 0;
+    const std::uint64_t *rows = row_masks_.data() + way * set_bits_;
+    for (unsigned i = 0; i < set_bits_; ++i)
+        index |= static_cast<std::uint64_t>(parity(block_addr & rows[i]))
+              << i;
+    return index;
+}
+
+void
+IndexPlan::genericAll(std::uint64_t block_addr, std::uint64_t *out) const
+{
+    for (unsigned w = 0; w < num_ways_; ++w)
+        out[w] = genericOne(block_addr, w);
+}
+
+void
+IndexPlan::forceCallbackForTests(bool force)
+{
+    s_force_callback.store(force, std::memory_order_relaxed);
+}
+
+bool
+IndexPlan::callbackForced()
+{
+    return s_force_callback.load(std::memory_order_relaxed);
+}
+
+IndexPlan
+compilePlan(const IndexFn &fn)
+{
+    if (IndexPlan::callbackForced())
+        return IndexPlan::fromCallback(fn);
+    return fn.compile();
+}
+
+} // namespace cac

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Compiled index plans: the allocation-free, virtual-free evaluation
+ * form of a placement function.
+ *
+ * Every IndexFn in the library is linear over GF(2) — a set-index bit
+ * is an XOR (parity) of a fixed subset of block-address bits, whether
+ * the scheme is plain bit selection, the rotated-field XOR of the
+ * skewed-associative cache, or the polynomial modulus of I-Poly. That
+ * makes the whole per-way family compilable into one flat structure a
+ * cache can evaluate inline, with no per-access virtual dispatch:
+ *
+ *  - Modulo: a single AND with the set mask (the conventional shift-
+ *    and-mask fast path), shared by every way.
+ *  - Packed: when num_ways * set_bits <= 64, all ways' XOR matrices are
+ *    folded into byte-indexed lookup tables whose entries hold the
+ *    *concatenated* per-way indices; evaluating every way for an
+ *    address costs ceil(input_bits/8) table loads and XORs, then a
+ *    shift-and-mask extract per way. This is how the plan beats even a
+ *    hardware-parity loop: the tables precompute the parities of all
+ *    ways at once.
+ *  - RowMask: the general fallback — one contiguous row-mask buffer
+ *    (way-major), one hardware parity (popcount) per index bit.
+ *  - Callback: for out-of-tree IndexFn subclasses that do not lower
+ *    themselves; forwards to the virtual index(). Also used by the
+ *    equivalence tests to force the uncompiled path.
+ *
+ * Caches obtain a plan via compilePlan(fn) at construction and
+ * recompile when fn.planEpoch() changes (ConfigurableIndex bumps the
+ * epoch on every reprogram).
+ */
+
+#ifndef CAC_INDEX_INDEX_PLAN_HH
+#define CAC_INDEX_INDEX_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace cac
+{
+
+class IndexFn;
+class XorMatrix;
+
+/** Compiled, non-virtual evaluation plan for one placement function. */
+class IndexPlan
+{
+  public:
+    /** Evaluation strategy the compiler chose. */
+    enum class Kind
+    {
+        Modulo,   ///< set = block & mask, identical for all ways
+        Packed,   ///< byte tables with concatenated per-way indices
+        RowMask,  ///< one parity per (way, index bit)
+        Callback  ///< virtual IndexFn::index() fallback
+    };
+
+    /** Empty plan (direct-mapped modulo of width 1); reassign before use. */
+    IndexPlan() = default;
+
+    /** The conventional shift-and-mask plan. */
+    static IndexPlan makeModulo(unsigned set_bits, unsigned num_ways);
+
+    /**
+     * Compile from per-way XOR row masks.
+     *
+     * @param set_bits index width m.
+     * @param num_ways associativity.
+     * @param input_bits low-order block-address bits the masks cover.
+     * @param row_masks way-major: row_masks[way * set_bits + bit] selects
+     *        the address bits XORed into that way's index bit.
+     */
+    static IndexPlan fromRowMasks(unsigned set_bits, unsigned num_ways,
+                                  unsigned input_bits,
+                                  std::vector<std::uint64_t> row_masks);
+
+    /**
+     * Compile from one XorMatrix per way (the I-Poly and configurable
+     * lowerings): extracts every matrix's row masks into the way-major
+     * layout and defers to fromRowMasks(). All matrices must share one
+     * output width and one input width.
+     */
+    static IndexPlan fromXorMatrices(const std::vector<XorMatrix> &ways);
+
+    /**
+     * Uncompiled fallback forwarding to @p fn.index(). The plan holds a
+     * pointer; @p fn must outlive it (caches own their IndexFn).
+     */
+    static IndexPlan fromCallback(const IndexFn &fn);
+
+    Kind kind() const { return kind_; }
+    unsigned setBits() const { return set_bits_; }
+    unsigned numWays() const { return num_ways_; }
+
+    /**
+     * True when every way maps a block to the same set (non-skewed):
+     * callers may evaluate way 0 once and reuse it.
+     */
+    bool uniform() const { return uniform_; }
+
+    /** Set index of @p block_addr in @p way. */
+    std::uint64_t indexOne(std::uint64_t block_addr, unsigned way) const
+    {
+        switch (kind_) {
+          case Kind::Modulo:
+            return block_addr & set_mask_;
+          case Kind::Packed:
+            return packedAll(block_addr) >> (way * set_bits_) & set_mask_;
+          default:
+            return genericOne(block_addr, way);
+        }
+    }
+
+    /**
+     * Set indices of @p block_addr in every way, written to
+     * @p out[0..numWays()). The inlined hot path of findLine()/fill().
+     */
+    void indexAll(std::uint64_t block_addr, std::uint64_t *out) const
+    {
+        switch (kind_) {
+          case Kind::Modulo: {
+            const std::uint64_t set = block_addr & set_mask_;
+            for (unsigned w = 0; w < num_ways_; ++w)
+                out[w] = set;
+            return;
+          }
+          case Kind::Packed: {
+            const std::uint64_t packed = packedAll(block_addr);
+            for (unsigned w = 0; w < num_ways_; ++w)
+                out[w] = packed >> (w * set_bits_) & set_mask_;
+            return;
+          }
+          default:
+            genericAll(block_addr, out);
+        }
+    }
+
+    /**
+     * Test hook: while true, compilePlan() returns Callback plans so the
+     * equivalence suite can drive the virtual path end to end.
+     */
+    static void forceCallbackForTests(bool force);
+    static bool callbackForced();
+
+  private:
+    /** XOR-fold the byte tables: concatenated indices of all ways. */
+    std::uint64_t packedAll(std::uint64_t block_addr) const
+    {
+        std::uint64_t packed = 0;
+        std::uint64_t v = block_addr;
+        for (unsigned c = 0; c < chunks_; ++c, v >>= 8)
+            packed ^= table_[(c << 8) | (v & 0xff)];
+        return packed;
+    }
+
+    /** Out-of-line RowMask / Callback paths. */
+    std::uint64_t genericOne(std::uint64_t block_addr, unsigned way) const;
+    void genericAll(std::uint64_t block_addr, std::uint64_t *out) const;
+
+    Kind kind_ = Kind::Modulo;
+    unsigned set_bits_ = 1;
+    unsigned num_ways_ = 1;
+    unsigned input_bits_ = 1;
+    bool uniform_ = true;
+    std::uint64_t set_mask_ = 1;
+    unsigned chunks_ = 0; ///< byte tables (Packed): ceil(input_bits / 8)
+    /** Packed: table_[chunk * 256 + byte] -> concatenated way indices. */
+    std::vector<std::uint64_t> table_;
+    /** RowMask: way-major parity masks, row_masks_[way * set_bits + bit]. */
+    std::vector<std::uint64_t> row_masks_;
+    const IndexFn *fallback_ = nullptr; ///< Callback target
+};
+
+/**
+ * Compile @p fn into its plan (fn.compile(), or a Callback plan while
+ * the test hook forces the virtual path). This is the entry point
+ * caches use at construction and on epoch changes.
+ */
+IndexPlan compilePlan(const IndexFn &fn);
+
+} // namespace cac
+
+#endif // CAC_INDEX_INDEX_PLAN_HH

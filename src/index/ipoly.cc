@@ -73,6 +73,12 @@ IPolyIndex::index(std::uint64_t block_addr, unsigned way) const
     return matrices_[way].apply(block_addr);
 }
 
+IndexPlan
+IPolyIndex::compile() const
+{
+    return IndexPlan::fromXorMatrices(matrices_);
+}
+
 std::string
 IPolyIndex::name() const
 {

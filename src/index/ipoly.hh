@@ -55,6 +55,8 @@ class IPolyIndex : public IndexFn
 
     std::uint64_t index(std::uint64_t block_addr,
                         unsigned way) const override;
+    /** Lower the per-way XOR networks into one contiguous plan. */
+    IndexPlan compile() const override;
     bool isSkewed() const override { return skewed_; }
     std::string name() const override;
 

@@ -27,6 +27,26 @@ XorSkewIndex::index(std::uint64_t block_addr, unsigned way) const
     return low ^ high;
 }
 
+IndexPlan
+XorSkewIndex::compile() const
+{
+    // index_w bit i = block[i] XOR block[m + ((i - r) mod m)], where r
+    // is the way's rotation: the rotation is just a permutation of the
+    // upper field, so each index bit has exactly two source bits.
+    std::vector<std::uint64_t> rows(
+        static_cast<std::size_t>(num_ways_) * set_bits_);
+    for (unsigned w = 0; w < num_ways_; ++w) {
+        const unsigned r = (skewed_ && w != 0) ? w % set_bits_ : 0;
+        for (unsigned i = 0; i < set_bits_; ++i) {
+            const unsigned high = (i + set_bits_ - r) % set_bits_;
+            rows[w * set_bits_ + i] = (std::uint64_t{1} << i)
+                | (std::uint64_t{1} << (set_bits_ + high));
+        }
+    }
+    return IndexPlan::fromRowMasks(set_bits_, num_ways_, 2 * set_bits_,
+                                   std::move(rows));
+}
+
 std::string
 XorSkewIndex::name() const
 {

@@ -38,6 +38,8 @@ class XorSkewIndex : public IndexFn
 
     std::uint64_t index(std::uint64_t block_addr,
                         unsigned way) const override;
+    /** Lower to per-way two-bit XOR row masks (rotation unrolled). */
+    IndexPlan compile() const override;
     bool isSkewed() const override { return skewed_; }
     std::string name() const override;
 

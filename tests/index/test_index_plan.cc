@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for compiled index plans: every in-tree IndexFn must lower to a
+ * plan that agrees with its virtual index() on every (address, way),
+ * the compiler must pick the expected evaluation strategy, and the
+ * reconfiguration epoch must invalidate stale plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "index/configurable.hh"
+#include "index/factory.hh"
+#include "index/index_fn.hh"
+#include "index/index_plan.hh"
+#include "index/ipoly.hh"
+#include "index/xor_skew.hh"
+
+namespace cac
+{
+namespace
+{
+
+/** 100k block addresses: uniform random plus power-of-two strides. */
+std::vector<std::uint64_t>
+testAddresses()
+{
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(100000);
+    Rng rng(7);
+    while (addrs.size() < 60000)
+        addrs.push_back(rng.next() & ((std::uint64_t{1} << 40) - 1));
+    // Strided runs, including the pathological power-of-two strides.
+    for (std::uint64_t stride : {1, 3, 8, 64, 128, 1024, 4096}) {
+        for (std::uint64_t i = 0; i < 40000 / 7; ++i)
+            addrs.push_back((std::uint64_t{1} << 20) + i * stride);
+    }
+    return addrs;
+}
+
+/** Plan and virtual path agree on every (address, way). */
+void
+expectPlanMatchesVirtual(const IndexFn &fn)
+{
+    const IndexPlan plan = fn.compile();
+    ASSERT_EQ(plan.setBits(), fn.setBits());
+    ASSERT_EQ(plan.numWays(), fn.numWays());
+
+    std::vector<std::uint64_t> all(fn.numWays());
+    for (std::uint64_t addr : testAddresses()) {
+        plan.indexAll(addr, all.data());
+        for (unsigned w = 0; w < fn.numWays(); ++w) {
+            const std::uint64_t want = fn.index(addr, w);
+            ASSERT_EQ(plan.indexOne(addr, w), want)
+                << fn.name() << " addr=" << addr << " way=" << w;
+            ASSERT_EQ(all[w], want)
+                << fn.name() << " addr=" << addr << " way=" << w;
+        }
+    }
+}
+
+TEST(IndexPlan, ModuloCompilesToShiftAndMask)
+{
+    ModuloIndex fn(7, 2);
+    const IndexPlan plan = fn.compile();
+    EXPECT_EQ(plan.kind(), IndexPlan::Kind::Modulo);
+    EXPECT_TRUE(plan.uniform());
+    expectPlanMatchesVirtual(fn);
+}
+
+TEST(IndexPlan, XorSkewCompilesToPackedTables)
+{
+    for (bool skewed : {false, true}) {
+        XorSkewIndex fn(7, 2, skewed);
+        const IndexPlan plan = fn.compile();
+        EXPECT_EQ(plan.kind(), IndexPlan::Kind::Packed);
+        EXPECT_EQ(plan.uniform(), !skewed);
+        expectPlanMatchesVirtual(fn);
+    }
+}
+
+TEST(IndexPlan, IPolyCompilesToPackedTables)
+{
+    for (bool skewed : {false, true}) {
+        IPolyIndex fn(7, 2, 14, skewed);
+        const IndexPlan plan = fn.compile();
+        EXPECT_EQ(plan.kind(), IndexPlan::Kind::Packed);
+        EXPECT_EQ(plan.uniform(), !skewed);
+        expectPlanMatchesVirtual(fn);
+    }
+}
+
+TEST(IndexPlan, WideAssociativityFallsBackToRowMasks)
+{
+    // 16 ways x 8 index bits = 128 packed bits > 64: the packed-table
+    // form cannot hold all ways, so the compiler keeps row masks.
+    XorSkewIndex fn(8, 16, true);
+    const IndexPlan plan = fn.compile();
+    EXPECT_EQ(plan.kind(), IndexPlan::Kind::RowMask);
+    EXPECT_FALSE(plan.uniform());
+    expectPlanMatchesVirtual(fn);
+}
+
+TEST(IndexPlan, OddGeometriesMatch)
+{
+    expectPlanMatchesVirtual(ModuloIndex(5, 3));
+    expectPlanMatchesVirtual(XorSkewIndex(5, 7, true));
+    expectPlanMatchesVirtual(IPolyIndex(8, 4, 17, true));
+    expectPlanMatchesVirtual(IPolyIndex(10, 1, 20, false));
+}
+
+TEST(IndexPlan, EveryFactoryKindMatches)
+{
+    for (IndexKind kind : {IndexKind::Modulo, IndexKind::Xor,
+                           IndexKind::XorSkew, IndexKind::IPoly,
+                           IndexKind::IPolySkew}) {
+        auto fn = makeIndexFn(kind, 7, 2, 14);
+        expectPlanMatchesVirtual(*fn);
+    }
+}
+
+TEST(IndexPlan, ConfigurableLowersEachModeAndBumpsEpoch)
+{
+    ConfigurableIndex fn(7, 2, 14);
+    const std::uint64_t epoch0 = fn.planEpoch();
+    EXPECT_EQ(fn.compile().kind(), IndexPlan::Kind::Modulo);
+    expectPlanMatchesVirtual(fn);
+
+    fn.setCatalogPolynomials(true);
+    EXPECT_NE(fn.planEpoch(), epoch0);
+    EXPECT_EQ(fn.compile().kind(), IndexPlan::Kind::Packed);
+    expectPlanMatchesVirtual(fn);
+
+    const std::uint64_t epoch1 = fn.planEpoch();
+    fn.setConventional();
+    EXPECT_NE(fn.planEpoch(), epoch1);
+    expectPlanMatchesVirtual(fn);
+}
+
+TEST(IndexPlan, NonConfigurableFnsKeepConstantEpoch)
+{
+    ModuloIndex mod(7, 2);
+    XorSkewIndex skew(7, 2, true);
+    EXPECT_EQ(mod.planEpoch(), 0u);
+    EXPECT_EQ(skew.planEpoch(), 0u);
+}
+
+/** Out-of-tree subclass without a compile() override. */
+class UpperBitsIndex : public IndexFn
+{
+  public:
+    UpperBitsIndex() : IndexFn(6, 2) {}
+    std::uint64_t index(std::uint64_t block_addr,
+                        unsigned way) const override
+    {
+        return (block_addr >> (4 + way)) & 0x3f;
+    }
+    bool isSkewed() const override { return true; }
+    std::string name() const override { return "upper-bits"; }
+};
+
+TEST(IndexPlan, UnknownSubclassFallsBackToCallback)
+{
+    UpperBitsIndex fn;
+    const IndexPlan plan = fn.compile();
+    EXPECT_EQ(plan.kind(), IndexPlan::Kind::Callback);
+    expectPlanMatchesVirtual(fn);
+}
+
+TEST(IndexPlan, ForceCallbackHookRoutesCompilePlan)
+{
+    ModuloIndex fn(7, 2);
+    EXPECT_EQ(compilePlan(fn).kind(), IndexPlan::Kind::Modulo);
+    IndexPlan::forceCallbackForTests(true);
+    EXPECT_TRUE(IndexPlan::callbackForced());
+    EXPECT_EQ(compilePlan(fn).kind(), IndexPlan::Kind::Callback);
+    IndexPlan::forceCallbackForTests(false);
+    EXPECT_FALSE(IndexPlan::callbackForced());
+    EXPECT_EQ(compilePlan(fn).kind(), IndexPlan::Kind::Modulo);
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -12,6 +12,12 @@
  *   cac_sim --trace swim.trc --org a2-Hp-Sk [--size 8192] [--ways 2]
  *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
  *   cac_sim --trace swim.trc --compare --threads 4 --csv
+ *   cac_sim --trace swim.trc --org a2-Hp-Sk --bench
+ *
+ * --bench times the functional simulation itself (accesses per second
+ * through the compiled-index-plan batch path) instead of reporting miss
+ * ratios, so the bench/perf_engine numbers can be reproduced on any
+ * trace without the bench binary.
  */
 
 #include <cstdio>
@@ -37,6 +43,7 @@ usage()
         "[--block BYTES]\n"
         "  cac_sim --trace FILE --cpu CONFIG\n"
         "  cac_sim --trace FILE --compare [--threads N] [--csv]\n"
+        "  cac_sim --trace FILE (--org LABEL | --compare) --bench\n"
         "orgs:\n");
     for (const auto &entry : OrgRegistry::global().entries()) {
         std::fprintf(stderr, "  %-14s %s\n", entry.pattern.c_str(),
@@ -65,6 +72,7 @@ main(int argc, char **argv)
     std::string trace_path, org, cpu;
     bool compare = false;
     bool csv = false;
+    bool bench = false;
     unsigned threads = std::thread::hardware_concurrency();
     OrgSpec spec;
 
@@ -80,6 +88,8 @@ main(int argc, char **argv)
             compare = true;
         else if (!std::strcmp(arg, "--csv"))
             csv = true;
+        else if (!std::strcmp(arg, "--bench"))
+            bench = true;
         else if (!std::strcmp(arg, "--threads"))
             threads = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
@@ -122,6 +132,36 @@ main(int argc, char **argv)
                         stats.branchMispredicts),
                     static_cast<unsigned long long>(stats.branches),
                     100.0 * core.branchPredictor().accuracy());
+        return 0;
+    }
+
+    if (bench) {
+        // Throughput mode: repeatedly drive the trace's memory
+        // operations through each organization's batch hot path and
+        // report accesses per second.
+        const std::vector<std::string> labels =
+            compare ? standardComparisonLabels()
+                    : std::vector<std::string>{org};
+        if (csv)
+            std::printf("organization,accesses_per_sec,reps,seconds\n");
+        else
+            std::printf("%-14s %14s\n", "organization", "accesses/sec");
+        for (const std::string &label : labels) {
+            auto cache = makeOrganization(label, spec);
+            const ThroughputResult r = measureThroughput(0.25, [&] {
+                const std::uint64_t before = cache->stats().accesses();
+                runTraceMemory(*cache, trace);
+                return cache->stats().accesses() - before;
+            });
+            if (csv) {
+                std::printf("\"%s\",%.0f,%zu,%.4f\n", label.c_str(),
+                            r.unitsPerSec, r.reps, r.seconds);
+            } else {
+                std::printf("%-14s %14.0f  (%zu reps, %.2fs)\n",
+                            label.c_str(), r.unitsPerSec, r.reps,
+                            r.seconds);
+            }
+        }
         return 0;
     }
 
