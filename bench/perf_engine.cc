@@ -5,14 +5,18 @@
  * allows" goal. Where the other benches reproduce the paper's numbers,
  * this one measures how fast we can produce them.
  *
- * Three measurements, written to BENCH_perf.json:
+ * Four measurements, written to BENCH_perf.json:
  *  1. per-organization scalar throughput — one virtual access() per
  *     address;
  *  2. per-organization batch throughput — one accessBatch() per stream,
  *     the compiled-index-plan hot path every sweep cell runs on;
  *  3. sweep throughput — a full (organization x workload) SweepRunner
  *     grid at 1 and at hardware_concurrency threads, including the
- *     shared materialization of generator workloads.
+ *     shared materialization of generator workloads;
+ *  4. streaming replay — the same trace driven through the headline
+ *     organization fully loaded (runTraceMemory) vs streamed from disk
+ *     in TraceReader chunks, quantifying the constant-memory path's
+ *     overhead.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -21,9 +25,12 @@
  * Usage: cac_bench_perf_engine [--smoke] [--out FILE] [--threads N]
  */
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,10 +95,18 @@ struct SweepResult
     double accessesPerSec = 0.0;
 };
 
+struct StreamingResult
+{
+    std::size_t records = 0;
+    double inMemoryAps = 0.0;
+    double streamedAps = 0.0;
+};
+
 void
 writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           const std::vector<OrgResult> &orgs, std::size_t sweep_cells,
-          std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps)
+          std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
+          const StreamingResult &streaming)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -100,7 +115,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 1,\n");
+    std::fprintf(f, "  \"schema\": 2,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -127,6 +142,13 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
                      i + 1 < sweeps.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"streaming\": {\n");
+    std::fprintf(f, "    \"records\": %zu,\n", streaming.records);
+    std::fprintf(f, "    \"in_memory_aps\": %.0f,\n",
+                 streaming.inMemoryAps);
+    std::fprintf(f, "    \"streamed_aps\": %.0f\n",
+                 streaming.streamedAps);
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -236,8 +258,56 @@ main(int argc, char **argv)
             break;
     }
 
+    // Streaming replay: the headline organization replaying the same
+    // memory stream as an instruction trace, fully loaded vs streamed
+    // from disk in TraceReader chunks.
+    StreamingResult streaming;
+    {
+        const std::string headline = "a2-Hp-Sk";
+        Trace trace;
+        TraceBuilder builder(trace);
+        for (std::uint64_t addr : stream)
+            builder.load(addr, reg::r(1), reg::r(30));
+        streaming.records = trace.size();
+
+        // Per-process filename: concurrent runs must not clobber each
+        // other's trace mid-measurement.
+        const std::string trace_path =
+            (std::filesystem::temp_directory_path()
+             / ("cac_perf_stream." + std::to_string(getpid())
+                + ".trc"))
+                .string();
+        writeTrace(trace, trace_path);
+
+        {
+            auto cache = makeOrganization(headline, spec);
+            streaming.inMemoryAps = measureThroughput(min_seconds, [&] {
+                const std::uint64_t before = cache->stats().accesses();
+                runTraceMemory(*cache, trace);
+                return cache->stats().accesses() - before;
+            }).unitsPerSec;
+        }
+        {
+            CacheTarget target(makeOrganization(headline, spec));
+            streaming.streamedAps = measureThroughput(min_seconds, [&] {
+                const std::uint64_t before =
+                    target.model().stats().accesses();
+                TraceReader reader(trace_path);
+                replayAll(reader, target);
+                target.finish();
+                return target.model().stats().accesses() - before;
+            }).unitsPerSec;
+        }
+        std::remove(trace_path.c_str());
+        std::printf("streamed replay %14.0f aps vs %14.0f in-memory "
+                    "(%.2fx, %zu records)\n",
+                    streaming.streamedAps, streaming.inMemoryAps,
+                    streaming.streamedAps / streaming.inMemoryAps,
+                    streaming.records);
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
-              sweep_accesses, sweep_results);
+              sweep_accesses, sweep_results, streaming);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -11,6 +11,10 @@
  * the 16KB conventional cache; the low-conflict programs change only
  * marginally; averages follow the paper's 1.27 -> 1.33 pattern
  * directionally.
+ *
+ * The (proxy x configuration) grid runs on the simulation engine
+ * ("cpu:" targets on a SweepRunner, see bench/table_runner.hh), so the
+ * table parallelizes across hardware threads.
  */
 
 #include <cstdio>

@@ -8,6 +8,9 @@
  * conventional cache; with prediction ~33%, which is ~16% above even
  * the 16KB conventional cache. The fifteen good programs lose at most
  * ~1.7% IPC.
+ *
+ * Like table2_ipc, the grid runs on the simulation engine ("cpu:"
+ * targets on a SweepRunner, see bench/table_runner.hh).
  */
 
 #include <cstdio>

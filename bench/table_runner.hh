@@ -3,13 +3,21 @@
  * Shared driver for the Table 2 / Table 3 reproductions: runs every
  * workload proxy through the six processor configurations and collects
  * IPC + load miss ratio per (proxy, configuration).
+ *
+ * The grid executes on the simulation engine: each configuration is a
+ * "cpu:" target and each proxy trace a workload, so the full
+ * (proxy x configuration) table parallelizes across hardware threads
+ * like any other sweep while producing exactly the numbers the serial
+ * OooCore driver would.
  */
 
 #ifndef CAC_BENCH_TABLE_RUNNER_HH
 #define CAC_BENCH_TABLE_RUNNER_HH
 
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cac.hh"
@@ -21,15 +29,7 @@ namespace cac::bench
 inline const std::vector<std::string> &
 tableConfigs()
 {
-    static const std::vector<std::string> kConfigs = {
-        "16k-conv",        // 16KB conventional
-        "8k-conv",         // 8KB conventional, no prediction
-        "8k-conv-pred",    // 8KB conventional + address prediction
-        "8k-ipoly-nocp",   // I-Poly, XOR not in critical path
-        "8k-ipoly-cp",     // I-Poly, XOR in critical path, no pred
-        "8k-ipoly-cp-pred" // I-Poly, XOR in critical path + pred
-    };
-    return kConfigs;
+    return CpuConfig::tableConfigNames();
 }
 
 /** IPC and miss per configuration for one proxy. */
@@ -40,21 +40,42 @@ struct ProxyRow
 };
 
 /**
- * Run every proxy through every configuration.
+ * Run every proxy through every configuration on the sweep engine.
  *
  * @param instructions dynamic trace length per proxy.
+ * @param threads sweep workers (default: all hardware threads).
  */
 inline std::vector<ProxyRow>
-runAllProxies(std::size_t instructions)
+runAllProxies(std::size_t instructions,
+              unsigned threads = std::thread::hardware_concurrency())
 {
+    SweepRunner sweep(threads);
+    for (const auto &cfg_name : tableConfigs())
+        sweep.addTarget("cpu:" + cfg_name);
+    const std::vector<SpecProxyInfo> &proxies = specProxyList();
+    for (const auto &info : proxies) {
+        sweep.addTraceWorkload(
+            info.name, std::make_shared<const Trace>(
+                           buildSpecProxy(info.name, instructions)));
+    }
+
+    // Cells come back workload-major: proxy i's configurations occupy
+    // cells [i*C, (i+1)*C) in tableConfigs() order.
+    const std::vector<SweepCell> cells = sweep.run();
+    const std::size_t num_cfgs = tableConfigs().size();
+
     std::vector<ProxyRow> rows;
-    for (const auto &info : specProxyList()) {
+    rows.reserve(proxies.size());
+    for (std::size_t i = 0; i < proxies.size(); ++i) {
         ProxyRow row;
-        row.info = info;
-        const Trace trace = buildSpecProxy(info.name, instructions);
-        for (const auto &cfg_name : tableConfigs()) {
-            row.byConfig[cfg_name] = runCpu(
-                info.name, CpuConfig::tableConfig(cfg_name), trace);
+        row.info = proxies[i];
+        for (std::size_t c = 0; c < num_cfgs; ++c) {
+            const SweepCell &cell = cells[i * num_cfgs + c];
+            BenchmarkResult r;
+            r.name = row.info.name;
+            r.ipc = cell.target.cpu.ipc();
+            r.loadMissPct = cell.target.cpu.loadMissRatioPct();
+            row.byConfig[tableConfigs()[c]] = r;
         }
         rows.push_back(std::move(row));
     }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Fail when a public header in the engine layers lacks file-level
+# documentation. Every .hh under the directories below must contain a
+# Doxygen @file comment (the convention the API docs are built from);
+# a new header without one fails CI here.
+#
+# Usage: docs/check_headers.sh   (from the repository root)
+
+set -u
+
+status=0
+for dir in src/core src/index; do
+    for header in "$dir"/*.hh; do
+        [ -e "$header" ] || continue
+        if ! grep -q '@file' "$header"; then
+            echo "error: $header has no @file documentation block" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "Add a /** @file ... */ comment describing the header" \
+         "(see docs/ARCHITECTURE.md for the layer it belongs to)." >&2
+fi
+exit $status

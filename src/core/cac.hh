@@ -19,6 +19,7 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/registry.hh"
+#include "core/sim_target.hh"
 #include "core/sweep.hh"
 #include "cpu/addr_predictor.hh"
 #include "cpu/branch_predictor.hh"

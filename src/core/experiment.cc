@@ -33,35 +33,39 @@ measureThroughput(double min_seconds,
     return r;
 }
 
-CacheStats
-runTraceMemory(CacheModel &cache, const Trace &trace)
+void
+MemRunGatherer::replay(CacheModel &cache, const TraceRecord *recs,
+                       std::size_t n)
 {
-    // Gather runs of same-kind memory operations so the cache sees one
-    // accessBatch() per run instead of one virtual access() per record.
-    // Access order is preserved exactly, so stats match the scalar loop.
-    constexpr std::size_t kMaxRun = 4096;
-    std::vector<std::uint64_t> run;
-    run.reserve(kMaxRun);
-    bool run_is_write = false;
-
-    auto flushRun = [&] {
-        if (!run.empty()) {
-            cache.accessBatch(run.data(), run.size(), run_is_write);
-            run.clear();
-        }
-    };
-
-    for (const auto &rec : trace) {
+    // Access order is preserved exactly, so stats match a scalar loop.
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = recs[i];
         if (!isMemOp(rec.op))
             continue;
         const bool is_write = rec.op == OpClass::Store;
-        if (is_write != run_is_write || run.size() == kMaxRun) {
-            flushRun();
-            run_is_write = is_write;
+        if (is_write != run_is_write_ || run_.size() == kMaxRun) {
+            flush(cache);
+            run_is_write_ = is_write;
         }
-        run.push_back(rec.addr);
+        run_.push_back(rec.addr);
     }
-    flushRun();
+}
+
+void
+MemRunGatherer::flush(CacheModel &cache)
+{
+    if (!run_.empty()) {
+        cache.accessBatch(run_.data(), run_.size(), run_is_write_);
+        run_.clear();
+    }
+}
+
+CacheStats
+runTraceMemory(CacheModel &cache, const Trace &trace)
+{
+    MemRunGatherer gather;
+    gather.replay(cache, trace.data(), trace.size());
+    gather.flush(cache);
     return cache.stats();
 }
 

@@ -26,6 +26,34 @@ namespace cac
 CacheStats runAddressStream(CacheModel &cache,
                             const std::vector<std::uint64_t> &addrs);
 
+/**
+ * Gathers runs of same-kind memory operations from an instruction
+ * stream so a cache sees one accessBatch() per run instead of one
+ * virtual access() per record. Restartable: replay() may be called
+ * with consecutive stream chunks (the partially-gathered run carries
+ * over), so the single batching rule serves both whole-trace replay
+ * (runTraceMemory) and chunked streaming (CacheTarget).
+ */
+class MemRunGatherer
+{
+  public:
+    /** Batch size of the gathered runs (the engine's hot-path unit). */
+    static constexpr std::size_t kMaxRun = 4096;
+
+    MemRunGatherer() { run_.reserve(kMaxRun); }
+
+    /** Feed the memory operations of @p recs[0..n) into @p cache. */
+    void replay(CacheModel &cache, const TraceRecord *recs,
+                std::size_t n);
+
+    /** Issue the partially-gathered run, preserving access order. */
+    void flush(CacheModel &cache);
+
+  private:
+    std::vector<std::uint64_t> run_;
+    bool run_is_write_ = false;
+};
+
 /** Outcome of one measureThroughput() run. */
 struct ThroughputResult
 {

@@ -12,15 +12,6 @@
 namespace cac
 {
 
-namespace
-{
-
-/**
- * Split an associativity-family label ("a4-Hp-Sk") into its way count
- * and scheme suffix ("Hp-Sk"; empty for bare "aN").
- *
- * @return false when @p label is not of that shape.
- */
 bool
 splitAssocLabel(const std::string &label, unsigned &ways,
                 std::string &suffix)
@@ -50,6 +41,9 @@ splitAssocLabel(const std::string &label, unsigned &ways,
     suffix = label.substr(i + 1);
     return true;
 }
+
+namespace
+{
 
 std::unique_ptr<CacheModel>
 buildSetAssoc(unsigned ways, IndexKind kind, const OrgSpec &spec)

@@ -1,6 +1,7 @@
 /**
  * @file
- * Name -> builder registry of cache organizations.
+ * Name -> builder registry of cache organizations and simulation
+ * targets.
  *
  * The registry is the single place that knows how to turn an
  * organization label ("a2-Hp-Sk", "victim", ...) into a CacheModel.
@@ -14,6 +15,12 @@
  *  - families ("aN", "aN-Hx-Sk", ...) whose associativity N is parsed
  *    out of the label, so "a2-Hp-Sk", "a8-Hp-Sk" and "a16-Hp-Sk" all
  *    resolve through one entry.
+ *
+ * On top of the organization entries sits the *target* grammar
+ * (knownTarget()/buildTarget()): a label optionally prefixed with
+ * "2lvl:" or "cpu:" resolves to a SimTarget — a functional single-level
+ * cache, a two-level virtual-real hierarchy, or the out-of-order CPU
+ * stack — all drivable by the same sweep engine (core/sim_target.hh).
  */
 
 #ifndef CAC_CORE_REGISTRY_HH
@@ -29,6 +36,8 @@
 namespace cac
 {
 
+class SimTarget;
+
 /** Parameters shared by all organizations in a comparison. */
 struct OrgSpec
 {
@@ -39,6 +48,21 @@ struct OrgSpec
     unsigned victimBlocks = 8;   ///< victim-buffer lines ("victim")
     bool writeAllocate = true;
     std::uint64_t seed = 1;      ///< randomized replacement seed
+};
+
+/**
+ * Parameters for extended simulation targets (buildTarget()). The
+ * embedded OrgSpec configures single-level organizations, the L1 of
+ * "2lvl:" hierarchies, and the L1 of "cpu:aN..." cores; the extra
+ * fields configure the second level and the page mapping.
+ */
+struct TargetSpec
+{
+    OrgSpec org;
+    std::uint64_t l2SizeBytes = 256 * 1024; ///< "2lvl:" second level
+    unsigned l2Ways = 2; ///< L2 ways for labels that don't encode them
+    std::uint64_t pageBytes = 4096;  ///< virtual-real page size
+    std::uint64_t pageSeed = 12345;  ///< page-map determinism knob
 };
 
 /** Registry of named cache organizations. */
@@ -90,6 +114,24 @@ class OrgRegistry
     std::unique_ptr<CacheModel> build(const std::string &label,
                                       const OrgSpec &spec) const;
 
+    /**
+     * Is @p label resolvable as a simulation target? Accepts every
+     * known() organization label plus the extended grammar:
+     *  - "2lvl:L1/L2" — two-level virtual-real hierarchy, where L1 and
+     *    L2 are organization labels;
+     *  - "cpu:CONFIG" — the out-of-order core, where CONFIG is a Table-2
+     *    configuration name ("8k-ipoly-cp", ...) or an associativity
+     *    family label ("a2-Hp-Sk") applied to the spec's L1 geometry.
+     */
+    bool knownTarget(const std::string &label) const;
+
+    /**
+     * Build a simulation target for @p label under @p spec; fatal on
+     * unknown labels (implemented in core/sim_target.cc).
+     */
+    std::unique_ptr<SimTarget> buildTarget(const std::string &label,
+                                           const TargetSpec &spec) const;
+
     /** All entries, in registration order. */
     const std::vector<Entry> &entries() const { return entries_; }
 
@@ -111,8 +153,26 @@ class OrgRegistry
 std::unique_ptr<CacheModel>
 makeOrganization(const std::string &label, const OrgSpec &spec);
 
+/**
+ * Split an associativity-family label ("a4-Hp-Sk") into its way count
+ * and scheme suffix ("Hp-Sk"; empty for bare "aN"). The single parser
+ * for the aN grammar — the registry families and the "cpu:aN" target
+ * grammar both resolve through it.
+ *
+ * @return false when @p label is not of that shape.
+ */
+bool splitAssocLabel(const std::string &label, unsigned &ways,
+                     std::string &suffix);
+
 /** The comparison set used by the miss-ratio benchmarks. */
 std::vector<std::string> standardComparisonLabels();
+
+/**
+ * The extended comparison set of `cac_sim --compare`: every
+ * standardComparisonLabels() organization plus representative two-level
+ * hierarchy and CPU targets.
+ */
+std::vector<std::string> standardTargetLabels();
 
 } // namespace cac
 

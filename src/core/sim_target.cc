@@ -1,0 +1,323 @@
+#include "core/sim_target.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hh"
+#include "hierarchy/page_map.hh"
+#include "index/factory.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+/** Run size for synthesized record batches (the engine's unit). */
+constexpr std::size_t kMaxRun = MemRunGatherer::kMaxRun;
+
+constexpr const char *k2lvlPrefix = "2lvl:";
+constexpr const char *kCpuPrefix = "cpu:";
+
+/** Strip @p prefix from @p label into @p rest. */
+bool
+stripPrefix(const std::string &label, const char *prefix,
+            std::string &rest)
+{
+    const std::size_t len = std::char_traits<char>::length(prefix);
+    if (label.compare(0, len, prefix) != 0)
+        return false;
+    rest = label.substr(len);
+    return true;
+}
+
+/** Split "L1/L2" (the 2lvl: payload); false when no '/' separates. */
+bool
+splitHierarchyLabels(const std::string &rest, std::string &l1,
+                     std::string &l2)
+{
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos || slash == 0
+        || slash + 1 == rest.size()) {
+        return false;
+    }
+    l1 = rest.substr(0, slash);
+    l2 = rest.substr(slash + 1);
+    return true;
+}
+
+/**
+ * Resolve a "cpu:" payload to a CpuConfig: either a Table-2
+ * configuration name, or an associativity-family organization label
+ * ("a2-Hp-Sk") applied to the spec's L1 geometry.
+ */
+std::optional<CpuConfig>
+cpuConfigFor(const std::string &rest, const TargetSpec &spec)
+{
+    if (CpuConfig::knownTableConfig(rest))
+        return CpuConfig::tableConfig(rest);
+
+    // aN[-scheme]: associativity from the label, geometry from the
+    // spec. Same parser as the registry's organization families.
+    unsigned ways = 0;
+    std::string suffix;
+    if (!splitAssocLabel(rest, ways, suffix))
+        return std::nullopt;
+    const std::optional<IndexKind> kind = tryParseIndexKind(suffix);
+    if (!kind)
+        return std::nullopt;
+
+    CpuConfig cfg = CpuConfig::paperDefault();
+    cfg.cacheBytes = spec.org.sizeBytes;
+    cfg.blockBytes = spec.org.blockBytes;
+    cfg.cacheWays = ways;
+    cfg.indexKind = *kind;
+    return cfg;
+}
+
+} // anonymous namespace
+
+std::string
+targetKindName(TargetKind kind)
+{
+    switch (kind) {
+      case TargetKind::Cache:
+        return "cache";
+      case TargetKind::Hierarchy:
+        return "2lvl";
+      case TargetKind::Cpu:
+        return "cpu";
+    }
+    return "?";
+}
+
+// ---- CacheTarget -----------------------------------------------------
+
+CacheTarget::CacheTarget(std::unique_ptr<CacheModel> model)
+    : model_(std::move(model))
+{
+    CAC_ASSERT(model_ != nullptr);
+}
+
+void
+CacheTarget::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                         bool is_write)
+{
+    // Direct batches must not reorder against gathered replay() runs.
+    gather_.flush(*model_);
+    model_->accessBatch(addrs, n, is_write);
+}
+
+void
+CacheTarget::replay(const TraceRecord *recs, std::size_t n)
+{
+    // runTraceMemory()'s hot path, restartable across chunk boundaries
+    // (the shared MemRunGatherer is the single copy of the batching
+    // rule).
+    gather_.replay(*model_, recs, n);
+}
+
+void
+CacheTarget::finish()
+{
+    gather_.flush(*model_);
+}
+
+TargetStats
+CacheTarget::stats() const
+{
+    TargetStats s;
+    s.kind = TargetKind::Cache;
+    s.l1 = model_->stats();
+    return s;
+}
+
+// ---- HierarchyTarget -------------------------------------------------
+
+HierarchyTarget::HierarchyTarget(
+    std::string name, std::unique_ptr<TwoLevelHierarchy> hierarchy)
+    : name_(std::move(name)), hierarchy_(std::move(hierarchy))
+{
+    CAC_ASSERT(hierarchy_ != nullptr);
+}
+
+void
+HierarchyTarget::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                             bool is_write)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        hierarchy_->access(addrs[i], is_write);
+}
+
+void
+HierarchyTarget::replay(const TraceRecord *recs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceRecord &rec = recs[i];
+        if (isMemOp(rec.op))
+            hierarchy_->access(rec.addr, rec.op == OpClass::Store);
+    }
+}
+
+TargetStats
+HierarchyTarget::stats() const
+{
+    TargetStats s;
+    s.kind = TargetKind::Hierarchy;
+    s.l1 = hierarchy_->l1().stats();
+    s.hasHierarchy = true;
+    s.l2 = hierarchy_->l2().stats();
+    s.holes = hierarchy_->holeStats();
+    return s;
+}
+
+// ---- CpuTarget -------------------------------------------------------
+
+CpuTarget::CpuTarget(std::string name, const CpuConfig &config)
+    : name_(std::move(name)), core_(config)
+{
+    core_.beginStream();
+}
+
+void
+CpuTarget::accessBatch(const std::uint64_t *addrs, std::size_t n,
+                       bool is_write)
+{
+    // Synthesize standalone memory instructions in bounded chunks, so
+    // address workloads still produce an IPC row without materializing
+    // a trace.
+    std::vector<TraceRecord> chunk;
+    chunk.reserve(std::min(n, kMaxRun));
+    std::size_t i = 0;
+    while (i < n) {
+        chunk.clear();
+        const std::size_t end = std::min(n, i + kMaxRun);
+        for (; i < end; ++i) {
+            TraceRecord rec;
+            rec.op = is_write ? OpClass::Store : OpClass::Load;
+            rec.addr = addrs[i];
+            chunk.push_back(rec);
+        }
+        core_.feed(chunk.data(), chunk.size());
+    }
+}
+
+void
+CpuTarget::replay(const TraceRecord *recs, std::size_t n)
+{
+    core_.feed(recs, n);
+}
+
+void
+CpuTarget::finish()
+{
+    if (!finished_) {
+        done_ = core_.finishStream();
+        finished_ = true;
+    }
+}
+
+TargetStats
+CpuTarget::stats() const
+{
+    TargetStats s;
+    s.kind = TargetKind::Cpu;
+    s.l1 = core_.cache().stats();
+    s.hasCpu = true;
+    s.cpu = done_;
+    return s;
+}
+
+// ---- label grammar ---------------------------------------------------
+
+bool
+OrgRegistry::knownTarget(const std::string &label) const
+{
+    std::string rest;
+    if (stripPrefix(label, k2lvlPrefix, rest)) {
+        std::string l1, l2;
+        return splitHierarchyLabels(rest, l1, l2) && known(l1)
+            && known(l2);
+    }
+    if (stripPrefix(label, kCpuPrefix, rest))
+        return cpuConfigFor(rest, TargetSpec{}).has_value();
+    return known(label);
+}
+
+std::unique_ptr<SimTarget>
+OrgRegistry::buildTarget(const std::string &label,
+                         const TargetSpec &spec) const
+{
+    std::string rest;
+    if (stripPrefix(label, k2lvlPrefix, rest)) {
+        std::string l1_label, l2_label;
+        if (!splitHierarchyLabels(rest, l1_label, l2_label)) {
+            fatal("two-level target '%s' must have the form "
+                  "2lvl:L1-LABEL/L2-LABEL",
+                  label.c_str());
+        }
+        std::unique_ptr<CacheModel> l1 = build(l1_label, spec.org);
+
+        OrgSpec l2_spec = spec.org;
+        l2_spec.sizeBytes = spec.l2SizeBytes;
+        if (spec.l2Ways < 1)
+            fatal("2-level target '%s': l2Ways must be >= 1",
+                  label.c_str());
+        l2_spec.ways = spec.l2Ways;
+        // Hashed L2 indices need input bits that cover the (larger) L2
+        // index plus some tag bits (the holes experiments' setBits + 6
+        // convention). The label may encode its own associativity
+        // ("a1-Hp") or imply one ("dm"), so probe the built geometry
+        // for the real set count rather than trusting spec.l2Ways.
+        std::unique_ptr<CacheModel> l2 = build(l2_label, l2_spec);
+        l2_spec.hashBlockBits =
+            std::max(spec.org.hashBlockBits,
+                     l2->geometry().setBits() + 6);
+        l2 = build(l2_label, l2_spec);
+
+        const std::string display = l1->name() + " / " + l2->name();
+        auto hierarchy = std::make_unique<TwoLevelHierarchy>(
+            std::move(l1), std::move(l2),
+            PageMap(spec.pageBytes, std::uint64_t{1} << 20,
+                    spec.pageSeed));
+        return std::make_unique<HierarchyTarget>(display,
+                                                 std::move(hierarchy));
+    }
+    if (stripPrefix(label, kCpuPrefix, rest)) {
+        const std::optional<CpuConfig> cfg = cpuConfigFor(rest, spec);
+        if (!cfg) {
+            fatal("unknown CPU target '%s' (expected cpu:CONFIG with a "
+                  "Table-2 name or an aN index-scheme label)",
+                  label.c_str());
+        }
+        return std::make_unique<CpuTarget>("cpu " + cfg->toString(),
+                                           *cfg);
+    }
+    return std::make_unique<CacheTarget>(build(label, spec.org));
+}
+
+void
+replayAll(TraceReader &reader, SimTarget &target)
+{
+    while (true) {
+        const std::vector<TraceRecord> &chunk = reader.next();
+        if (chunk.empty())
+            break;
+        target.replay(chunk.data(), chunk.size());
+    }
+    if (!reader.ok())
+        fatal("%s", reader.error().c_str());
+}
+
+std::vector<std::string>
+standardTargetLabels()
+{
+    std::vector<std::string> labels = standardComparisonLabels();
+    labels.push_back("2lvl:a2/a4");
+    labels.push_back("2lvl:a2-Hp-Sk/a4");
+    labels.push_back("cpu:8k-conv");
+    labels.push_back("cpu:8k-ipoly-cp-pred");
+    return labels;
+}
+
+} // namespace cac

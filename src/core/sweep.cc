@@ -23,29 +23,44 @@ SweepRunner::setThreads(unsigned threads)
 }
 
 void
+SweepRunner::addTarget(const std::string &label)
+{
+    if (!OrgRegistry::global().knownTarget(label))
+        fatal("unknown simulation target '%s'", label.c_str());
+    // Capture the spec by value: later setSpec() calls must not affect
+    // targets already added.
+    addTarget(label, [label, spec = spec_] {
+        return OrgRegistry::global().buildTarget(label, spec);
+    });
+}
+
+void
+SweepRunner::addTarget(const std::string &label, TargetBuilder build)
+{
+    CAC_ASSERT(build != nullptr);
+    targets_.push_back(Target{label, std::move(build)});
+}
+
+void
 SweepRunner::addOrg(const std::string &label)
 {
-    if (!OrgRegistry::global().known(label))
-        fatal("unknown cache organization '%s'", label.c_str());
-    // Capture the spec by value: later setSpec() calls must not affect
-    // organizations already added.
-    addOrg(label, [label, spec = spec_] {
-        return OrgRegistry::global().build(label, spec);
-    });
+    addTarget(label);
 }
 
 void
 SweepRunner::addOrgs(const std::vector<std::string> &labels)
 {
     for (const auto &label : labels)
-        addOrg(label);
+        addTarget(label);
 }
 
 void
 SweepRunner::addOrg(const std::string &label, OrgBuilder build)
 {
     CAC_ASSERT(build != nullptr);
-    orgs_.push_back(Org{label, std::move(build)});
+    addTarget(label, [build = std::move(build)] {
+        return std::make_unique<CacheTarget>(build());
+    });
 }
 
 void
@@ -88,6 +103,24 @@ SweepRunner::addTraceWorkload(const std::string &name,
     workloads_.push_back(std::move(w));
 }
 
+void
+SweepRunner::addTraceFileWorkload(const std::string &name,
+                                  const std::string &path,
+                                  std::size_t chunk_records)
+{
+    // Validate the header once, up front, so a bad path fails at add
+    // time instead of inside a worker thread mid-run.
+    TraceReader probe(path, chunk_records);
+    if (!probe.ok())
+        fatal("%s", probe.error().c_str());
+
+    Workload w;
+    w.name = name;
+    w.tracePath = path;
+    w.chunkRecords = chunk_records > 0 ? chunk_records : 1;
+    workloads_.push_back(std::move(w));
+}
+
 std::vector<SweepRunner::SharedAddrs>
 SweepRunner::materializeWorkloads() const
 {
@@ -107,24 +140,35 @@ SweepCell
 SweepRunner::runCell(std::size_t index,
                      const std::vector<SharedAddrs> &materialized) const
 {
-    const std::size_t wi = index / orgs_.size();
+    const std::size_t wi = index / targets_.size();
     const Workload &workload = workloads_[wi];
-    const Org &org = orgs_[index % orgs_.size()];
+    const Target &target_entry = targets_[index % targets_.size()];
 
-    std::unique_ptr<CacheModel> cache = org.build();
-    CAC_ASSERT(cache != nullptr);
+    std::unique_ptr<SimTarget> target = target_entry.build();
+    CAC_ASSERT(target != nullptr);
 
     SweepCell cell;
     cell.workload = workload.name;
-    cell.org = org.label;
-    cell.cacheName = cache->name();
-    if (workload.trace) {
-        cell.stats = runTraceMemory(*cache, *workload.trace);
+    cell.org = target_entry.label;
+    cell.cacheName = target->name();
+
+    if (!workload.tracePath.empty()) {
+        // Streamed replay: this cell's private reader, chunk by chunk.
+        TraceReader reader(workload.tracePath, workload.chunkRecords);
+        replayAll(reader, *target);
+    } else if (workload.trace) {
+        target->replay(workload.trace->data(), workload.trace->size());
     } else if (workload.addrs) {
-        cell.stats = runAddressStream(*cache, *workload.addrs);
+        target->accessBatch(workload.addrs->data(),
+                            workload.addrs->size(), false);
     } else {
-        cell.stats = runAddressStream(*cache, *materialized[wi]);
+        const std::vector<std::uint64_t> &addrs = *materialized[wi];
+        target->accessBatch(addrs.data(), addrs.size(), false);
     }
+    target->finish();
+
+    cell.target = target->stats();
+    cell.stats = cell.target.l1;
     return cell;
 }
 
@@ -137,7 +181,7 @@ SweepRunner::run() const
         return results;
 
     // Generator workloads are materialized exactly once, here, before
-    // the fan-out: every organization cell then reads the same shared
+    // the fan-out: every target cell then reads the same shared
     // immutable stream instead of regenerating it per cell.
     const std::vector<SharedAddrs> materialized = materializeWorkloads();
 
@@ -192,12 +236,14 @@ csvField(const std::string &field)
 std::string
 sweepCsv(const std::vector<SweepCell> &cells)
 {
-    std::string out = "workload,organization,cache,loads,stores,"
-                      "load_misses,store_misses,load_miss_pct,miss_pct\n";
-    char numbers[160];
+    std::string out =
+        "workload,organization,cache,loads,stores,load_misses,"
+        "store_misses,load_miss_pct,miss_pct,l2_miss_pct,holes,"
+        "inclusion_invalidates,ipc,cycles\n";
+    char numbers[224];
     for (const SweepCell &cell : cells) {
         std::snprintf(numbers, sizeof(numbers),
-                      ",%llu,%llu,%llu,%llu,%.4f,%.4f\n",
+                      ",%llu,%llu,%llu,%llu,%.4f,%.4f",
                       static_cast<unsigned long long>(cell.stats.loads),
                       static_cast<unsigned long long>(cell.stats.stores),
                       static_cast<unsigned long long>(
@@ -212,6 +258,31 @@ sweepCsv(const std::vector<SweepCell> &cells)
         out += ',';
         out += csvField(cell.cacheName);
         out += numbers;
+
+        // Hierarchy columns (empty when not applicable).
+        if (cell.target.hasHierarchy) {
+            std::snprintf(numbers, sizeof(numbers), ",%.4f,%llu,%llu",
+                          100.0 * cell.target.l2.missRatio(),
+                          static_cast<unsigned long long>(
+                              cell.target.holes.holesCreated),
+                          static_cast<unsigned long long>(
+                              cell.target.holes.inclusionInvalidates));
+            out += numbers;
+        } else {
+            out += ",,,";
+        }
+
+        // CPU columns (empty when not applicable).
+        if (cell.target.hasCpu) {
+            std::snprintf(numbers, sizeof(numbers), ",%.4f,%llu",
+                          cell.target.cpu.ipc(),
+                          static_cast<unsigned long long>(
+                              cell.target.cpu.cycles));
+            out += numbers;
+        } else {
+            out += ",,";
+        }
+        out += '\n';
     }
     return out;
 }

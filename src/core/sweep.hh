@@ -1,16 +1,25 @@
 /**
  * @file
- * SweepRunner: the simulation engine behind every (organization x
- * workload) comparison — Figure 1 stride sweeps, the Table 2/3-style
- * miss-ratio grids, cac_sim --compare.
+ * SweepRunner: the simulation engine behind every (target x workload)
+ * comparison — Figure 1 stride sweeps, the miss-ratio grids, the
+ * Table 2/3 IPC tables, the section 3.3 hole experiments, and
+ * cac_sim --compare.
  *
  * A sweep is a grid: each registered workload is run against a fresh
- * instance of each registered organization. Cells are independent, so
- * the runner executes them on a std::thread pool; every thread builds
- * its own cache instances and drives them through the accessBatch()
- * fast path. Results come back in a deterministic order — workloads in
- * insertion order, organizations in insertion order within each
- * workload — regardless of the thread count.
+ * instance of each registered simulation target (a functional cache, a
+ * two-level hierarchy, or the out-of-order CPU stack — see
+ * core/sim_target.hh). Cells are independent, so the runner executes
+ * them on a std::thread pool; every thread builds its own target
+ * instances and drives them through the accessBatch()/replay() fast
+ * paths. Results come back in a deterministic order — workloads in
+ * insertion order, targets in insertion order within each workload —
+ * regardless of the thread count.
+ *
+ * Workloads come in three forms: in-memory address streams (optionally
+ * produced by a generator, materialized once per run), in-memory
+ * instruction traces, and *streamed* trace files, which every cell
+ * replays through its own chunked TraceReader so memory stays bounded
+ * by the chunk size however long the trace is.
  */
 
 #ifndef CAC_CORE_SWEEP_HH
@@ -24,26 +33,34 @@
 
 #include "cache/cache_model.hh"
 #include "core/registry.hh"
+#include "core/sim_target.hh"
+#include "trace/io.hh"
 #include "trace/record.hh"
 
 namespace cac
 {
 
-/** One (workload, organization) result cell. */
+/** One (workload, target) result cell. */
 struct SweepCell
 {
     std::string workload;  ///< workload name
-    std::string org;       ///< organization label
-    std::string cacheName; ///< the model's name() for reports
+    std::string org;       ///< target label
+    std::string cacheName; ///< the target's name() for reports
+    /** Functional stats of the primary level (same as target.l1). */
     CacheStats stats;
+    /** Full per-target stats (hierarchy and CPU sections when valid). */
+    TargetStats target;
 };
 
-/** Grid executor for (organization x workload) sweeps. */
+/** Grid executor for (target x workload) sweeps. */
 class SweepRunner
 {
   public:
     /** Build a fresh cache instance (one per cell). */
     using OrgBuilder = std::function<std::unique_ptr<CacheModel>()>;
+
+    /** Build a fresh simulation target (one per cell). */
+    using TargetBuilder = std::function<std::unique_ptr<SimTarget>()>;
 
     /**
      * @param threads worker count for run(); 1 executes inline. Values
@@ -54,20 +71,33 @@ class SweepRunner
     void setThreads(unsigned threads);
     unsigned threads() const { return threads_; }
 
-    /** Spec handed to registry-built organizations added after this. */
-    void setSpec(const OrgSpec &spec) { spec_ = spec; }
-    const OrgSpec &spec() const { return spec_; }
+    /** Spec handed to registry-built targets added after this. */
+    void setSpec(const OrgSpec &spec) { spec_.org = spec; }
+    const OrgSpec &spec() const { return spec_.org; }
 
-    /** Add a registry organization under the current spec. */
-    void addOrg(const std::string &label);
-
-    /** Add several registry organizations under the current spec. */
-    void addOrgs(const std::vector<std::string> &labels);
+    /** Full target spec (hierarchy / CPU parameters included). */
+    void setTargetSpec(const TargetSpec &spec) { spec_ = spec; }
+    const TargetSpec &targetSpec() const { return spec_; }
 
     /**
-     * Add a custom organization. @p build is called once per cell, from
+     * Add a registry target under the current spec: an organization
+     * label or an extended "2lvl:" / "cpu:" target label.
+     */
+    void addTarget(const std::string &label);
+
+    /**
+     * Add a custom target. @p build is called once per cell, from
      * worker threads, and must be safe to call concurrently.
      */
+    void addTarget(const std::string &label, TargetBuilder build);
+
+    /** Alias of addTarget(label) — the historical name. */
+    void addOrg(const std::string &label);
+
+    /** Add several registry targets under the current spec. */
+    void addOrgs(const std::vector<std::string> &labels);
+
+    /** Add a custom single-level organization (wrapped in CacheTarget). */
     void addOrg(const std::string &label, OrgBuilder build);
 
     /** Add a load-only address-stream workload. */
@@ -78,53 +108,68 @@ class SweepRunner
      * Add an address-stream workload produced on demand. run()
      * materializes the stream exactly once per execution — before the
      * worker fan-out, on the calling thread — into a shared immutable
-     * buffer that every organization cell reads, so an N-organization
-     * grid pays one generation instead of N. Note the footprint
-     * trade-off: all generator streams are resident simultaneously for
-     * the duration of run(), so bound (workload count x stream bytes)
-     * to your memory budget when sizing huge grids.
+     * buffer that every target cell reads, so an N-target grid pays one
+     * generation instead of N. Note the footprint trade-off: all
+     * generator streams are resident simultaneously for the duration of
+     * run(), so bound (workload count x stream bytes) to your memory
+     * budget when sizing huge grids.
      */
     void addAddressWorkload(
         const std::string &name,
         std::function<std::vector<std::uint64_t>()> generate);
 
-    /** Add an instruction-trace workload (memory operations only). */
+    /** Add an instruction-trace workload (whole trace in memory). */
     void addTraceWorkload(const std::string &name, Trace trace);
 
     /** Add a shared instruction-trace workload without copying it. */
     void addTraceWorkload(const std::string &name,
                           std::shared_ptr<const Trace> trace);
 
-    std::size_t numOrgs() const { return orgs_.size(); }
+    /**
+     * Add a *streamed* instruction-trace workload: every cell replays
+     * the CACTRC01 file at @p path through its own TraceReader in
+     * @p chunk_records-sized chunks, so the trace is never resident in
+     * memory. Stats-identical to loading the trace and calling
+     * addTraceWorkload(). The header is validated here (fatal on a
+     * missing or malformed file); truncation discovered mid-replay is
+     * fatal with byte offsets.
+     */
+    void addTraceFileWorkload(
+        const std::string &name, const std::string &path,
+        std::size_t chunk_records = TraceReader::kDefaultChunkRecords);
+
+    std::size_t numOrgs() const { return targets_.size(); }
     std::size_t numWorkloads() const { return workloads_.size(); }
 
     /** Total number of grid cells. */
     std::size_t numCells() const
     {
-        return orgs_.size() * workloads_.size();
+        return targets_.size() * workloads_.size();
     }
 
     /**
-     * Execute the grid. Returns one cell per (workload, organization)
-     * pair, workload-major in insertion order; the result is identical
-     * for any thread count.
+     * Execute the grid. Returns one cell per (workload, target) pair,
+     * workload-major in insertion order; the result is identical for
+     * any thread count.
      */
     std::vector<SweepCell> run() const;
 
   private:
-    struct Org
+    struct Target
     {
         std::string label;
-        OrgBuilder build;
+        TargetBuilder build;
     };
 
     struct Workload
     {
         std::string name;
-        /** Exactly one of the three sources is set. */
+        /** Exactly one of the four sources is set. */
         std::shared_ptr<const std::vector<std::uint64_t>> addrs;
         std::function<std::vector<std::uint64_t>()> generate;
         std::shared_ptr<const Trace> trace;
+        std::string tracePath; ///< streamed CACTRC01 file
+        std::size_t chunkRecords = TraceReader::kDefaultChunkRecords;
     };
 
     /** Shared immutable address buffer, one per workload slot. */
@@ -137,19 +182,21 @@ class SweepRunner
      */
     std::vector<SharedAddrs> materializeWorkloads() const;
 
-    /** Execute one cell (cell index = workload * numOrgs + org). */
+    /** Execute one cell (cell index = workload * numOrgs + target). */
     SweepCell runCell(std::size_t index,
                       const std::vector<SharedAddrs> &materialized) const;
 
     unsigned threads_;
-    OrgSpec spec_;
-    std::vector<Org> orgs_;
+    TargetSpec spec_;
+    std::vector<Target> targets_;
     std::vector<Workload> workloads_;
 };
 
 /**
  * Render sweep results as CSV (header + one line per cell), for
- * machine-readable sweep output (cac_sim --csv).
+ * machine-readable sweep output (cac_sim --csv). Hierarchy and CPU
+ * columns (l2_miss_pct, holes, inclusion_invalidates, ipc, cycles) are
+ * empty for targets they do not apply to.
  */
 std::string sweepCsv(const std::vector<SweepCell> &cells);
 

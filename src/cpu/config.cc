@@ -22,6 +22,25 @@ CpuConfig::paperDefault()
     return CpuConfig{};
 }
 
+const std::vector<std::string> &
+CpuConfig::tableConfigNames()
+{
+    static const std::vector<std::string> kNames = {
+        "16k-conv",        "8k-conv",     "8k-conv-pred",
+        "8k-ipoly-nocp",   "8k-ipoly-cp", "8k-ipoly-cp-pred"};
+    return kNames;
+}
+
+bool
+CpuConfig::knownTableConfig(const std::string &label)
+{
+    for (const std::string &name : tableConfigNames()) {
+        if (name == label)
+            return true;
+    }
+    return false;
+}
+
 CpuConfig
 CpuConfig::tableConfig(const std::string &label)
 {

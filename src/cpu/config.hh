@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cache/geometry.hh"
 #include "index/factory.hh"
@@ -71,6 +72,12 @@ struct CpuConfig
      *  "8k-ipoly-cp", "8k-ipoly-cp-pred".
      */
     static CpuConfig tableConfig(const std::string &label);
+
+    /** The tableConfig() names, in the paper's column order. */
+    static const std::vector<std::string> &tableConfigNames();
+
+    /** True when @p label names a tableConfig() configuration. */
+    static bool knownTableConfig(const std::string &label);
 
     /** Human-readable summary. */
     std::string toString() const;

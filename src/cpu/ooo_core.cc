@@ -48,15 +48,15 @@ OooCore::tryIssueLoad(RobEntry &entry, std::uint64_t now)
     if (mem_ports_used_ >= cfg_.memPorts)
         return false;
 
-    const TraceRecord &rec = *entry.rec;
+    const TraceRecord &rec = entry.rec;
 
     // Store-to-load forwarding: the youngest older in-flight store to
     // the same address supplies the data once its address is computed
     // (PA8000-style effective-address comparison, section 3.4).
     for (std::uint64_t s = entry.seq; s-- > head_seq_;) {
         const RobEntry &older = slotOf(s);
-        if (older.rec->op != OpClass::Store
-            || older.rec->addr != rec.addr) {
+        if (older.rec.op != OpClass::Store
+            || older.rec.addr != rec.addr) {
             continue;
         }
         if (!older.issued)
@@ -100,7 +100,8 @@ OooCore::tryIssueLoad(RobEntry &entry, std::uint64_t now)
 }
 
 void
-OooCore::dispatch(const Trace &trace, std::size_t &next, CpuStats &stats)
+OooCore::dispatch(const TraceRecord *recs, std::size_t n_recs,
+                  std::size_t &next, CpuStats &stats)
 {
     if (fetch_blocked_
         && (!fetch_resume_known_ || cycle_ < fetch_resume_)) {
@@ -110,14 +111,14 @@ OooCore::dispatch(const Trace &trace, std::size_t &next, CpuStats &stats)
     fetch_resume_known_ = false;
 
     for (unsigned n = 0; n < cfg_.fetchWidth; ++n) {
-        if (next >= trace.size()
+        if (next >= n_recs
             || tail_seq_ - head_seq_ >= cfg_.robEntries) {
             return;
         }
-        const TraceRecord &rec = trace[next];
+        const TraceRecord &rec = recs[next];
         RobEntry &entry = slotOf(tail_seq_);
         entry = RobEntry{};
-        entry.rec = &rec;
+        entry.rec = rec;
         entry.seq = tail_seq_;
 
         // Capture producers for both sources.
@@ -183,7 +184,7 @@ OooCore::issue(CpuStats &stats)
         if (!sourcesReady(entry, cycle_))
             continue;
 
-        const OpClass op = entry.rec->op;
+        const OpClass op = entry.rec.op;
         if (op == OpClass::Load) {
             if (tryIssueLoad(entry, cycle_))
                 ++issued;
@@ -199,7 +200,7 @@ OooCore::issue(CpuStats &stats)
         if (op == OpClass::Branch) {
             // Resolution: train the BHT and, on a misprediction,
             // schedule the fetch redirect.
-            bht_.update(entry.rec->pc, entry.rec->taken);
+            bht_.update(entry.rec.pc, entry.rec.taken);
             bht_.recordOutcome(!entry.mispredicted);
             if (entry.mispredicted) {
                 ++stats.branchMispredicts;
@@ -224,43 +225,109 @@ OooCore::commit(CpuStats &stats)
         RobEntry &entry = slotOf(head_seq_);
         if (!entry.issued || entry.resultReady > cycle_)
             return;
-        if (entry.rec->op == OpClass::Store) {
+        if (entry.rec.op == OpClass::Store) {
             if (store_buffer_.size() >= cfg_.storeBufferEntries)
                 return; // store buffer full: commit stalls
             store_buffer_.push_back(
-                cache_->storeCommit(entry.rec->addr, cycle_));
+                cache_->storeCommit(entry.rec.addr, cycle_));
             ++stats.stores;
         }
-        if (entry.rec->op == OpClass::Load)
+        if (entry.rec.op == OpClass::Load)
             ++stats.loads;
         ++stats.instructions;
         ++head_seq_;
     }
 }
 
-CpuStats
-OooCore::run(const Trace &trace)
+void
+OooCore::streamCycle()
 {
-    CpuStats stats;
-    std::size_t next = 0;
-    cycle_ = 0;
+    mem_ports_used_ = 0;
+    commit(stream_stats_);
+    issue(stream_stats_);
+    dispatch(pending_.data(), pending_.size(), pending_next_,
+             stream_stats_);
+    ++cycle_;
+}
 
-    while (next < trace.size() || head_seq_ != tail_seq_) {
-        mem_ports_used_ = 0;
-        commit(stats);
-        issue(stats);
-        dispatch(trace, next, stats);
-        ++cycle_;
+void
+OooCore::beginStream()
+{
+    stream_stats_ = CpuStats{};
+    // The clock is monotonic across streams: the timing cache (MSHRs,
+    // bus), and the functional units hold reservations in absolute
+    // cycles, so winding cycle_ back would leave the new stream
+    // queued behind the previous stream's transactions. Reported
+    // cycles are deltas from this point.
+    stream_start_cycle_ = cycle_;
+    head_seq_ = tail_seq_ = 0;
+    fetch_blocked_ = false;
+    fetch_resume_known_ = false;
+    store_buffer_.clear();
+    pending_.clear();
+    pending_next_ = 0;
+    // Register dependency tracking must not leak across streams: a
+    // stale last-writer entry would pass dispatch's seq guard (every
+    // seq is >= the reset head_seq_) and stall the new stream's
+    // consumers on a previous stream's resultReady.
+    std::fill(std::begin(last_writer_slot_),
+              std::end(last_writer_slot_), -1);
+    std::fill(std::begin(last_writer_seq_),
+              std::end(last_writer_seq_), 0);
+    // Cache contents and functional counters persist across streams;
+    // snapshot the counters so finishStream() reports deltas.
+    stream_start_loads_ = cache_->stats().loads;
+    stream_start_load_misses_ = cache_->stats().loadMisses;
+}
+
+void
+OooCore::feed(const TraceRecord *recs, std::size_t n)
+{
+    // Compact the consumed prefix, then append the new chunk behind any
+    // leftover records (fewer than one fetch group) from the last feed.
+    if (pending_next_ > 0) {
+        pending_.erase(pending_.begin(),
+                       pending_.begin()
+                           + static_cast<std::ptrdiff_t>(pending_next_));
+        pending_next_ = 0;
     }
+    pending_.insert(pending_.end(), recs, recs + n);
 
-    stats.cycles = cycle_;
-    stats.loadMisses = cache_->stats().loadMisses;
+    // Simulate only while a whole fetch group is on hand: a cycle that
+    // could fetch records from the *next* chunk must not run yet, or
+    // chunk boundaries would perturb the timing. The held-back tail is
+    // at most fetchWidth - 1 records; finishStream() dispatches it.
+    while (pending_.size() - pending_next_ >= cfg_.fetchWidth)
+        streamCycle();
+}
+
+CpuStats
+OooCore::finishStream()
+{
+    while (pending_next_ < pending_.size() || head_seq_ != tail_seq_)
+        streamCycle();
+    pending_.clear();
+    pending_next_ = 0;
+
+    stream_stats_.cycles = cycle_ - stream_start_cycle_;
+    stream_stats_.loadMisses =
+        cache_->stats().loadMisses - stream_start_load_misses_;
     // Loads counted at commit equal the cache's functional count only
     // when every load accessed the cache once; forwarded loads do not
     // touch the cache, so take the committed-load count for the ratio
     // denominator and the cache's for cross-checks.
-    stats.loads = std::max(stats.loads, cache_->stats().loads);
-    return stats;
+    stream_stats_.loads =
+        std::max(stream_stats_.loads,
+                 cache_->stats().loads - stream_start_loads_);
+    return stream_stats_;
+}
+
+CpuStats
+OooCore::run(const Trace &trace)
+{
+    beginStream();
+    feed(trace.data(), trace.size());
+    return finishStream();
 }
 
 } // namespace cac

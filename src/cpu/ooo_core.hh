@@ -72,6 +72,32 @@ class OooCore
     /** Simulate @p trace to completion and return the statistics. */
     CpuStats run(const Trace &trace);
 
+    /**
+     * @name Streaming interface
+     * Chunked replay for traces too large to materialize: beginStream()
+     * once, feed() each chunk in order, finishStream() to drain the
+     * pipeline and collect statistics. run() is implemented on top, and
+     * the chunking is timing-invisible: feeding a trace in any chunk
+     * sizes produces cycle-identical results to one run(trace) call,
+     * because feed() holds back up to one fetch group of records so a
+     * chunk boundary can never starve dispatch mid-cycle.
+     *
+     * beginStream() resets the pipeline (ROB, fetch, dependency
+     * tracking) and starts a fresh statistics window; cache contents,
+     * predictor state and the cycle clock persist, as they would
+     * across a context switch — reported cycles/loads/misses are
+     * per-stream deltas.
+     */
+    ///@{
+    void beginStream();
+
+    /** Feed the next @p n records of the instruction stream, in order. */
+    void feed(const TraceRecord *recs, std::size_t n);
+
+    /** Drain all in-flight instructions; returns the final statistics. */
+    CpuStats finishStream();
+    ///@}
+
     const TimingCache &cache() const { return *cache_; }
     const BranchPredictor &branchPredictor() const { return bht_; }
     const AddrPredictor &addrPredictor() const { return apred_; }
@@ -79,7 +105,11 @@ class OooCore
   private:
     struct RobEntry
     {
-        const TraceRecord *rec = nullptr;
+        /**
+         * The instruction, by value: streamed chunks are transient, so
+         * in-flight entries must not point into caller buffers.
+         */
+        TraceRecord rec;
         std::uint64_t seq = 0;
         bool issued = false;
         std::uint64_t resultReady = 0; ///< valid once issued
@@ -100,9 +130,13 @@ class OooCore
     /** Issue one load; false when it must retry (MSHRs/ports busy). */
     bool tryIssueLoad(RobEntry &entry, std::uint64_t now);
 
-    void dispatch(const Trace &trace, std::size_t &next, CpuStats &stats);
+    void dispatch(const TraceRecord *recs, std::size_t n,
+                  std::size_t &next, CpuStats &stats);
     void issue(CpuStats &stats);
     void commit(CpuStats &stats);
+
+    /** One pipeline cycle consuming from the pending-record buffer. */
+    void streamCycle();
 
     RobEntry &slotOf(std::uint64_t seq)
     {
@@ -137,6 +171,23 @@ class OooCore
     /** Store buffer: completion tick of each write-through in flight. */
     std::vector<std::uint64_t> store_buffer_;
     unsigned mem_ports_used_ = 0; ///< loads issued this cycle
+
+    /**
+     * Streaming state: not-yet-dispatched records. Bounded by (largest
+     * chunk fed + one fetch group), so streamed-replay memory is
+     * independent of trace length.
+     */
+    std::vector<TraceRecord> pending_;
+    std::size_t pending_next_ = 0; ///< first undispatched pending_ index
+    CpuStats stream_stats_;
+    /** Cache counters at beginStream(), so a reused core (warm cache,
+     *  persisting functional stats) still reports per-stream counts. */
+    std::uint64_t stream_start_loads_ = 0;
+    std::uint64_t stream_start_load_misses_ = 0;
+    /** Clock at beginStream(): the cycle counter is monotonic across
+     *  streams (timing state holds absolute ticks); reported cycles
+     *  are deltas from here. */
+    std::uint64_t stream_start_cycle_ = 0;
 };
 
 } // namespace cac

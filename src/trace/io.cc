@@ -1,6 +1,6 @@
 #include "trace/io.hh"
 
-#include <cstdio>
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -12,6 +12,7 @@ namespace
 {
 
 constexpr char kMagic[8] = {'C', 'A', 'C', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t kHeaderBytes = 16;
 
 /** On-disk record: fixed 24-byte layout independent of host padding. */
 struct PackedRecord
@@ -28,6 +29,27 @@ struct PackedRecord
 };
 
 static_assert(sizeof(PackedRecord) == 24, "trace record layout drifted");
+
+TraceRecord
+unpack(const PackedRecord &p)
+{
+    TraceRecord rec;
+    rec.op = static_cast<OpClass>(p.op);
+    rec.dst = p.dst;
+    rec.src1 = p.src1;
+    rec.src2 = p.src2;
+    rec.taken = p.taken != 0;
+    rec.addr = p.addr;
+    rec.pc = p.pc;
+    return rec;
+}
+
+/** Byte offset of record @p index in the file. */
+std::uint64_t
+recordOffset(std::uint64_t index)
+{
+    return kHeaderBytes + index * sizeof(PackedRecord);
+}
 
 } // anonymous namespace
 
@@ -62,45 +84,131 @@ writeTrace(const Trace &trace, const std::string &path)
     std::fclose(f);
 }
 
+TraceReader::TraceReader(const std::string &path,
+                         std::size_t chunk_records)
+    : path_(path), chunk_records_(chunk_records > 0 ? chunk_records : 1)
+{
+    raw_.resize(chunk_records_ * sizeof(PackedRecord));
+    buffer_.reserve(chunk_records_);
+
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (!file_) {
+        fail("cannot open '" + path_ + "' for reading");
+        return;
+    }
+
+    char magic[8];
+    if (std::fread(magic, sizeof(magic), 1, file_) != 1
+        || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        fail("'" + path_ + "' is not a CACTRC01 trace");
+        return;
+    }
+    std::uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, file_) != 1) {
+        fail("'" + path_ + "': truncated header (file ends before the "
+             + std::to_string(kHeaderBytes) + "-byte magic + count)");
+        return;
+    }
+    record_count_ = count;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::fail(std::string message)
+{
+    error_ = std::move(message);
+    buffer_.clear();
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    return false;
+}
+
+const std::vector<TraceRecord> &
+TraceReader::next()
+{
+    buffer_.clear();
+    if (!ok() || next_record_ >= record_count_)
+        return buffer_;
+
+    const std::uint64_t remaining = record_count_ - next_record_;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_records_, remaining));
+
+    const std::size_t got =
+        std::fread(raw_.data(), sizeof(PackedRecord), want, file_);
+    if (got < want) {
+        // Short read: the header promised more records than the file
+        // holds. Report exactly where the data ran out.
+        const std::uint64_t have = next_record_ + got;
+        fail("'" + path_ + "': truncated at record "
+             + std::to_string(have) + " of "
+             + std::to_string(record_count_) + " (data ends near byte "
+             + std::to_string(recordOffset(have)) + ", expected "
+             + std::to_string(recordOffset(record_count_)) + " bytes)");
+        return buffer_;
+    }
+
+    for (std::size_t i = 0; i < got; ++i) {
+        PackedRecord p;
+        std::memcpy(&p, raw_.data() + i * sizeof(PackedRecord),
+                    sizeof(PackedRecord));
+        buffer_.push_back(unpack(p));
+    }
+    next_record_ += got;
+    return buffer_;
+}
+
+void
+TraceReader::rewind()
+{
+    if (!ok())
+        return;
+    if (std::fseek(file_, static_cast<long>(kHeaderBytes), SEEK_SET)
+        != 0) {
+        fail("'" + path_ + "': seek failed during rewind");
+        return;
+    }
+    next_record_ = 0;
+    buffer_.clear();
+}
+
+bool
+tryReadTrace(const std::string &path, Trace &out, std::string &error)
+{
+    TraceReader reader(path);
+    if (!reader.ok()) {
+        error = reader.error();
+        return false;
+    }
+    out.clear();
+    out.reserve(reader.recordCount());
+    while (true) {
+        const std::vector<TraceRecord> &chunk = reader.next();
+        if (chunk.empty())
+            break;
+        out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+    if (!reader.ok()) {
+        error = reader.error();
+        return false;
+    }
+    return true;
+}
+
 Trace
 readTrace(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot open '%s' for reading", path.c_str());
-
-    char magic[8];
-    std::uint64_t count = 0;
-    if (std::fread(magic, sizeof(magic), 1, f) != 1
-        || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
-        std::fclose(f);
-        fatal("'%s' is not a CACTRC01 trace", path.c_str());
-    }
-    if (std::fread(&count, sizeof(count), 1, f) != 1) {
-        std::fclose(f);
-        fatal("'%s': truncated header", path.c_str());
-    }
-
     Trace trace;
-    trace.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        PackedRecord p;
-        if (std::fread(&p, sizeof(p), 1, f) != 1) {
-            std::fclose(f);
-            fatal("'%s': truncated at record %llu", path.c_str(),
-                  static_cast<unsigned long long>(i));
-        }
-        TraceRecord rec;
-        rec.op = static_cast<OpClass>(p.op);
-        rec.dst = p.dst;
-        rec.src1 = p.src1;
-        rec.src2 = p.src2;
-        rec.taken = p.taken != 0;
-        rec.addr = p.addr;
-        rec.pc = p.pc;
-        trace.push_back(rec);
-    }
-    std::fclose(f);
+    std::string error;
+    if (!tryReadTrace(path, trace, error))
+        fatal("%s", error.c_str());
     return trace;
 }
 

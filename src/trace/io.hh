@@ -1,18 +1,29 @@
 /**
  * @file
- * Binary trace file format.
+ * Binary trace file I/O: the CACTRC01 format, whole-file load/store,
+ * and chunked streaming replay.
  *
  * Layout: 8-byte magic "CACTRC01", a little-endian 64-bit record count,
  * then packed records (op, dst, src1, src2, taken, pad[3], addr, pc,
- * pad4) of 24 bytes each. The format exists so expensive workloads can
- * be generated once and replayed, and so external tools can feed real
+ * pad4) of 24 bytes each (see docs/TRACE_FORMAT.md for the normative
+ * description). The format exists so expensive workloads can be
+ * generated once and replayed, and so external tools can feed real
  * traces into the simulator.
+ *
+ * Two read paths share one decoder:
+ *  - readTrace()/tryReadTrace() materialize the whole trace in memory;
+ *  - TraceReader streams the file in fixed-size chunks, so replay
+ *    memory is bounded by the chunk size no matter how long the trace
+ *    is (the engine's streaming workloads and `cac_sim --stream` run on
+ *    it).
  */
 
 #ifndef CAC_TRACE_IO_HH
 #define CAC_TRACE_IO_HH
 
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "trace/record.hh"
 
@@ -24,6 +35,100 @@ void writeTrace(const Trace &trace, const std::string &path);
 
 /** Deserialize a trace from @p path. Fatal on I/O or format failure. */
 Trace readTrace(const std::string &path);
+
+/**
+ * Deserialize a trace from @p path without exiting on failure.
+ *
+ * @param out receives the records (cleared first).
+ * @param error receives a description on failure — malformed or
+ *        truncated files name the failing record and byte offsets.
+ * @return true on success.
+ */
+bool tryReadTrace(const std::string &path, Trace &out, std::string &error);
+
+/**
+ * Chunked reader over a CACTRC01 file.
+ *
+ * The reader holds one chunk of decoded records at a time, so its
+ * memory footprint is (chunk size x 24 bytes) + constants regardless of
+ * the trace length. Construction validates the header; errors
+ * (unopenable file, bad magic, truncation mid-stream) park the reader
+ * in a failed state readable via ok()/error() instead of exiting, so
+ * drivers can report them cleanly.
+ *
+ * Typical replay loop (drivers feeding a SimTarget should use
+ * replayAll() in core/sim_target.hh, which wraps exactly this):
+ * @code
+ *   TraceReader reader(path);
+ *   if (!reader.ok())
+ *       fatal("%s", reader.error().c_str());
+ *   while (true) {
+ *       const std::vector<TraceRecord> &chunk = reader.next();
+ *       if (chunk.empty())
+ *           break;
+ *       consume(chunk.data(), chunk.size());
+ *   }
+ *   if (!reader.ok()) // truncation discovered mid-stream
+ *       fatal("%s", reader.error().c_str());
+ * @endcode
+ */
+class TraceReader
+{
+  public:
+    /** Default records per chunk (matches the accessBatch run size). */
+    static constexpr std::size_t kDefaultChunkRecords = 4096;
+
+    /**
+     * Open @p path and validate the header. Check ok() afterwards.
+     *
+     * @param chunk_records records decoded per next() call (>= 1).
+     */
+    explicit TraceReader(const std::string &path,
+                         std::size_t chunk_records = kDefaultChunkRecords);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** False after any open/format/truncation error. */
+    bool ok() const { return error_.empty(); }
+
+    /** Failure description (empty while ok()). */
+    const std::string &error() const { return error_; }
+
+    const std::string &path() const { return path_; }
+
+    /** Records the header promises (0 until a valid header was read). */
+    std::uint64_t recordCount() const { return record_count_; }
+
+    std::size_t chunkRecords() const { return chunk_records_; }
+
+    /** Records handed out by next() since construction or rewind(). */
+    std::uint64_t recordsRead() const { return next_record_; }
+
+    /**
+     * Decode the next chunk into the internal buffer and return it.
+     * Empty at end of trace and after any error; a short read mid-file
+     * sets error() (with byte offsets) and discards the partial chunk.
+     */
+    const std::vector<TraceRecord> &next();
+
+    /** Seek back to the first record (no-op in the failed state). */
+    void rewind();
+
+  private:
+    /** Enter the failed state with a formatted message; returns false. */
+    bool fail(std::string message);
+
+    std::string path_;
+    std::size_t chunk_records_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t record_count_ = 0;
+    std::uint64_t next_record_ = 0;
+    std::vector<TraceRecord> buffer_;
+    std::vector<std::uint8_t> raw_;
+    std::string error_;
+};
 
 } // namespace cac
 

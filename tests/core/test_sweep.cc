@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "core/registry.hh"
 #include "core/sweep.hh"
 #include "trace/builder.hh"
+#include "trace/io.hh"
 #include "workloads/stride.hh"
 
 namespace cac
@@ -180,6 +183,97 @@ TEST(SweepRunnerDeath, UnknownRegistryLabelIsFatal)
     SweepRunner sweep(1);
     EXPECT_EXIT(sweep.addOrg("wombat"),
                 ::testing::ExitedWithCode(1), "unknown");
+}
+
+/** Extended-target grid: cache, hierarchy and CPU rows side by side. */
+SweepRunner
+makeTargetGrid(unsigned threads)
+{
+    SweepRunner sweep(threads);
+    sweep.addTarget("a2-Hp-Sk");
+    sweep.addTarget("2lvl:a2-Hp-Sk/a4");
+    sweep.addTarget("cpu:8k-conv");
+    sweep.addAddressWorkload("stride-512", strideAddrs(512));
+    sweep.addTraceWorkload("mixed-trace", smallTrace());
+    return sweep;
+}
+
+TEST(SweepRunnerTargets, MixedTargetKindsProduceTheRightSections)
+{
+    const auto cells = makeTargetGrid(2).run();
+    ASSERT_EQ(cells.size(), 6u);
+
+    for (std::size_t w = 0; w < 2; ++w) {
+        const SweepCell &cache = cells[w * 3 + 0];
+        const SweepCell &hier = cells[w * 3 + 1];
+        const SweepCell &cpu = cells[w * 3 + 2];
+
+        EXPECT_EQ(cache.target.kind, TargetKind::Cache);
+        EXPECT_FALSE(cache.target.hasHierarchy);
+        EXPECT_FALSE(cache.target.hasCpu);
+        EXPECT_GT(cache.stats.loads, 0u);
+
+        EXPECT_EQ(hier.target.kind, TargetKind::Hierarchy);
+        EXPECT_TRUE(hier.target.hasHierarchy);
+        EXPECT_GT(hier.target.l2.accesses(), 0u);
+
+        EXPECT_EQ(cpu.target.kind, TargetKind::Cpu);
+        EXPECT_TRUE(cpu.target.hasCpu);
+        EXPECT_GT(cpu.target.cpu.cycles, 0u);
+        EXPECT_GT(cpu.target.cpu.ipc(), 0.0);
+
+        // The compat stats field mirrors the target's L1 section.
+        EXPECT_EQ(cpu.stats.loads, cpu.target.l1.loads);
+    }
+}
+
+TEST(SweepRunnerTargets, TargetGridIsThreadCountInvariant)
+{
+    const auto serial = makeTargetGrid(1).run();
+    const auto threaded = makeTargetGrid(8).run();
+    expectCellsEqual(serial, threaded);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].target.cpu.cycles,
+                  threaded[i].target.cpu.cycles) << i;
+        EXPECT_EQ(serial[i].target.holes.holesCreated,
+                  threaded[i].target.holes.holesCreated) << i;
+    }
+}
+
+TEST(SweepRunnerTargets, StreamedWorkloadMatchesLoadedWorkload)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "cac_sweep_stream.trc")
+            .string();
+    writeTrace(smallTrace(), path);
+
+    auto makeSweep = [&](bool streamed) {
+        SweepRunner sweep(2);
+        sweep.addTarget("a2-Hp-Sk");
+        sweep.addTarget("2lvl:a2/a4");
+        sweep.addTarget("cpu:8k-conv");
+        if (streamed)
+            sweep.addTraceFileWorkload("t", path, 123);
+        else
+            sweep.addTraceWorkload("t", readTrace(path));
+        return sweep;
+    };
+
+    const auto loaded = makeSweep(false).run();
+    const auto streamed = makeSweep(true).run();
+    expectCellsEqual(loaded, streamed);
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].target.cpu.cycles,
+                  streamed[i].target.cpu.cycles) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunnerDeath, MissingStreamedTraceFailsAtAddTime)
+{
+    SweepRunner sweep(1);
+    EXPECT_EXIT(sweep.addTraceFileWorkload("t", "/nonexistent/x.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
 }
 
 } // anonymous namespace

@@ -1,18 +1,26 @@
 /**
  * @file
- * cac_sim — drive a CACTRC01 trace through either a standalone cache
- * organization (functional, miss ratios) or the full out-of-order CPU
- * model (timing, IPC).
+ * cac_sim — drive a CACTRC01 trace through any simulation target: a
+ * standalone cache organization (functional, miss ratios), a two-level
+ * virtual-real hierarchy (holes, Inclusion invalidations) or the full
+ * out-of-order CPU model (timing, IPC).
  *
- * Organization runs go through the simulation engine: labels resolve
- * via the organization registry and the (org x trace) grid executes on
- * a SweepRunner, so --compare parallelizes across organizations.
+ * All runs go through the simulation engine: target labels resolve via
+ * the organization registry's target grammar and the (target x trace)
+ * grid executes on a SweepRunner, so --compare parallelizes across
+ * targets and one report path covers caches, hierarchies and CPUs.
  *
  * Usage:
  *   cac_sim --trace swim.trc --org a2-Hp-Sk [--size 8192] [--ways 2]
- *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
+ *   cac_sim --trace swim.trc --org 2lvl:a2-Hp-Sk/a4 --l2-size 1048576
+ *   cac_sim --trace swim.trc --org cpu:8k-ipoly-cp-pred
  *   cac_sim --trace swim.trc --compare --threads 4 --csv
+ *   cac_sim --trace huge.trc --compare --stream
+ *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
  *   cac_sim --trace swim.trc --org a2-Hp-Sk --bench
+ *
+ * --stream replays the trace from disk in chunks (TraceReader) instead
+ * of loading it, so memory stays flat however long the trace is.
  *
  * --bench times the functional simulation itself (accesses per second
  * through the compiled-index-plan batch path) instead of reporting miss
@@ -26,6 +34,7 @@
 #include <string>
 #include <thread>
 
+#include "common/logging.hh"
 #include "core/cac.hh"
 
 namespace
@@ -39,20 +48,29 @@ usage()
     std::fprintf(
         stderr,
         "usage:\n"
-        "  cac_sim --trace FILE --org LABEL [--size BYTES] [--ways N] "
+        "  cac_sim --trace FILE --org TARGET [--size BYTES] [--ways N] "
         "[--block BYTES]\n"
+        "          [--l2-size BYTES] [--l2-ways N] [--stream]\n"
         "  cac_sim --trace FILE --cpu CONFIG\n"
-        "  cac_sim --trace FILE --compare [--threads N] [--csv]\n"
+        "  cac_sim --trace FILE --compare [--threads N] [--csv] "
+        "[--stream]\n"
         "  cac_sim --trace FILE (--org LABEL | --compare) --bench\n"
+        "targets:\n"
+        "  LABEL           functional single-level organization "
+        "(table below)\n"
+        "  2lvl:L1/L2      two-level virtual-real hierarchy "
+        "(L1, L2 org labels)\n"
+        "  cpu:CONFIG      out-of-order core (Table-2 config or aN "
+        "scheme label)\n"
         "orgs:\n");
     for (const auto &entry : OrgRegistry::global().entries()) {
         std::fprintf(stderr, "  %-14s %s\n", entry.pattern.c_str(),
                      entry.description.c_str());
     }
-    std::fprintf(
-        stderr,
-        "cpu configs: 16k-conv 8k-conv 8k-conv-pred 8k-ipoly-nocp "
-        "8k-ipoly-cp 8k-ipoly-cp-pred\n");
+    std::fprintf(stderr, "cpu configs:");
+    for (const auto &name : CpuConfig::tableConfigNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 
@@ -64,6 +82,17 @@ argValue(int argc, char **argv, int &i)
     return argv[++i];
 }
 
+/** Format an optional table column ("-" when not applicable). */
+std::string
+optionalCell(bool valid, double value, int precision)
+{
+    if (!valid)
+        return "-";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
 } // anonymous namespace
 
 int
@@ -73,8 +102,9 @@ main(int argc, char **argv)
     bool compare = false;
     bool csv = false;
     bool bench = false;
+    bool stream = false;
     unsigned threads = std::thread::hardware_concurrency();
-    OrgSpec spec;
+    TargetSpec spec;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -90,18 +120,26 @@ main(int argc, char **argv)
             csv = true;
         else if (!std::strcmp(arg, "--bench"))
             bench = true;
+        else if (!std::strcmp(arg, "--stream"))
+            stream = true;
         else if (!std::strcmp(arg, "--threads"))
             threads = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
         else if (!std::strcmp(arg, "--size"))
-            spec.sizeBytes = std::strtoull(argValue(argc, argv, i),
-                                           nullptr, 0);
+            spec.org.sizeBytes = std::strtoull(argValue(argc, argv, i),
+                                               nullptr, 0);
         else if (!std::strcmp(arg, "--ways"))
-            spec.ways = static_cast<unsigned>(
+            spec.org.ways = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
         else if (!std::strcmp(arg, "--block"))
-            spec.blockBytes = std::strtoull(argValue(argc, argv, i),
-                                            nullptr, 0);
+            spec.org.blockBytes = std::strtoull(argValue(argc, argv, i),
+                                                nullptr, 0);
+        else if (!std::strcmp(arg, "--l2-size"))
+            spec.l2SizeBytes = std::strtoull(argValue(argc, argv, i),
+                                             nullptr, 0);
+        else if (!std::strcmp(arg, "--l2-ways"))
+            spec.l2Ways = static_cast<unsigned>(
+                std::strtoul(argValue(argc, argv, i), nullptr, 0));
         else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg);
             usage();
@@ -111,17 +149,29 @@ main(int argc, char **argv)
     if (trace_path.empty() || (org.empty() && cpu.empty() && !compare))
         usage();
 
-    Trace trace = readTrace(trace_path);
-    if (!csv) {
-        std::printf("trace: %s (%zu instructions)\n", trace_path.c_str(),
-                    trace.size());
-    }
-
     if (!cpu.empty()) {
-        OooCore core(CpuConfig::tableConfig(cpu));
-        CpuStats stats = core.run(trace);
-        std::printf("config          %s\n",
-                    CpuConfig::tableConfig(cpu).toString().c_str());
+        const CpuConfig cfg = CpuConfig::tableConfig(cpu);
+        CpuTarget target("cpu " + cfg.toString(), cfg);
+        std::uint64_t instructions = 0;
+        if (stream) {
+            // Chunked replay through the target's streaming interface.
+            TraceReader reader(trace_path);
+            if (!reader.ok())
+                fatal("%s", reader.error().c_str());
+            instructions = reader.recordCount();
+            replayAll(reader, target);
+        } else {
+            Trace trace = readTrace(trace_path);
+            instructions = trace.size();
+            target.replay(trace.data(), trace.size());
+        }
+        target.finish();
+        const CpuStats stats = target.stats().cpu;
+        std::printf("trace: %s (%llu instructions%s)\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(instructions),
+                    stream ? ", streamed" : "");
+        std::printf("config          %s\n", cfg.toString().c_str());
         std::printf("cycles          %llu\n",
                     static_cast<unsigned long long>(stats.cycles));
         std::printf("IPC             %.3f\n", stats.ipc());
@@ -131,14 +181,19 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         stats.branchMispredicts),
                     static_cast<unsigned long long>(stats.branches),
-                    100.0 * core.branchPredictor().accuracy());
+                    100.0 * target.core().branchPredictor().accuracy());
         return 0;
     }
 
     if (bench) {
         // Throughput mode: repeatedly drive the trace's memory
         // operations through each organization's batch hot path and
-        // report accesses per second.
+        // report accesses per second. Streaming would time the disk,
+        // not the simulator, so reject the combination outright.
+        if (stream)
+            fatal("--stream is not supported with --bench (the "
+                  "throughput measurement replays from memory)");
+        Trace trace = readTrace(trace_path);
         const std::vector<std::string> labels =
             compare ? standardComparisonLabels()
                     : std::vector<std::string>{org};
@@ -147,7 +202,7 @@ main(int argc, char **argv)
         else
             std::printf("%-14s %14s\n", "organization", "accesses/sec");
         for (const std::string &label : labels) {
-            auto cache = makeOrganization(label, spec);
+            auto cache = makeOrganization(label, spec.org);
             const ThroughputResult r = measureThroughput(0.25, [&] {
                 const std::uint64_t before = cache->stats().accesses();
                 runTraceMemory(*cache, trace);
@@ -166,11 +221,35 @@ main(int argc, char **argv)
     }
 
     SweepRunner sweep(threads);
-    sweep.setSpec(spec);
-    sweep.addOrgs(compare ? standardComparisonLabels()
-                          : std::vector<std::string>{org});
-    sweep.addTraceWorkload(trace_path,
-                           std::make_shared<const Trace>(std::move(trace)));
+    sweep.setTargetSpec(spec);
+    for (const std::string &label :
+         compare ? standardTargetLabels()
+                 : std::vector<std::string>{org}) {
+        sweep.addTarget(label);
+    }
+
+    if (stream) {
+        // Chunked replay from disk: only the header is read up front.
+        TraceReader probe(trace_path);
+        if (!probe.ok())
+            fatal("%s", probe.error().c_str());
+        if (!csv) {
+            std::printf("trace: %s (%llu instructions, streamed)\n",
+                        trace_path.c_str(),
+                        static_cast<unsigned long long>(
+                            probe.recordCount()));
+        }
+        sweep.addTraceFileWorkload(trace_path, trace_path);
+    } else {
+        Trace trace = readTrace(trace_path);
+        if (!csv) {
+            std::printf("trace: %s (%zu instructions)\n",
+                        trace_path.c_str(), trace.size());
+        }
+        sweep.addTraceWorkload(
+            trace_path, std::make_shared<const Trace>(std::move(trace)));
+    }
+
     const std::vector<SweepCell> cells = sweep.run();
 
     if (csv) {
@@ -179,13 +258,22 @@ main(int argc, char **argv)
     }
 
     TextTable table;
-    table.header({"organization", "loads", "load miss%", "overall miss%"});
+    table.header({"target", "cache", "loads", "load miss%",
+                  "overall miss%", "L2 miss%", "holes", "IPC"});
     for (const SweepCell &cell : cells) {
+        const TargetStats &t = cell.target;
         table.beginRow();
+        table.cell(cell.org);
         table.cell(cell.cacheName);
         table.cell(static_cast<long long>(cell.stats.loads));
         table.cell(100.0 * cell.stats.loadMissRatio(), 2);
         table.cell(100.0 * cell.stats.missRatio(), 2);
+        table.cell(optionalCell(t.hasHierarchy,
+                                100.0 * t.l2.missRatio(), 2));
+        table.cell(t.hasHierarchy
+                       ? std::to_string(t.holes.holesCreated)
+                       : std::string("-"));
+        table.cell(optionalCell(t.hasCpu, t.cpu.ipc(), 3));
     }
     std::printf("%s", table.render().c_str());
     return 0;
