@@ -5,7 +5,7 @@
  * allows" goal. Where the other benches reproduce the paper's numbers,
  * this one measures how fast we can produce them.
  *
- * Four measurements, written to BENCH_perf.json:
+ * Five measurements, written to BENCH_perf.json:
  *  1. per-organization scalar throughput — one virtual access() per
  *     address;
  *  2. per-organization batch throughput — one accessBatch() per stream,
@@ -16,7 +16,11 @@
  *  4. streaming replay — the same trace driven through the headline
  *     organization fully loaded (runTraceMemory) vs streamed from disk
  *     in TraceReader chunks, quantifying the constant-memory path's
- *     overhead.
+ *     overhead;
+ *  5. analysis layer (schema 3) — GF(2) conflict analyses per second
+ *     (analyzeIndex on the headline skewed I-Poly function) and
+ *     index-search throughput in candidates evaluated per second, at
+ *     1 thread and at --threads.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -102,11 +106,27 @@ struct StreamingResult
     double streamedAps = 0.0;
 };
 
+/** One --threads point of the index-search throughput measurement. */
+struct SearchRun
+{
+    unsigned threads = 0;
+    double seconds = 0.0;
+    double candidatesPerSec = 0.0;
+};
+
+struct AnalysisResult
+{
+    double analyzesPerSec = 0.0; ///< analyzeIndex() calls per second
+    std::size_t candidates = 0;  ///< search grid size
+    std::size_t workloadAccesses = 0;
+    std::vector<SearchRun> searchRuns;
+};
+
 void
 writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           const std::vector<OrgResult> &orgs, std::size_t sweep_cells,
           std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
-          const StreamingResult &streaming)
+          const StreamingResult &streaming, const AnalysisResult &analysis)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -115,7 +135,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 2,\n");
+    std::fprintf(f, "  \"schema\": 3,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -149,6 +169,25 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
                  streaming.inMemoryAps);
     std::fprintf(f, "    \"streamed_aps\": %.0f\n",
                  streaming.streamedAps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"analysis\": {\n");
+    std::fprintf(f, "    \"analyzes_per_sec\": %.0f,\n",
+                 analysis.analyzesPerSec);
+    std::fprintf(f, "    \"search\": {\n");
+    std::fprintf(f, "      \"candidates\": %zu,\n", analysis.candidates);
+    std::fprintf(f, "      \"workload_accesses\": %zu,\n",
+                 analysis.workloadAccesses);
+    std::fprintf(f, "      \"runs\": [\n");
+    for (std::size_t i = 0; i < analysis.searchRuns.size(); ++i) {
+        const SearchRun &r = analysis.searchRuns[i];
+        std::fprintf(f,
+                     "        {\"threads\": %u, \"seconds\": %.4f, "
+                     "\"candidates_per_sec\": %.2f}%s\n",
+                     r.threads, r.seconds, r.candidatesPerSec,
+                     i + 1 < analysis.searchRuns.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n");
+    std::fprintf(f, "    }\n");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -306,8 +345,47 @@ main(int argc, char **argv)
                     streaming.records);
     }
 
+    // Analysis layer: GF(2) analyzer calls per second on the headline
+    // index function, then index-search throughput in candidates
+    // evaluated per second at 1 thread and at max_threads.
+    AnalysisResult analysis;
+    {
+        const IPolyIndex headline_fn(7, 2, 14, /*skewed=*/true);
+        analysis.analyzesPerSec = measureThroughput(min_seconds, [&] {
+            const ConflictAnalysis a = analyzeIndex(headline_fn, 14);
+            return static_cast<std::uint64_t>(a.ways.size() > 0);
+        }).unitsPerSec;
+        std::printf("conflict analyses %11.0f /sec (a2-Hp-Sk)\n",
+                    analysis.analyzesPerSec);
+
+        const std::vector<std::uint64_t> workload =
+            makeStream(smoke ? 20000 : 200000);
+        analysis.workloadAccesses = workload.size();
+        for (unsigned threads : {1u, max_threads}) {
+            SearchConfig run_config;
+            run_config.threads = threads;
+            IndexSearch engine(run_config);
+            analysis.candidates = engine.candidates().size();
+            const auto start = Clock::now();
+            const auto results = engine.run(workload);
+            SearchRun r;
+            r.threads = threads;
+            r.seconds = secondsSince(start);
+            r.candidatesPerSec =
+                static_cast<double>(results.size()) / r.seconds;
+            std::printf(
+                "search %3u thread%s %11.1f candidates/sec "
+                "(%zu candidates, %.3fs)\n",
+                threads, threads == 1 ? " " : "s", r.candidatesPerSec,
+                results.size(), r.seconds);
+            analysis.searchRuns.push_back(r);
+            if (max_threads == 1)
+                break;
+        }
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
-              sweep_accesses, sweep_results, streaming);
+              sweep_accesses, sweep_results, streaming, analysis);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -1,0 +1,198 @@
+#include "analysis/conflict_analyzer.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "index/index_fn.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+/** Evaluate the extracted matrix at @p addr. */
+std::uint64_t
+applyRows(const std::vector<std::uint64_t> &rows, std::uint64_t addr)
+{
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out |= static_cast<std::uint64_t>(parity(rows[i] & addr)) << i;
+    return out;
+}
+
+/**
+ * Probe one way's matrix out of the virtual index() and verify the
+ * extraction on random samples. A linear function is fully determined
+ * by its values on the basis vectors; the sample check catches
+ * non-linear out-of-tree functions instead of mis-analyzing them.
+ */
+void
+extractWay(const IndexFn &fn, unsigned way, unsigned input_bits,
+           WayConflictAnalysis &out)
+{
+    const unsigned m = fn.setBits();
+    out.rows.assign(m, 0);
+    if (fn.index(0, way) != 0) {
+        // Affine or stranger: report non-linear rather than mis-analyze.
+        out.linear = false;
+        return;
+    }
+    for (unsigned j = 0; j < input_bits; ++j) {
+        const std::uint64_t col = fn.index(std::uint64_t{1} << j, way);
+        for (unsigned i = 0; i < m; ++i) {
+            if (col >> i & 1)
+                out.rows[i] |= std::uint64_t{1} << j;
+        }
+    }
+
+    Rng rng(0x5EED ^ way);
+    out.linear = true;
+    for (int s = 0; s < 64; ++s) {
+        const std::uint64_t a = rng.next() & mask(input_bits);
+        if (fn.index(a, way) != applyRows(out.rows, a)) {
+            out.linear = false;
+            return;
+        }
+    }
+}
+
+} // anonymous namespace
+
+bool
+ConflictAnalysis::linear() const
+{
+    return std::all_of(ways.begin(), ways.end(),
+                       [](const WayConflictAnalysis &w) {
+                           return w.linear;
+                       });
+}
+
+bool
+ConflictAnalysis::strideFreeCertificate() const
+{
+    return linear()
+        && std::all_of(ways.begin(), ways.end(),
+                       [](const WayConflictAnalysis &w) {
+                           return w.allPow2StridesFree;
+                       });
+}
+
+unsigned
+ConflictAnalysis::predictedConflictScore() const
+{
+    unsigned score = 0;
+    for (const WayConflictAnalysis &w : ways) {
+        for (const StridePrediction &s : w.strides)
+            score += setBits - s.rank;
+    }
+    return score;
+}
+
+std::string
+ConflictAnalysis::report() const
+{
+    std::ostringstream os;
+    os << "index " << indexName << ": " << numWays << " way(s), 2^"
+       << setBits << " sets, " << inputBits << " input bits"
+       << (skewed ? ", skewed" : "") << '\n';
+    if (!linear()) {
+        os << "  not linear over GF(2): analysis unavailable\n";
+        return os.str();
+    }
+    for (const WayConflictAnalysis &w : ways) {
+        os << "way " << w.way << ": rank " << w.rank << "/" << setBits
+           << ", nullity " << w.nullity << ", max fan-in " << w.maxFanIn
+           << '\n';
+        if (!w.nullBasis.empty()) {
+            os << "  colliding XOR differences (basis):";
+            for (std::uint64_t b : w.nullBasis)
+                os << " 0x" << std::hex << b << std::dec;
+            os << '\n';
+        }
+        os << "  stride 2^k -> distinct sets per aligned window of "
+           << (std::uint64_t{1} << setBits) << ":\n";
+        for (const StridePrediction &s : w.strides) {
+            os << "    k=" << s.strideLog2 << ": " << s.distinctSets
+               << " sets, class size " << s.conflictClassSize
+               << (s.conflictFree ? " (conflict-free)" : " (CONFLICTS)")
+               << '\n';
+        }
+    }
+    os << "stacked rank " << stackedRank << ", hard-conflict dimension "
+       << hardConflictDim;
+    if (numWays > 1) {
+        os << " (2^" << hardConflictDim
+           << " XOR differences collide in every way)";
+    }
+    os << '\n';
+    os << "stride-freeness certificate: "
+       << (strideFreeCertificate()
+               ? "PASS (all 2^k strides conflict-free)"
+               : "FAIL (pathological strides predicted above)")
+       << '\n';
+    os << "predicted conflict score " << predictedConflictScore()
+       << " (0 = certificate holder)\n";
+    return os.str();
+}
+
+ConflictAnalysis
+analyzeIndex(const IndexFn &fn, unsigned input_bits)
+{
+    const unsigned m = fn.setBits();
+    CAC_ASSERT(input_bits >= m && input_bits <= 64);
+
+    ConflictAnalysis a;
+    a.indexName = fn.name();
+    a.setBits = m;
+    a.numWays = fn.numWays();
+    a.inputBits = input_bits;
+    a.skewed = fn.isSkewed();
+
+    std::vector<std::uint64_t> stacked;
+    for (unsigned way = 0; way < a.numWays; ++way) {
+        WayConflictAnalysis w;
+        w.way = way;
+        extractWay(fn, way, input_bits, w);
+        if (w.linear) {
+            w.rank = gf2Rank(w.rows);
+            w.nullity = input_bits - w.rank;
+            w.nullBasis = gf2NullSpaceBasis(w.rows, input_bits);
+            for (std::uint64_t row : w.rows)
+                w.maxFanIn = std::max(w.maxFanIn, popCount(row));
+
+            // Stride 2^k touches matrix columns [k, k+m): an aligned
+            // window of 2^m elements adds t << k carry-free, so its
+            // image is a coset of the column span — 2^rank sets.
+            w.allPow2StridesFree = true;
+            for (unsigned k = 0; k + m <= input_bits; ++k) {
+                StridePrediction s;
+                s.strideLog2 = k;
+                std::vector<std::uint64_t> sub(w.rows);
+                for (std::uint64_t &row : sub)
+                    row = row >> k & mask(m);
+                s.rank = gf2Rank(sub);
+                s.distinctSets = std::uint64_t{1} << s.rank;
+                s.conflictClassSize = std::uint64_t{1} << (m - s.rank);
+                s.conflictFree = s.rank == m;
+                w.allPow2StridesFree &= s.conflictFree;
+                w.strides.push_back(s);
+            }
+            stacked.insert(stacked.end(), w.rows.begin(), w.rows.end());
+        }
+        a.ways.push_back(std::move(w));
+    }
+
+    if (a.linear() && !stacked.empty()) {
+        a.stackedRank = gf2Rank(stacked);
+        a.hardConflictDim = static_cast<unsigned>(
+            gf2NullSpaceBasis(stacked, input_bits).size());
+    }
+    return a;
+}
+
+} // namespace cac

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ConflictAnalyzer: GF(2) linear analysis of placement functions.
+ *
+ * Every placement function in the library is linear over GF(2), so the
+ * question "which addresses conflict?" is linear algebra, not
+ * simulation. This analyzer extracts the per-way binary matrix of any
+ * IndexFn (by probing basis vectors and verifying linearity), then
+ * answers the paper's design questions analytically:
+ *
+ *  - rank / null space per way: the null space is exactly the set of
+ *    XOR address-differences a way cannot distinguish — the conflict
+ *    classes of section 2;
+ *  - per-stride conflict-class prediction: for a power-of-two stride
+ *    2^k, an aligned window of 2^m consecutive elements maps onto
+ *    2^rank distinct sets where rank is that of the matrix restricted
+ *    to columns [k, k+m) — conflict-free iff full rank (the paper's
+ *    section 2.1.2 theorem, decided without simulating a single
+ *    access);
+ *  - a stride-freeness certificate generalizing
+ *    tests/index/test_stride_free: every power-of-two stride whose
+ *    window fits the input width is conflict-free;
+ *  - the cross-way hard-conflict space: differences that collide in
+ *    *every* way at once, i.e. the pairs even a skewed organization
+ *    cannot separate.
+ *
+ * The measured counterpart of these predictions is
+ * analysis/conflict_profiler.hh; tests/analysis cross-checks the two.
+ */
+
+#ifndef CAC_ANALYSIS_CONFLICT_ANALYZER_HH
+#define CAC_ANALYSIS_CONFLICT_ANALYZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cac
+{
+
+class IndexFn;
+
+/** Predicted behavior of one power-of-two stride in one way. */
+struct StridePrediction
+{
+    unsigned strideLog2 = 0; ///< block-address stride 2^strideLog2
+    unsigned rank = 0;       ///< rank of columns [k, k+m) of the matrix
+    /** Distinct sets an aligned 2^m-element window occupies (2^rank). */
+    std::uint64_t distinctSets = 0;
+    /** Elements of the window sharing one set (2^(m - rank)). */
+    std::uint64_t conflictClassSize = 0;
+    /** True when the window maps onto 2^m distinct sets. */
+    bool conflictFree = false;
+};
+
+/** Linear analysis of one way's placement matrix. */
+struct WayConflictAnalysis
+{
+    unsigned way = 0;
+    /**
+     * Probing verified linearity (index(a ^ b) == index(a) ^ index(b)
+     * on samples). All in-tree functions are linear; when false the
+     * remaining fields are meaningless and analysis is unavailable.
+     */
+    bool linear = false;
+    /** The way's row masks: rows[i] feeds index bit i. */
+    std::vector<std::uint64_t> rows;
+    unsigned rank = 0;    ///< rank of the full m x v matrix
+    unsigned nullity = 0; ///< v - rank
+    /**
+     * Null-space basis: XOR address-differences mapping to set 0. Two
+     * block addresses collide in this way iff their XOR difference is a
+     * combination of these masks.
+     */
+    std::vector<std::uint64_t> nullBasis;
+    unsigned maxFanIn = 0; ///< widest XOR gate (hardware critical path)
+    /** One prediction per stride 2^k, k = 0 .. v - m. */
+    std::vector<StridePrediction> strides;
+    /** Every power-of-two stride in range is conflict-free. */
+    bool allPow2StridesFree = false;
+};
+
+/** Full conflict analysis of a placement function. */
+struct ConflictAnalysis
+{
+    std::string indexName;
+    unsigned setBits = 0;
+    unsigned numWays = 0;
+    unsigned inputBits = 0;
+    bool skewed = false;
+    std::vector<WayConflictAnalysis> ways;
+
+    /** Rank of all ways' matrices stacked. */
+    unsigned stackedRank = 0;
+    /**
+     * Dimension of the intersection of all ways' null spaces:
+     * log2 of the number of XOR differences that conflict in *every*
+     * way simultaneously. Zero means skewing leaves no unavoidable
+     * conflict pattern within the input width.
+     */
+    unsigned hardConflictDim = 0;
+
+    /** True when every way is linear (analysis meaningful). */
+    bool linear() const;
+
+    /**
+     * Certificate that all power-of-two strides with a full window in
+     * range are conflict-free in every way — the property the paper
+     * proves for irreducible polynomial moduli.
+     */
+    bool strideFreeCertificate() const;
+
+    /**
+     * Total lost rank across ways and power-of-two strides: 0 for a
+     * certificate holder, growing with how often and how badly strided
+     * windows fold onto fewer sets. The index-search engine uses this
+     * as the predicted-conflict component of its ranking.
+     */
+    unsigned predictedConflictScore() const;
+
+    /** Human-readable multi-line report (cac_sim --analyze). */
+    std::string report() const;
+};
+
+/**
+ * Analyze @p fn's placement over the low @p input_bits block-address
+ * bits. @p input_bits must be >= fn.setBits() (the paper's v; pass the
+ * spec's hashBlockBits for cache-shaped questions).
+ */
+ConflictAnalysis analyzeIndex(const IndexFn &fn, unsigned input_bits);
+
+} // namespace cac
+
+#endif // CAC_ANALYSIS_CONFLICT_ANALYZER_HH

@@ -9,6 +9,19 @@
 namespace cac
 {
 
+std::string
+csvField(const std::string &field)
+{
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 void
 TextTable::header(std::vector<std::string> cells)
 {

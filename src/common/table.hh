@@ -1,7 +1,8 @@
 /**
  * @file
  * Plain-text table printer used by the benchmark harnesses to emit rows
- * in the same layout as the paper's tables.
+ * in the same layout as the paper's tables, plus the CSV field quoting
+ * every machine-readable emitter shares.
  */
 
 #ifndef CAC_COMMON_TABLE_HH
@@ -12,6 +13,13 @@
 
 namespace cac
 {
+
+/**
+ * RFC-4180 CSV quoting: wrap @p field in double quotes, doubling any
+ * embedded quote. The one quoting rule shared by every CSV emitter
+ * (sweepCsv, searchCsv, cac_sim --csv).
+ */
+std::string csvField(const std::string &field);
 
 /**
  * Accumulates rows of string cells and renders them with aligned columns.

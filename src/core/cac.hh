@@ -7,6 +7,9 @@
 #ifndef CAC_CORE_CAC_HH
 #define CAC_CORE_CAC_HH
 
+#include "analysis/conflict_analyzer.hh"
+#include "analysis/conflict_profiler.hh"
+#include "analysis/index_search.hh"
 #include "cache/cache_model.hh"
 #include "cache/fully_assoc.hh"
 #include "cache/geometry.hh"
@@ -34,6 +37,7 @@
 #include "index/index_fn.hh"
 #include "index/index_plan.hh"
 #include "index/ipoly.hh"
+#include "index/matrix_index.hh"
 #include "index/xor_skew.hh"
 #include "poly/catalog.hh"
 #include "poly/gf2poly.hh"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/table.hh"
 #include "core/experiment.hh"
 
 namespace cac
@@ -169,6 +170,8 @@ SweepRunner::runCell(std::size_t index,
 
     cell.target = target->stats();
     cell.stats = cell.target.l1;
+    if (observer_)
+        observer_(cell, *target);
     return cell;
 }
 
@@ -213,25 +216,6 @@ SweepRunner::run() const
         thread.join();
     return results;
 }
-
-namespace
-{
-
-/** RFC-4180 quoting: wrap in quotes, double any embedded quote. */
-std::string
-csvField(const std::string &field)
-{
-    std::string out = "\"";
-    for (char c : field) {
-        if (c == '"')
-            out += '"';
-        out += c;
-    }
-    out += '"';
-    return out;
-}
-
-} // anonymous namespace
 
 std::string
 sweepCsv(const std::vector<SweepCell> &cells)

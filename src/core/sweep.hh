@@ -63,6 +63,13 @@ class SweepRunner
     using TargetBuilder = std::function<std::unique_ptr<SimTarget>()>;
 
     /**
+     * Post-cell hook: observe the finished target before it is
+     * destroyed (see setCellObserver()).
+     */
+    using CellObserver =
+        std::function<void(const SweepCell &cell, SimTarget &target)>;
+
+    /**
      * @param threads worker count for run(); 1 executes inline. Values
      *        above the cell count are clamped.
      */
@@ -138,6 +145,21 @@ class SweepRunner
         const std::string &name, const std::string &path,
         std::size_t chunk_records = TraceReader::kDefaultChunkRecords);
 
+    /**
+     * Install a hook run once per cell, after the target finished its
+     * workload and its SweepCell row was assembled but before the
+     * target instance is destroyed. This is how callers harvest
+     * target-specific state the unified TargetStats row cannot carry —
+     * the analysis layer pulls per-set ConflictProfiles out of
+     * profiled targets this way. The observer runs on worker threads
+     * (concurrently for different cells) and must synchronize its own
+     * state; pass nullptr to remove.
+     */
+    void setCellObserver(CellObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
     std::size_t numOrgs() const { return targets_.size(); }
     std::size_t numWorkloads() const { return workloads_.size(); }
 
@@ -188,6 +210,7 @@ class SweepRunner
 
     unsigned threads_;
     TargetSpec spec_;
+    CellObserver observer_;
     std::vector<Target> targets_;
     std::vector<Workload> workloads_;
 };

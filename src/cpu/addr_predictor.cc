@@ -22,8 +22,10 @@ AddrPredictor::predict(std::uint32_t pc) const
 {
     const Entry &e = table_[indexOf(pc)];
     Prediction p;
-    p.addr = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(e.lastAddr) + e.stride);
+    // Unsigned addition: wraps instead of overflowing when a random
+    // address meets a huge retrained stride (same two's-complement
+    // result, no UB).
+    p.addr = e.lastAddr + static_cast<std::uint64_t>(e.stride);
     p.confident = (e.counter & 0x2) != 0; // MSB of the 2-bit counter
     return p;
 }
@@ -34,8 +36,8 @@ AddrPredictor::update(std::uint32_t pc, std::uint64_t actual)
     Entry &e = table_[indexOf(pc)];
     ++lookups_;
 
-    const std::uint64_t predicted = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(e.lastAddr) + e.stride);
+    const std::uint64_t predicted =
+        e.lastAddr + static_cast<std::uint64_t>(e.stride);
     const bool was_confident = (e.counter & 0x2) != 0;
     const bool correct = predicted == actual;
 
@@ -55,8 +57,9 @@ AddrPredictor::update(std::uint32_t pc, std::uint64_t actual)
     // Stride only retrained while confidence is low (below 10b); the
     // address field always tracks the latest reference.
     if ((e.counter & 0x2) == 0) {
-        e.stride = static_cast<std::int64_t>(actual)
-                 - static_cast<std::int64_t>(e.lastAddr);
+        // Difference computed unsigned (wrapping), then reinterpreted:
+        // well-defined modular conversion in C++20.
+        e.stride = static_cast<std::int64_t>(actual - e.lastAddr);
     }
     e.lastAddr = actual;
 }

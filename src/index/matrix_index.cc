@@ -1,0 +1,98 @@
+#include "index/matrix_index.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+
+MatrixIndex::MatrixIndex(unsigned set_bits, unsigned num_ways,
+                         unsigned input_bits,
+                         std::vector<std::uint64_t> row_masks,
+                         std::string name)
+    : IndexFn(set_bits, num_ways), input_bits_(input_bits),
+      rows_(std::move(row_masks)), name_(std::move(name))
+{
+    CAC_ASSERT(input_bits_ >= set_bits_ && input_bits_ <= 64);
+    CAC_ASSERT(rows_.size()
+               == static_cast<std::size_t>(num_ways_) * set_bits_);
+    for (std::uint64_t row : rows_)
+        CAC_ASSERT((row & ~mask(input_bits_)) == 0);
+    skewed_ = false;
+    for (unsigned w = 1; w < num_ways_ && !skewed_; ++w) {
+        for (unsigned i = 0; i < set_bits_; ++i) {
+            if (rows_[w * set_bits_ + i] != rows_[i]) {
+                skewed_ = true;
+                break;
+            }
+        }
+    }
+}
+
+std::unique_ptr<MatrixIndex>
+MatrixIndex::randomFullRank(unsigned set_bits, unsigned num_ways,
+                            unsigned input_bits, std::uint64_t seed)
+{
+    CAC_ASSERT(input_bits >= set_bits && input_bits <= 64);
+    Rng rng(seed ^ 0xC0FFEE);
+    std::vector<std::uint64_t> rows(
+        static_cast<std::size_t>(num_ways) * set_bits);
+    for (unsigned w = 0; w < num_ways; ++w) {
+        std::vector<std::uint64_t> way(set_bits);
+        // Redraw the whole way until its matrix has full rank; a random
+        // m x v matrix over GF(2) is full rank with probability > 0.28
+        // even at v == m, so this terminates almost immediately.
+        do {
+            for (unsigned i = 0; i < set_bits; ++i)
+                way[i] = rng.next() & mask(input_bits);
+        } while (gf2Rank(way) != set_bits);
+        std::copy(way.begin(), way.end(), rows.begin() + w * set_bits);
+    }
+    return std::make_unique<MatrixIndex>(
+        set_bits, num_ways, input_bits, std::move(rows),
+        "matrix-s" + std::to_string(seed));
+}
+
+std::uint64_t
+MatrixIndex::index(std::uint64_t block_addr, unsigned way) const
+{
+    CAC_ASSERT(way < num_ways_);
+    const std::uint64_t in = block_addr & mask(input_bits_);
+    std::uint64_t set = 0;
+    for (unsigned i = 0; i < set_bits_; ++i) {
+        set |= static_cast<std::uint64_t>(
+                   parity(in & rows_[way * set_bits_ + i]))
+            << i;
+    }
+    return set;
+}
+
+IndexPlan
+MatrixIndex::compile() const
+{
+    return IndexPlan::fromRowMasks(set_bits_, num_ways_, input_bits_,
+                                   rows_);
+}
+
+std::uint64_t
+MatrixIndex::rowMask(unsigned way, unsigned i) const
+{
+    CAC_ASSERT(way < num_ways_ && i < set_bits_);
+    return rows_[way * set_bits_ + i];
+}
+
+unsigned
+MatrixIndex::maxFanIn() const
+{
+    unsigned fi = 0;
+    for (std::uint64_t row : rows_)
+        fi = std::max(fi, popCount(row));
+    return fi;
+}
+
+} // namespace cac

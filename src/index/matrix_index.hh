@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Explicit-matrix placement: an IndexFn defined directly by per-way
+ * GF(2) row masks.
+ *
+ * Every linear placement scheme — bit selection, rotated-field XOR,
+ * polynomial modulus — is ultimately a binary matrix from address bits
+ * to index bits. This class exposes that representation directly, which
+ * is what the index-search engine needs to explore *randomized* XOR
+ * networks (seeded random matrices, full-rank by construction) beyond
+ * the structured families, and what lets analysis results round-trip
+ * back into a runnable cache configuration.
+ */
+
+#ifndef CAC_INDEX_MATRIX_INDEX_HH
+#define CAC_INDEX_MATRIX_INDEX_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/index_fn.hh"
+
+namespace cac
+{
+
+/**
+ * Placement function evaluating per-way XOR row masks.
+ *
+ * Way w maps a block address a to the index whose bit i is
+ * parity(a & rowMask(w, i)) — exactly the XOR-gate network a hardware
+ * implementation would wire.
+ */
+class MatrixIndex : public IndexFn
+{
+  public:
+    /**
+     * @param set_bits index width m.
+     * @param num_ways associativity.
+     * @param input_bits low-order block-address bits the masks consume.
+     * @param row_masks way-major: row_masks[way * set_bits + i] is the
+     *        input mask of way @p way's index bit i. Size must be
+     *        num_ways * set_bits; masks must fit in input_bits.
+     * @param name display name (defaults to "matrix").
+     */
+    MatrixIndex(unsigned set_bits, unsigned num_ways, unsigned input_bits,
+                std::vector<std::uint64_t> row_masks,
+                std::string name = "matrix");
+
+    /**
+     * Seeded random full-rank matrix per way: every way's m x input_bits
+     * matrix has rank m (so each way can reach every set and spreads a
+     * uniform address distribution uniformly), and with more than one
+     * way the ways get independent draws, i.e. a skewed organization.
+     * Deterministic given (geometry, seed).
+     */
+    static std::unique_ptr<MatrixIndex>
+    randomFullRank(unsigned set_bits, unsigned num_ways,
+                   unsigned input_bits, std::uint64_t seed);
+
+    std::uint64_t index(std::uint64_t block_addr,
+                        unsigned way) const override;
+    IndexPlan compile() const override; ///< lowers to the row-mask plan
+    bool isSkewed() const override { return skewed_; }
+    std::string name() const override { return name_; }
+
+    unsigned inputBits() const { return input_bits_; }
+
+    /** Input mask of way @p way's index bit @p i. */
+    std::uint64_t rowMask(unsigned way, unsigned i) const;
+
+    /** The way-major mask buffer (see constructor). */
+    const std::vector<std::uint64_t> &rowMasks() const { return rows_; }
+
+    /** Largest XOR-gate fan-in across all ways (hardware cost). */
+    unsigned maxFanIn() const;
+
+  private:
+    unsigned input_bits_;
+    bool skewed_;
+    std::vector<std::uint64_t> rows_;
+    std::string name_;
+};
+
+} // namespace cac
+
+#endif // CAC_INDEX_MATRIX_INDEX_HH

@@ -9,6 +9,75 @@
 namespace cac
 {
 
+namespace
+{
+
+/**
+ * Row-reduce @p rows in place. Records, for each pivot, its (row,
+ * column) pair in @p pivots when non-null. After return the pivot rows
+ * are in reduced row-echelon form: each pivot column appears in exactly
+ * one row.
+ */
+unsigned
+eliminate(std::vector<std::uint64_t> &rows, unsigned cols,
+          std::vector<std::pair<unsigned, unsigned>> *pivots)
+{
+    unsigned rank = 0;
+    for (unsigned c = 0; c < cols && rank < rows.size(); ++c) {
+        // Find a row at or below the frontier with column c set.
+        unsigned r = rank;
+        while (r < rows.size() && !(rows[r] >> c & 1))
+            ++r;
+        if (r == rows.size())
+            continue;
+        std::swap(rows[rank], rows[r]);
+        // Clear column c from every other row (full reduction).
+        for (unsigned i = 0; i < rows.size(); ++i) {
+            if (i != rank && (rows[i] >> c & 1))
+                rows[i] ^= rows[rank];
+        }
+        if (pivots)
+            pivots->emplace_back(rank, c);
+        ++rank;
+    }
+    return rank;
+}
+
+} // anonymous namespace
+
+unsigned
+gf2Rank(std::vector<std::uint64_t> rows)
+{
+    return eliminate(rows, 64, nullptr);
+}
+
+std::vector<std::uint64_t>
+gf2NullSpaceBasis(std::vector<std::uint64_t> rows, unsigned cols)
+{
+    CAC_ASSERT(cols >= 1 && cols <= 64);
+    std::vector<std::pair<unsigned, unsigned>> pivots;
+    eliminate(rows, cols, &pivots);
+
+    std::uint64_t pivot_cols = 0;
+    for (const auto &[row, col] : pivots)
+        pivot_cols |= std::uint64_t{1} << col;
+
+    // One basis vector per free column f: set bit f, then satisfy each
+    // pivot row by setting its pivot column iff the row reads bit f.
+    std::vector<std::uint64_t> basis;
+    for (unsigned f = 0; f < cols; ++f) {
+        if (pivot_cols >> f & 1)
+            continue;
+        std::uint64_t v = std::uint64_t{1} << f;
+        for (const auto &[row, col] : pivots) {
+            if (rows[row] >> f & 1)
+                v |= std::uint64_t{1} << col;
+        }
+        basis.push_back(v);
+    }
+    return basis;
+}
+
 XorMatrix::XorMatrix(const Gf2Poly &p, unsigned input_bits)
     : modulus_(p), input_bits_(input_bits)
 {
@@ -60,6 +129,18 @@ XorMatrix::maxFanIn() const
     for (unsigned i = 0; i < output_bits_; ++i)
         fi = std::max(fi, fanIn(i));
     return fi;
+}
+
+unsigned
+XorMatrix::rank() const
+{
+    return gf2Rank(row_masks_);
+}
+
+std::vector<std::uint64_t>
+XorMatrix::nullSpace() const
+{
+    return gf2NullSpaceBasis(row_masks_, input_bits_);
 }
 
 std::string

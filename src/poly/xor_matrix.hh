@@ -26,6 +26,24 @@ namespace cac
 {
 
 /**
+ * Rank over GF(2) of a binary matrix given as row bit-masks (bit j of
+ * rows[i] is entry (i, j)). Runs Gaussian elimination on a copy.
+ */
+unsigned gf2Rank(std::vector<std::uint64_t> rows);
+
+/**
+ * Basis of the right null space over GF(2) of the matrix @p rows with
+ * @p cols columns: every returned mask v satisfies parity(rows[i] & v)
+ * == 0 for all i, and the masks are linearly independent. The basis has
+ * cols - gf2Rank(rows) elements; an empty result means the map is
+ * injective on the @p cols input bits. This is the conflict-analysis
+ * primitive: two block addresses collide in a linear index function
+ * exactly when their XOR difference lies in the function's null space.
+ */
+std::vector<std::uint64_t>
+gf2NullSpaceBasis(std::vector<std::uint64_t> rows, unsigned cols);
+
+/**
  * Precompiled XOR network computing A(x) mod P(x) for A restricted to
  * @p inputBits low-order bits.
  */
@@ -66,6 +84,22 @@ class XorMatrix
 
     /** Largest gate fan-in across all output bits. */
     unsigned maxFanIn() const;
+
+    /**
+     * Rank over GF(2) of the reduction matrix. For an irreducible
+     * modulus this is always outputBits(): the low m columns are the
+     * identity. A deficient rank means some index bits are redundant
+     * and the network cannot reach every set.
+     */
+    unsigned rank() const;
+
+    /**
+     * Null-space basis of the reduction map (see gf2NullSpaceBasis):
+     * XOR-differences of input values that this network cannot
+     * distinguish. For A mod P on v input bits the null space is the
+     * multiples of P below degree v, so the basis has v - m elements.
+     */
+    std::vector<std::uint64_t> nullSpace() const;
 
     /** Human-readable gate listing, one line per index bit. */
     std::string describe() const;

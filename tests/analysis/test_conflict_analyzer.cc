@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the GF(2) conflict analyzer: extraction correctness, the
+ * paper's stride theorems reproduced analytically, and the stride-
+ * freeness certificate generalizing tests/index/test_stride_free.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/conflict_analyzer.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "index/factory.hh"
+#include "index/ipoly.hh"
+#include "index/matrix_index.hh"
+#include "index/xor_skew.hh"
+#include "poly/catalog.hh"
+
+namespace cac
+{
+namespace
+{
+
+/** Evaluate an extracted row matrix at @p addr. */
+std::uint64_t
+applyRows(const std::vector<std::uint64_t> &rows, std::uint64_t addr)
+{
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out |= static_cast<std::uint64_t>(parity(rows[i] & addr)) << i;
+    return out;
+}
+
+TEST(ConflictAnalyzer, ExtractionMatchesEveryInTreeScheme)
+{
+    const unsigned v = 14;
+    std::vector<std::unique_ptr<IndexFn>> fns;
+    fns.push_back(makeIndexFn(IndexKind::Modulo, 7, 2, v));
+    fns.push_back(makeIndexFn(IndexKind::XorSkew, 7, 2, v));
+    fns.push_back(makeIndexFn(IndexKind::IPoly, 7, 2, v));
+    fns.push_back(makeIndexFn(IndexKind::IPolySkew, 7, 2, v));
+    fns.push_back(MatrixIndex::randomFullRank(7, 2, v, 11));
+
+    Rng rng(5);
+    for (const auto &fn : fns) {
+        const ConflictAnalysis a = analyzeIndex(*fn, v);
+        ASSERT_TRUE(a.linear()) << fn->name();
+        for (unsigned w = 0; w < fn->numWays(); ++w) {
+            for (int i = 0; i < 200; ++i) {
+                const std::uint64_t addr = rng.next() & mask(v);
+                EXPECT_EQ(applyRows(a.ways[w].rows, addr),
+                          fn->index(addr, w))
+                    << fn->name() << " way " << w;
+            }
+        }
+    }
+}
+
+TEST(ConflictAnalyzer, IrreduciblePolyEarnsTheCertificate)
+{
+    // Section 2.1.2: every power-of-two stride is conflict-free under
+    // an irreducible polynomial modulus. The analyzer proves it from
+    // rank alone; contrast with the exhaustive enumeration the
+    // test_stride_free suite performs.
+    for (unsigned m : {5u, 6u, 7u, 8u}) {
+        IPolyIndex idx(m, 1, m + 7, /*skewed=*/false);
+        const ConflictAnalysis a = analyzeIndex(idx, m + 7);
+        EXPECT_TRUE(a.strideFreeCertificate()) << "m=" << m;
+        EXPECT_EQ(a.predictedConflictScore(), 0u);
+        for (const StridePrediction &s : a.ways[0].strides) {
+            EXPECT_TRUE(s.conflictFree) << "k=" << s.strideLog2;
+            EXPECT_EQ(s.distinctSets, std::uint64_t{1} << m);
+            EXPECT_EQ(s.conflictClassSize, 1u);
+        }
+    }
+}
+
+TEST(ConflictAnalyzer, ConventionalIndexDegeneratesPredictably)
+{
+    // Bit selection loses exactly k rank bits at stride 2^k: a window
+    // folds onto 2^(m-k) sets — the degeneration Figure 1 measures.
+    const unsigned m = 7, v = 14;
+    auto fn = makeIndexFn(IndexKind::Modulo, m, 1, v);
+    const ConflictAnalysis a = analyzeIndex(*fn, v);
+    EXPECT_FALSE(a.strideFreeCertificate());
+    for (const StridePrediction &s : a.ways[0].strides) {
+        const unsigned k = s.strideLog2;
+        EXPECT_EQ(s.rank, m - k) << "k=" << k;
+        EXPECT_EQ(s.conflictClassSize, std::uint64_t{1} << k);
+        EXPECT_EQ(s.conflictFree, k == 0);
+    }
+    // Total lost rank: sum k over k = 0..v-m.
+    unsigned expected = 0;
+    for (unsigned k = 0; k + m <= v; ++k)
+        expected += k;
+    EXPECT_EQ(a.predictedConflictScore(), expected);
+}
+
+TEST(ConflictAnalyzer, ReducibleModulusFailsTheCertificate)
+{
+    // x^7 + x^3 is divisible by x: the same polynomial
+    // test_stride_free shows colliding must fail analytically too.
+    IPolyIndex idx({Gf2Poly{0x88}}, 14);
+    const ConflictAnalysis a = analyzeIndex(idx, 14);
+    EXPECT_FALSE(a.strideFreeCertificate());
+    EXPECT_GT(a.predictedConflictScore(), 0u);
+}
+
+TEST(ConflictAnalyzer, NullSpaceMembersActuallyCollide)
+{
+    const unsigned v = 14;
+    IPolyIndex idx(7, 2, v, /*skewed=*/true);
+    const ConflictAnalysis a = analyzeIndex(idx, v);
+    Rng rng(9);
+    for (unsigned w = 0; w < 2; ++w) {
+        ASSERT_EQ(a.ways[w].nullity, a.ways[w].nullBasis.size());
+        for (std::uint64_t d : a.ways[w].nullBasis) {
+            for (int i = 0; i < 50; ++i) {
+                const std::uint64_t addr = rng.next() & mask(v);
+                EXPECT_EQ(idx.index(addr, w), idx.index(addr ^ d, w));
+            }
+        }
+    }
+}
+
+TEST(ConflictAnalyzer, SkewedPolynomialsShrinkTheHardConflictSpace)
+{
+    const unsigned v = 16;
+    // Unskewed: both ways share one polynomial, so the intersection of
+    // the null spaces is the whole null space (dimension v - m).
+    IPolyIndex same(7, 2, v, /*skewed=*/false);
+    const ConflictAnalysis a_same = analyzeIndex(same, v);
+    EXPECT_EQ(a_same.hardConflictDim, v - 7);
+
+    // Skewed: distinct irreducible moduli P0 != P1 only share multiples
+    // of P0*P1, so the hard-conflict space drops to v - 2m.
+    IPolyIndex skew(7, 2, v, /*skewed=*/true);
+    const ConflictAnalysis a_skew = analyzeIndex(skew, v);
+    EXPECT_EQ(a_skew.hardConflictDim, v - 14);
+    EXPECT_LT(a_skew.hardConflictDim, a_same.hardConflictDim);
+    EXPECT_EQ(a_skew.stackedRank, 14u);
+}
+
+TEST(ConflictAnalyzer, ReportMentionsTheVerdict)
+{
+    IPolyIndex good(7, 2, 14, true);
+    EXPECT_NE(analyzeIndex(good, 14).report().find("PASS"),
+              std::string::npos);
+    auto bad = makeIndexFn(IndexKind::Modulo, 7, 2, 14);
+    EXPECT_NE(analyzeIndex(*bad, 14).report().find("FAIL"),
+              std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace cac

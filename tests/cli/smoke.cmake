@@ -1,0 +1,72 @@
+# CLI smoke test for cac_sim, run as: cmake -DSIM=<path> -P smoke.cmake
+#
+# Guards the flag-error contract: unknown flags and missing values must
+# print the *full* usage (including the analysis-layer flags) to stderr
+# and exit non-zero, and --analyze must work without a trace. A plain
+# CMake script so the check needs no extra test dependency.
+
+if(NOT DEFINED SIM)
+  message(FATAL_ERROR "pass -DSIM=<path-to-cac_sim>")
+endif()
+
+# 1. Unknown flag: non-zero exit, diagnostic, full usage text.
+execute_process(COMMAND ${SIM} --definitely-not-a-flag
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown flag exited 0")
+endif()
+if(NOT err MATCHES "unknown argument '--definitely-not-a-flag'")
+  message(FATAL_ERROR "unknown flag not diagnosed: ${err}")
+endif()
+foreach(flag --analyze --search --stream --l2-size --l2-ways --threads)
+  if(NOT err MATCHES "${flag}")
+    message(FATAL_ERROR "usage text is missing ${flag}: ${err}")
+  endif()
+endforeach()
+
+# 2. Flag with a missing value: non-zero exit plus a diagnostic.
+execute_process(COMMAND ${SIM} --trace
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "missing flag value exited 0")
+endif()
+if(NOT err MATCHES "missing value for '--trace'")
+  message(FATAL_ERROR "missing value not diagnosed: ${err}")
+endif()
+
+# 3. No arguments at all: usage, non-zero.
+execute_process(COMMAND ${SIM}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "bare invocation exited 0")
+endif()
+
+# 4. --search without --trace: diagnosed, non-zero.
+execute_process(COMMAND ${SIM} --search
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--search without --trace exited 0")
+endif()
+if(NOT err MATCHES "--search requires --trace")
+  message(FATAL_ERROR "--search without --trace not diagnosed: ${err}")
+endif()
+
+# 5. --analyze works standalone (no trace) and prints the certificate.
+execute_process(COMMAND ${SIM} --analyze a2-Hp-Sk
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--analyze a2-Hp-Sk failed (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "stride-freeness certificate: PASS")
+  message(FATAL_ERROR "--analyze output missing certificate: ${out}")
+endif()
+if(NOT out MATCHES "conflict-free")
+  message(FATAL_ERROR "--analyze output missing stride table: ${out}")
+endif()
+
+message(STATUS "cac_sim CLI smoke: all checks passed")

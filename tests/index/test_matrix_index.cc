@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the explicit-matrix placement function.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "index/matrix_index.hh"
+#include "index/xor_skew.hh"
+#include "poly/xor_matrix.hh"
+
+namespace cac
+{
+namespace
+{
+
+TEST(MatrixIndex, EvaluatesRowMasksByParity)
+{
+    // Way 0: identity on the low 3 bits. Way 1: bit i = a_i XOR a_{i+3}.
+    std::vector<std::uint64_t> rows = {
+        0b000001, 0b000010, 0b000100, // way 0
+        0b001001, 0b010010, 0b100100, // way 1
+    };
+    MatrixIndex idx(3, 2, 6, rows);
+    EXPECT_TRUE(idx.isSkewed());
+    for (std::uint64_t a = 0; a < 64; ++a) {
+        EXPECT_EQ(idx.index(a, 0), a & 7u);
+        EXPECT_EQ(idx.index(a, 1), (a ^ (a >> 3)) & 7u);
+    }
+    EXPECT_EQ(idx.maxFanIn(), 2u);
+    EXPECT_EQ(idx.rowMask(1, 2), 0b100100u);
+}
+
+TEST(MatrixIndex, IdenticalWaysAreNotSkewed)
+{
+    std::vector<std::uint64_t> rows = {0b01, 0b10, 0b01, 0b10};
+    MatrixIndex idx(2, 2, 2, rows);
+    EXPECT_FALSE(idx.isSkewed());
+}
+
+TEST(MatrixIndex, CompiledPlanMatchesVirtualPath)
+{
+    auto idx = MatrixIndex::randomFullRank(7, 2, 14, 99);
+    const IndexPlan plan = idx->compile();
+    for (std::uint64_t a = 0; a < (1u << 14); a += 13) {
+        for (unsigned w = 0; w < 2; ++w)
+            EXPECT_EQ(plan.indexOne(a, w), idx->index(a, w));
+    }
+}
+
+TEST(MatrixIndex, RandomFullRankIsFullRankAndDeterministic)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 42ull}) {
+        auto idx = MatrixIndex::randomFullRank(7, 2, 14, seed);
+        for (unsigned w = 0; w < 2; ++w) {
+            std::vector<std::uint64_t> way;
+            for (unsigned i = 0; i < 7; ++i)
+                way.push_back(idx->rowMask(w, i));
+            EXPECT_EQ(gf2Rank(way), 7u) << "seed " << seed << " way " << w;
+        }
+        // Same seed, same matrix; the search engine relies on this.
+        auto again = MatrixIndex::randomFullRank(7, 2, 14, seed);
+        EXPECT_EQ(idx->rowMasks(), again->rowMasks());
+        EXPECT_TRUE(idx->isSkewed());
+    }
+}
+
+TEST(MatrixIndex, FullRankReachesEverySet)
+{
+    auto idx = MatrixIndex::randomFullRank(5, 1, 10, 3);
+    std::vector<bool> hit(32, false);
+    for (std::uint64_t a = 0; a < (1u << 10); ++a)
+        hit[idx->index(a, 0)] = true;
+    for (unsigned s = 0; s < 32; ++s)
+        EXPECT_TRUE(hit[s]) << "set " << s;
+}
+
+TEST(MatrixIndex, RoundTripsXorSkewRowMasks)
+{
+    // A MatrixIndex built from another scheme's compiled row masks must
+    // agree with that scheme everywhere: the matrix form is universal.
+    XorSkewIndex skew(6, 2, true);
+    std::vector<std::uint64_t> rows;
+    const IndexPlan plan = skew.compile();
+    for (unsigned w = 0; w < 2; ++w) {
+        for (unsigned i = 0; i < 6; ++i) {
+            // Recover row masks by probing the plan with basis vectors.
+            std::uint64_t row = 0;
+            for (unsigned j = 0; j < 12; ++j) {
+                if (plan.indexOne(std::uint64_t{1} << j, w) >> i & 1)
+                    row |= std::uint64_t{1} << j;
+            }
+            rows.push_back(row);
+        }
+    }
+    MatrixIndex idx(6, 2, 12, rows);
+    for (std::uint64_t a = 0; a < (1u << 12); a += 7) {
+        for (unsigned w = 0; w < 2; ++w)
+            EXPECT_EQ(idx.index(a, w), skew.index(a, w));
+    }
+}
+
+} // anonymous namespace
+} // namespace cac

@@ -3,6 +3,7 @@
  * Tests for the irreducible/primitive polynomial catalog.
  */
 
+#include <bit>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -85,6 +86,50 @@ TEST(PolyCatalog, ClassicPrimitivesVerifyLargeDegrees)
         EXPECT_EQ(p.degree(), static_cast<int>(deg));
         EXPECT_TRUE(p.isPrimitive())
             << "degree " << deg << ": " << p.toString();
+    }
+}
+
+TEST(PolyCatalog, ClassicPrimitiveCoefficientsForDegrees25To32)
+{
+    // Pin the exact coefficient words for the large degrees against an
+    // independently hand-entered copy of the standard LFSR tap tables,
+    // so a catalog edit cannot silently swap in a different (even if
+    // still primitive) polynomial and shift every derived index
+    // function. Taps listed as exponents with nonzero coefficients.
+    struct Entry
+    {
+        unsigned degree;
+        std::uint64_t coeffs;
+        const char *rendered;
+    };
+    const Entry expected[] = {
+        {25, (1ull << 25) | (1ull << 3) | 1, "x^25 + x^3 + 1"},
+        {26,
+         (1ull << 26) | (1ull << 6) | (1ull << 2) | (1ull << 1) | 1,
+         "x^26 + x^6 + x^2 + x + 1"},
+        {27,
+         (1ull << 27) | (1ull << 5) | (1ull << 2) | (1ull << 1) | 1,
+         "x^27 + x^5 + x^2 + x + 1"},
+        {28, (1ull << 28) | (1ull << 3) | 1, "x^28 + x^3 + 1"},
+        {29, (1ull << 29) | (1ull << 2) | 1, "x^29 + x^2 + 1"},
+        {30,
+         (1ull << 30) | (1ull << 6) | (1ull << 4) | (1ull << 1) | 1,
+         "x^30 + x^6 + x^4 + x + 1"},
+        {31, (1ull << 31) | (1ull << 3) | 1, "x^31 + x^3 + 1"},
+        {32,
+         (1ull << 32) | (1ull << 7) | (1ull << 5) | (1ull << 3)
+             | (1ull << 2) | (1ull << 1) | 1,
+         "x^32 + x^7 + x^5 + x^3 + x^2 + x + 1"},
+    };
+    for (const Entry &e : expected) {
+        const Gf2Poly p = PolyCatalog::classicPrimitive(e.degree);
+        EXPECT_EQ(p.coeffs(), e.coeffs) << "degree " << e.degree;
+        EXPECT_EQ(p.toString(), e.rendered);
+        // A primitive polynomial is irreducible and (for degree > 1)
+        // has an odd number of terms including the constant one.
+        EXPECT_TRUE(p.isIrreducible());
+        EXPECT_EQ(p.coeff(0), 1u);
+        EXPECT_EQ(std::popcount(p.coeffs()) % 2, 1);
     }
 }
 

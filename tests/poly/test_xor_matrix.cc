@@ -99,6 +99,110 @@ TEST(XorMatrix, PaperFanInBound)
     EXPECT_TRUE(found);
 }
 
+TEST(XorMatrix, FanInHandComputedDegree3)
+{
+    // P = x^3 + x + 1, v = 6. Columns of the reduction matrix:
+    //   x^0 = 1, x^1 = x, x^2 = x^2,
+    //   x^3 = x + 1, x^4 = x^2 + x, x^5 = x^2 + x + 1.
+    // Row masks (bit j set when column j feeds that index bit):
+    //   index[0] <- a0, a3, a5        -> 0b101001, fan-in 3
+    //   index[1] <- a1, a3, a4, a5    -> 0b111010, fan-in 4
+    //   index[2] <- a2, a4, a5        -> 0b110100, fan-in 3
+    XorMatrix m(Gf2Poly{0xB}, 6);
+    EXPECT_EQ(m.rowMask(0), 0b101001u);
+    EXPECT_EQ(m.rowMask(1), 0b111010u);
+    EXPECT_EQ(m.rowMask(2), 0b110100u);
+    EXPECT_EQ(m.fanIn(0), 3u);
+    EXPECT_EQ(m.fanIn(1), 4u);
+    EXPECT_EQ(m.fanIn(2), 3u);
+    EXPECT_EQ(m.maxFanIn(), 4u);
+}
+
+TEST(XorMatrix, FanInHandComputedDegree2)
+{
+    // P = x^2 + x + 1, v = 4: x^2 = x + 1, x^3 = x^2 + x = 1.
+    //   index[0] <- a0, a2, a3  -> 0b1101, fan-in 3
+    //   index[1] <- a1, a2      -> 0b0110, fan-in 2
+    XorMatrix m(Gf2Poly{0x7}, 4);
+    EXPECT_EQ(m.rowMask(0), 0b1101u);
+    EXPECT_EQ(m.rowMask(1), 0b0110u);
+    EXPECT_EQ(m.fanIn(0), 3u);
+    EXPECT_EQ(m.fanIn(1), 2u);
+    EXPECT_EQ(m.maxFanIn(), 3u);
+}
+
+TEST(XorMatrix, PaperFanInNumbers)
+{
+    // Section 3.4 works with 19 address bits and degree-7 moduli and
+    // reports gate fan-ins never higher than 5. For P = x^7 + x^3 + 1
+    // over the 14 block-address bits (19 minus the 5 offset bits) the
+    // columns are x^7 = x^3+1, x^8 = x^4+x, ..., x^13 = x^6+x^5+x^2,
+    // giving hand-computed per-gate fan-ins 3,3,3,4,4,4,3.
+    XorMatrix m(Gf2Poly{0x89}, 14);
+    const unsigned expected[7] = {3, 3, 3, 4, 4, 4, 3};
+    for (unsigned i = 0; i < m.outputBits(); ++i)
+        EXPECT_EQ(m.fanIn(i), expected[i]) << "gate " << i;
+    EXPECT_EQ(m.maxFanIn(), 4u);
+}
+
+TEST(Gf2LinAlg, RankOfHandMatrices)
+{
+    // Identity of size 4.
+    EXPECT_EQ(gf2Rank({0b0001, 0b0010, 0b0100, 0b1000}), 4u);
+    // A duplicated row and a row that is the sum of the others.
+    EXPECT_EQ(gf2Rank({0b0011, 0b0011}), 1u);
+    EXPECT_EQ(gf2Rank({0b011, 0b110, 0b101}), 2u);
+    EXPECT_EQ(gf2Rank({0, 0, 0}), 0u);
+    EXPECT_EQ(gf2Rank({}), 0u);
+}
+
+TEST(Gf2LinAlg, NullSpaceOrthogonalAndCorrectDimension)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        const unsigned cols = 4 + static_cast<unsigned>(rng.nextBelow(10));
+        std::vector<std::uint64_t> rows;
+        const unsigned nrows = 1 + static_cast<unsigned>(rng.nextBelow(8));
+        for (unsigned i = 0; i < nrows; ++i)
+            rows.push_back(rng.next() & mask(cols));
+
+        const unsigned rank = gf2Rank(rows);
+        const auto basis = gf2NullSpaceBasis(rows, cols);
+        EXPECT_EQ(basis.size(), cols - rank);
+        // Every basis vector is annihilated by every row...
+        for (std::uint64_t v : basis) {
+            for (std::uint64_t r : rows)
+                EXPECT_EQ(parity(r & v), 0u);
+        }
+        // ...and the basis itself is linearly independent.
+        EXPECT_EQ(gf2Rank(basis), basis.size());
+    }
+}
+
+TEST(XorMatrix, IrreducibleModulusHasFullRank)
+{
+    for (unsigned deg : {5u, 7u, 8u}) {
+        XorMatrix m(PolyCatalog::irreducible(deg, 0), 14);
+        EXPECT_EQ(m.rank(), deg);
+    }
+}
+
+TEST(XorMatrix, NullSpaceIsTheMultiplesOfTheModulus)
+{
+    // Null space of A -> A mod P on v input bits = {t * P : deg(t*P) < v},
+    // spanned by P, xP, ..., x^(v-m-1) P: dimension v - m, and every
+    // member reduces to zero.
+    const unsigned v = 14;
+    Gf2Poly p = PolyCatalog::irreducible(7, 2);
+    XorMatrix m(p, v);
+    const auto basis = m.nullSpace();
+    EXPECT_EQ(basis.size(), v - 7);
+    for (std::uint64_t b : basis) {
+        EXPECT_EQ(m.apply(b), 0u);
+        EXPECT_TRUE(Gf2Poly{b}.mod(p).isZero());
+    }
+}
+
 TEST(XorMatrix, DescribeListsEveryIndexBit)
 {
     Gf2Poly p = PolyCatalog::irreducible(5, 0);

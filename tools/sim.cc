@@ -18,6 +18,8 @@
  *   cac_sim --trace huge.trc --compare --stream
  *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
  *   cac_sim --trace swim.trc --org a2-Hp-Sk --bench
+ *   cac_sim --analyze a2-Hp-Sk [--trace swim.trc]
+ *   cac_sim --trace swim.trc --search [--threads 4] [--csv]
  *
  * --stream replays the trace from disk in chunks (TraceReader) instead
  * of loading it, so memory stays flat however long the trace is.
@@ -26,11 +28,24 @@
  * through the compiled-index-plan batch path) instead of reporting miss
  * ratios, so the bench/perf_engine numbers can be reproduced on any
  * trace without the bench binary.
+ *
+ * --analyze prints the GF(2) conflict analysis of an organization's
+ * placement function (rank, null space, per-stride conflict classes,
+ * the stride-freeness certificate); with --trace it also measures the
+ * profile (per-set occupancy, conflict-miss attribution against a
+ * fully-associative shadow, top conflicting pairs).
+ *
+ * --search grids placement-function candidates (catalog polynomials,
+ * seeded random XOR matrices, the conventional baselines) against the
+ * trace on the sweep thread pool and ranks them by measured conflict
+ * misses, predicted conflict score and XOR fan-in.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -55,6 +70,11 @@ usage()
         "  cac_sim --trace FILE --compare [--threads N] [--csv] "
         "[--stream]\n"
         "  cac_sim --trace FILE (--org LABEL | --compare) --bench\n"
+        "  cac_sim --analyze LABEL [--trace FILE] [--stream] "
+        "[--size BYTES] [--ways N]\n"
+        "  cac_sim --trace FILE --search [--search-polys N] "
+        "[--search-random N]\n"
+        "          [--seed S] [--threads N] [--csv] [--stream]\n"
         "targets:\n"
         "  LABEL           functional single-level organization "
         "(table below)\n"
@@ -77,8 +97,12 @@ usage()
 const char *
 argValue(int argc, char **argv, int &i)
 {
-    if (i + 1 >= argc)
+    if (i + 1 >= argc) {
+        // Diagnose before the usage dump so the mistake is visible even
+        // when the usage text scrolls past.
+        std::fprintf(stderr, "missing value for '%s'\n", argv[i]);
         usage();
+    }
     return argv[++i];
 }
 
@@ -93,16 +117,152 @@ optionalCell(bool valid, double value, int precision)
     return buf;
 }
 
+/**
+ * --analyze: print the GF(2) conflict analysis of @p label's placement
+ * function; with a trace, also measure its conflict profile.
+ */
+int
+runAnalyze(const std::string &label, const std::string &trace_path,
+           const TargetSpec &spec, bool stream)
+{
+    auto model = makeOrganization(label, spec.org);
+    auto *cache = dynamic_cast<SetAssocCache *>(model.get());
+    if (cache == nullptr) {
+        fatal("--analyze needs an organization with a placement "
+              "function ('%s' is not set-associative)",
+              label.c_str());
+    }
+    const unsigned input_bits =
+        std::max(spec.org.hashBlockBits, cache->indexFn().setBits());
+    const ConflictAnalysis analysis =
+        analyzeIndex(cache->indexFn(), input_bits);
+    std::printf("%s", analysis.report().c_str());
+
+    if (trace_path.empty())
+        return 0;
+
+    // Measured profile: the analysis above only probed the index
+    // function, so the model is still cold — reuse it, sharing its
+    // compiled plan with the histogram decorator (the function lives
+    // on inside the wrapped target).
+    const CacheGeometry geometry = model->geometry();
+    const IndexPlan plan = cache->indexPlan();
+    ConflictProfiler profiler(
+        std::make_unique<CacheTarget>(std::move(model)), geometry);
+    profiler.attachIndex(plan);
+
+    if (stream) {
+        // Chunked replay: the profiler is chunk-invisible, so memory
+        // stays bounded however long the trace is.
+        TraceReader reader(trace_path);
+        if (!reader.ok())
+            fatal("%s", reader.error().c_str());
+        std::printf("\ntrace: %s (%llu instructions, streamed)\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(
+                        reader.recordCount()));
+        replayAll(reader, profiler);
+    } else {
+        Trace trace = readTrace(trace_path);
+        std::printf("\ntrace: %s (%zu instructions)\n",
+                    trace_path.c_str(), trace.size());
+        profiler.replay(trace.data(), trace.size());
+    }
+    profiler.finish();
+    std::printf("%s", profiler.profile().report().c_str());
+    return 0;
+}
+
+/**
+ * --search: rank placement-function candidates on the trace (catalog
+ * polynomials + seeded random matrices + baselines), in parallel.
+ */
+int
+runSearch(const std::string &trace_path, const TargetSpec &spec,
+          std::size_t search_polys, std::size_t search_random,
+          std::uint64_t seed, unsigned threads, bool csv, bool stream)
+{
+    SearchConfig config;
+    config.geometry = CacheGeometry(
+        spec.org.sizeBytes, spec.org.blockBytes, spec.org.ways);
+    config.inputBits = std::max(spec.org.hashBlockBits,
+                                config.geometry.setBits());
+    config.polyStarts = search_polys;
+    config.randomSeeds = search_random;
+    config.seed = seed;
+    config.threads = threads > 0 ? threads : 1;
+
+    IndexSearch engine(config);
+    std::vector<SearchResult> results;
+    if (stream) {
+        // Chunked replay from disk per cell: only the header up front.
+        TraceReader probe(trace_path);
+        if (!probe.ok())
+            fatal("%s", probe.error().c_str());
+        if (!csv) {
+            std::printf("trace: %s (%llu instructions, streamed), "
+                        "%zu candidates, %u thread(s)\n",
+                        trace_path.c_str(),
+                        static_cast<unsigned long long>(
+                            probe.recordCount()),
+                        engine.candidates().size(), config.threads);
+        }
+        results = engine.runTraceFile(trace_path);
+    } else {
+        Trace trace = readTrace(trace_path);
+        if (!csv) {
+            std::printf("trace: %s (%zu instructions), %zu candidates, "
+                        "%u thread(s)\n",
+                        trace_path.c_str(), trace.size(),
+                        engine.candidates().size(), config.threads);
+        }
+        results = engine.run(std::make_shared<const Trace>(std::move(trace)));
+    }
+
+    if (csv) {
+        std::printf("%s", searchCsv(results).c_str());
+        return 0;
+    }
+
+    TextTable table;
+    table.header({"rank", "candidate", "index", "fan-in", "predicted",
+                  "miss%", "conflict", "conflict%", "sets"});
+    for (const SearchResult &r : results) {
+        table.beginRow();
+        table.cell(static_cast<long long>(r.rank));
+        table.cell(r.label);
+        table.cell(r.indexName);
+        table.cell(static_cast<long long>(r.maxFanIn));
+        table.cell(static_cast<long long>(r.predictedScore));
+        table.cell(100.0 * r.stats.missRatio(), 2);
+        table.cell(static_cast<long long>(r.conflictMisses));
+        table.cell(r.conflictMissPct, 2);
+        table.cell(static_cast<long long>(r.way0OccupiedSets));
+    }
+    std::printf("%s", table.render().c_str());
+    const SearchResult &best = results.front();
+    std::printf("best: %s (%s), %llu conflict misses, fan-in %u%s\n",
+                best.label.c_str(), best.indexName.c_str(),
+                static_cast<unsigned long long>(best.conflictMisses),
+                best.maxFanIn,
+                best.strideFree ? ", stride-free certificate" : "");
+    return 0;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string trace_path, org, cpu;
+    std::string trace_path, org, cpu, analyze;
     bool compare = false;
     bool csv = false;
     bool bench = false;
     bool stream = false;
+    bool search = false;
+    std::size_t search_polys = 16;
+    std::size_t search_random = 8;
+    std::uint64_t seed = 1;
     unsigned threads = std::thread::hardware_concurrency();
     TargetSpec spec;
 
@@ -114,6 +274,8 @@ main(int argc, char **argv)
             org = argValue(argc, argv, i);
         else if (!std::strcmp(arg, "--cpu"))
             cpu = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--analyze"))
+            analyze = argValue(argc, argv, i);
         else if (!std::strcmp(arg, "--compare"))
             compare = true;
         else if (!std::strcmp(arg, "--csv"))
@@ -122,6 +284,16 @@ main(int argc, char **argv)
             bench = true;
         else if (!std::strcmp(arg, "--stream"))
             stream = true;
+        else if (!std::strcmp(arg, "--search"))
+            search = true;
+        else if (!std::strcmp(arg, "--search-polys"))
+            search_polys = std::strtoull(argValue(argc, argv, i),
+                                         nullptr, 0);
+        else if (!std::strcmp(arg, "--search-random"))
+            search_random = std::strtoull(argValue(argc, argv, i),
+                                          nullptr, 0);
+        else if (!std::strcmp(arg, "--seed"))
+            seed = std::strtoull(argValue(argc, argv, i), nullptr, 0);
         else if (!std::strcmp(arg, "--threads"))
             threads = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
@@ -144,6 +316,17 @@ main(int argc, char **argv)
             std::fprintf(stderr, "unknown argument '%s'\n", arg);
             usage();
         }
+    }
+
+    if (!analyze.empty())
+        return runAnalyze(analyze, trace_path, spec, stream);
+    if (search) {
+        if (trace_path.empty()) {
+            std::fprintf(stderr, "--search requires --trace\n");
+            usage();
+        }
+        return runSearch(trace_path, spec, search_polys, search_random,
+                         seed, threads, csv, stream);
     }
 
     if (trace_path.empty() || (org.empty() && cpu.empty() && !compare))
