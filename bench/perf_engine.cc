@@ -20,7 +20,11 @@
  *  5. analysis layer (schema 3) — GF(2) conflict analyses per second
  *     (analyzeIndex on the headline skewed I-Poly function) and
  *     index-search throughput in candidates evaluated per second, at
- *     1 thread and at --threads.
+ *     1 thread and at --threads;
+ *  6. scenario engine (schema 4) — multiprogrammed replay throughput
+ *     in records per second: the swim+tomcatv mix driven through the
+ *     headline organization under warm-keep and under cold-flush
+ *     context switches (scenario/scenario.hh).
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -122,11 +126,23 @@ struct AnalysisResult
     std::vector<SearchRun> searchRuns;
 };
 
+/** Multiprogrammed-replay throughput (schema 4). */
+struct ScenarioPerf
+{
+    std::string label;       ///< the measured mix label
+    std::size_t records = 0; ///< composed trace length
+    std::size_t programs = 0;
+    std::uint64_t switches = 0;
+    double warmKeepRps = 0.0;  ///< records/sec, warm-keep switches
+    double coldFlushRps = 0.0; ///< records/sec, cold-flush switches
+};
+
 void
 writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           const std::vector<OrgResult> &orgs, std::size_t sweep_cells,
           std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
-          const StreamingResult &streaming, const AnalysisResult &analysis)
+          const StreamingResult &streaming, const AnalysisResult &analysis,
+          const ScenarioPerf &scenario)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -135,7 +151,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 3,\n");
+    std::fprintf(f, "  \"schema\": 4,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -188,6 +204,17 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "      ]\n");
     std::fprintf(f, "    }\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"scenario\": {\n");
+    std::fprintf(f, "    \"label\": \"%s\",\n", scenario.label.c_str());
+    std::fprintf(f, "    \"records\": %zu,\n", scenario.records);
+    std::fprintf(f, "    \"programs\": %zu,\n", scenario.programs);
+    std::fprintf(f, "    \"switches\": %llu,\n",
+                 static_cast<unsigned long long>(scenario.switches));
+    std::fprintf(f, "    \"warm_keep_rps\": %.0f,\n",
+                 scenario.warmKeepRps);
+    std::fprintf(f, "    \"cold_flush_rps\": %.0f\n",
+                 scenario.coldFlushRps);
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -384,8 +411,44 @@ main(int argc, char **argv)
         }
     }
 
+    // Scenario engine: the swim+tomcatv mix replayed through the
+    // headline organization, measuring the multiprogrammed replay
+    // loop (segment dispatch + checkpoints + switch policy) in
+    // records per second.
+    ScenarioPerf scenario_perf;
+    {
+        const std::string base =
+            smoke ? "mix:swim+tomcatv@q=5k,n=25k"
+                  : "mix:swim+tomcatv@q=50k,n=250k";
+        const auto measure = [&](const std::string &label) {
+            const std::shared_ptr<const Scenario> scenario =
+                buildScenario(label);
+            scenario_perf.records = scenario->composed().size();
+            scenario_perf.programs = scenario->programNames().size();
+            scenario_perf.switches = scenario->numSwitches();
+            return measureThroughput(min_seconds, [&] {
+                CacheTarget target(
+                    makeOrganization("a2-Hp-Sk", spec));
+                scenario->replayInto(target);
+                target.finish();
+                return static_cast<std::uint64_t>(
+                    scenario->composed().size());
+            }).unitsPerSec;
+        };
+        scenario_perf.label = base;
+        scenario_perf.warmKeepRps = measure(base);
+        scenario_perf.coldFlushRps = measure(base + ",flush");
+        std::printf("scenario replay %14.0f rps keep, %14.0f rps flush "
+                    "(%zu records, %llu switches)\n",
+                    scenario_perf.warmKeepRps,
+                    scenario_perf.coldFlushRps, scenario_perf.records,
+                    static_cast<unsigned long long>(
+                        scenario_perf.switches));
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
-              sweep_accesses, sweep_results, streaming, analysis);
+              sweep_accesses, sweep_results, streaming, analysis,
+              scenario_perf);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

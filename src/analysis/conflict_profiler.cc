@@ -214,6 +214,28 @@ ConflictProfiler::finish()
     inner_->finish();
 }
 
+void
+ConflictProfiler::checkpoint()
+{
+    if (shadow_)
+        shadow_gather_.flush(*shadow_);
+    inner_->checkpoint();
+}
+
+void
+ConflictProfiler::flushPrimary()
+{
+    if (shadow_) {
+        shadow_gather_.flush(*shadow_);
+        shadow_->flush();
+    }
+    // Conflict pairs must not span a flush: the predecessor block is
+    // no longer resident, so a same-set successor cannot thrash with
+    // it.
+    std::fill(last_valid_.begin(), last_valid_.end(), false);
+    inner_->flushPrimary();
+}
+
 const ConflictProfile &
 ConflictProfiler::profile() const
 {

@@ -150,6 +150,15 @@ class ConflictProfiler : public SimTarget
                      bool is_write) override;
     void replay(const TraceRecord *recs, std::size_t n) override;
     void finish() override;
+    void checkpoint() override;
+    /**
+     * Forwards the cold-flush to the wrapped target AND flushes the
+     * shadow model, so the conflict-miss attribution keeps comparing
+     * like with like across scenario context switches (a warm shadow
+     * against a flushed target would inflate "conflict" misses with
+     * what are really cold misses).
+     */
+    void flushPrimary() override;
     TargetStats stats() const override { return inner_->stats(); }
 
     /**

@@ -40,6 +40,7 @@
 #include "index/matrix_index.hh"
 #include "index/xor_skew.hh"
 #include "poly/catalog.hh"
+#include "scenario/scenario.hh"
 #include "poly/gf2poly.hh"
 #include "poly/xor_matrix.hh"
 #include "trace/builder.hh"

@@ -221,4 +221,15 @@ standardComparisonLabels()
             "a2-Hp-Sk", "victim",  "hash-rehash", "column-poly", "full"};
 }
 
+std::vector<std::string>
+scenarioComparisonLabels()
+{
+    // The placement-scheme story under multiprogramming: conventional
+    // 2-way vs the hashed/skewed schemes, with the fully-associative
+    // bound alongside (it is also the profiler's shadow, so its row
+    // shows the capacity+compulsory floor of the mix).
+    return {"a2", "a4", "a2-Hx-Sk", "a2-Hp", "a2-Hp-Sk", "victim",
+            "full"};
+}
+
 } // namespace cac

@@ -174,6 +174,16 @@ std::vector<std::string> standardComparisonLabels();
  */
 std::vector<std::string> standardTargetLabels();
 
+/**
+ * The target set `cac_sim --scenario --compare` grids against a
+ * multiprogrammed mix (scenario/scenario.hh grammar): the functional
+ * single-level organizations, which the driver wraps in a
+ * ConflictProfiler for aggregate conflict attribution of the mixed
+ * stream. One source of truth so the CLI, the perf bench and the docs
+ * agree on the comparison.
+ */
+std::vector<std::string> scenarioComparisonLabels();
+
 } // namespace cac
 
 #endif // CAC_CORE_REGISTRY_HH

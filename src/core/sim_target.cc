@@ -123,6 +123,21 @@ CacheTarget::finish()
     gather_.flush(*model_);
 }
 
+void
+CacheTarget::checkpoint()
+{
+    gather_.flush(*model_);
+}
+
+void
+CacheTarget::flushPrimary()
+{
+    // Issue the gathered run first: those accesses happened before the
+    // context switch, so they must see the pre-flush contents.
+    gather_.flush(*model_);
+    model_->flush();
+}
+
 TargetStats
 CacheTarget::stats() const
 {
@@ -157,6 +172,12 @@ HierarchyTarget::replay(const TraceRecord *recs, std::size_t n)
         if (isMemOp(rec.op))
             hierarchy_->access(rec.addr, rec.op == OpClass::Store);
     }
+}
+
+void
+HierarchyTarget::flushPrimary()
+{
+    hierarchy_->flushL1();
 }
 
 TargetStats
@@ -215,6 +236,12 @@ CpuTarget::finish()
         done_ = core_.finishStream();
         finished_ = true;
     }
+}
+
+void
+CpuTarget::flushPrimary()
+{
+    core_.flushDataCache();
 }
 
 TargetStats

@@ -112,6 +112,25 @@ class SimTarget
     /** Flush in-flight state after the last chunk (idempotent). */
     virtual void finish() {}
 
+    /**
+     * Flush batching state (gathered runs) so stats() is exact at this
+     * stream point. Unlike finish() it does not end the stream — the
+     * scenario engine checkpoints at every context-switch boundary for
+     * per-program attribution. Cheap and idempotent; targets without
+     * batching state (the CPU pipeline keeps running) may no-op.
+     */
+    virtual void checkpoint() {}
+
+    /**
+     * Invalidate the primary level's cached contents — the scenario
+     * engine's cold-flush context switch. Statistics survive; only the
+     * cached state goes. Targets model it on their own terms: a
+     * functional cache flushes its array, the hierarchy flushes its
+     * (virtually-indexed) L1 and the reverse map, the CPU flushes its
+     * timing L1's functional array.
+     */
+    virtual void flushPrimary() {}
+
     /** Unified statistics; complete once finish() has run. */
     virtual TargetStats stats() const = 0;
 };
@@ -128,6 +147,8 @@ class CacheTarget : public SimTarget
                      bool is_write) override;
     void replay(const TraceRecord *recs, std::size_t n) override;
     void finish() override;
+    void checkpoint() override;
+    void flushPrimary() override;
     TargetStats stats() const override;
 
     const CacheModel &model() const { return *model_; }
@@ -150,6 +171,7 @@ class HierarchyTarget : public SimTarget
     void accessBatch(const std::uint64_t *addrs, std::size_t n,
                      bool is_write) override;
     void replay(const TraceRecord *recs, std::size_t n) override;
+    void flushPrimary() override;
     TargetStats stats() const override;
 
     const TwoLevelHierarchy &hierarchy() const { return *hierarchy_; }
@@ -177,6 +199,7 @@ class CpuTarget : public SimTarget
                      bool is_write) override;
     void replay(const TraceRecord *recs, std::size_t n) override;
     void finish() override;
+    void flushPrimary() override;
     TargetStats stats() const override;
 
     const OooCore &core() const { return core_; }

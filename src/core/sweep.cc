@@ -122,6 +122,25 @@ SweepRunner::addTraceFileWorkload(const std::string &name,
     workloads_.push_back(std::move(w));
 }
 
+void
+SweepRunner::addScenarioWorkload(const std::string &name,
+                                 std::shared_ptr<const Scenario> scenario,
+                                 std::size_t chunk_records)
+{
+    CAC_ASSERT(scenario != nullptr);
+    Workload w;
+    w.name = name;
+    w.scenario = std::move(scenario);
+    w.scenarioChunkRecords = chunk_records;
+    workloads_.push_back(std::move(w));
+}
+
+void
+SweepRunner::addScenarioWorkload(const std::string &label)
+{
+    addScenarioWorkload(label, buildScenario(label));
+}
+
 std::vector<SweepRunner::SharedAddrs>
 SweepRunner::materializeWorkloads() const
 {
@@ -153,7 +172,13 @@ SweepRunner::runCell(std::size_t index,
     cell.org = target_entry.label;
     cell.cacheName = target->name();
 
-    if (!workload.tracePath.empty()) {
+    if (workload.scenario) {
+        // Multiprogrammed replay: segments + switch policy, with the
+        // per-program attribution landing in the cell.
+        ScenarioResult scenario_result = workload.scenario->replayInto(
+            *target, workload.scenarioChunkRecords);
+        cell.programs = std::move(scenario_result.programs);
+    } else if (!workload.tracePath.empty()) {
         // Streamed replay: this cell's private reader, chunk by chunk.
         TraceReader reader(workload.tracePath, workload.chunkRecords);
         replayAll(reader, *target);
@@ -267,6 +292,47 @@ sweepCsv(const std::vector<SweepCell> &cells)
             out += ",,";
         }
         out += '\n';
+    }
+    return out;
+}
+
+std::string
+scenarioCsv(const std::vector<SweepCell> &cells)
+{
+    std::string out =
+        "workload,organization,cache,program,asid,records,loads,stores,"
+        "load_misses,store_misses,load_miss_pct,miss_pct\n";
+    char numbers[224];
+    const auto emit = [&](const SweepCell &cell,
+                          const std::string &program,
+                          const std::string &asid,
+                          std::uint64_t records, const CacheStats &s) {
+        out += csvField(cell.workload);
+        out += ',';
+        out += csvField(cell.org);
+        out += ',';
+        out += csvField(cell.cacheName);
+        out += ',';
+        out += csvField(program);
+        out += ',';
+        out += asid;
+        std::snprintf(numbers, sizeof(numbers),
+                      ",%llu,%llu,%llu,%llu,%llu,%.4f,%.4f\n",
+                      static_cast<unsigned long long>(records),
+                      static_cast<unsigned long long>(s.loads),
+                      static_cast<unsigned long long>(s.stores),
+                      static_cast<unsigned long long>(s.loadMisses),
+                      static_cast<unsigned long long>(s.storeMisses),
+                      100.0 * s.loadMissRatio(), 100.0 * s.missRatio());
+        out += numbers;
+    };
+    for (const SweepCell &cell : cells) {
+        std::uint64_t records = 0;
+        for (const ScenarioProgramStats &p : cell.programs) {
+            emit(cell, p.name, std::to_string(p.asid), p.records, p.l1);
+            records += p.records;
+        }
+        emit(cell, "<all>", "", records, cell.stats);
     }
     return out;
 }

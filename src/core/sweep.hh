@@ -34,6 +34,7 @@
 #include "cache/cache_model.hh"
 #include "core/registry.hh"
 #include "core/sim_target.hh"
+#include "scenario/scenario.hh"
 #include "trace/io.hh"
 #include "trace/record.hh"
 
@@ -50,6 +51,11 @@ struct SweepCell
     CacheStats stats;
     /** Full per-target stats (hierarchy and CPU sections when valid). */
     TargetStats target;
+    /**
+     * Per-program attribution, populated for scenario workloads only
+     * (one entry per co-scheduled program, in schedule order).
+     */
+    std::vector<ScenarioProgramStats> programs;
 };
 
 /** Grid executor for (target x workload) sweeps. */
@@ -146,6 +152,25 @@ class SweepRunner
         std::size_t chunk_records = TraceReader::kDefaultChunkRecords);
 
     /**
+     * Add a multiprogrammed scenario workload (scenario/scenario.hh):
+     * every cell replays the shared composed trace segment by segment
+     * under the scenario's context-switch policy, and its SweepCell
+     * carries the per-program attribution rows. @p chunk_records > 0
+     * feeds each segment in bounded chunks (the streamed form) —
+     * stats-identical to whole-segment replay.
+     */
+    void addScenarioWorkload(const std::string &name,
+                             std::shared_ptr<const Scenario> scenario,
+                             std::size_t chunk_records = 0);
+
+    /**
+     * Add a scenario straight from its "mix:" label; fatal (with the
+     * grammar diagnostic) on a malformed label. Drivers that want a
+     * soft error parse with parseScenarioLabel() first.
+     */
+    void addScenarioWorkload(const std::string &label);
+
+    /**
      * Install a hook run once per cell, after the target finished its
      * workload and its SweepCell row was assembled but before the
      * target instance is destroyed. This is how callers harvest
@@ -186,12 +211,15 @@ class SweepRunner
     struct Workload
     {
         std::string name;
-        /** Exactly one of the four sources is set. */
+        /** Exactly one of the five sources is set. */
         std::shared_ptr<const std::vector<std::uint64_t>> addrs;
         std::function<std::vector<std::uint64_t>()> generate;
         std::shared_ptr<const Trace> trace;
         std::string tracePath; ///< streamed CACTRC01 file
+        std::shared_ptr<const Scenario> scenario;
         std::size_t chunkRecords = TraceReader::kDefaultChunkRecords;
+        /** Scenario chunking (0 = whole segments). */
+        std::size_t scenarioChunkRecords = 0;
     };
 
     /** Shared immutable address buffer, one per workload slot. */
@@ -222,6 +250,13 @@ class SweepRunner
  * empty for targets they do not apply to.
  */
 std::string sweepCsv(const std::vector<SweepCell> &cells);
+
+/**
+ * Render scenario sweep results as CSV: one line per (cell, program)
+ * with the per-program attribution, then one "<all>" aggregate line
+ * per cell. Deterministic for any thread count, so CI can diff it.
+ */
+std::string scenarioCsv(const std::vector<SweepCell> &cells);
 
 } // namespace cac
 

@@ -281,6 +281,12 @@ OooCore::beginStream()
 }
 
 void
+OooCore::flushDataCache()
+{
+    cache_->flushArray();
+}
+
+void
 OooCore::feed(const TraceRecord *recs, std::size_t n)
 {
     // Compact the consumed prefix, then append the new chunk behind any

@@ -102,6 +102,13 @@ class OooCore
     const BranchPredictor &branchPredictor() const { return bht_; }
     const AddrPredictor &addrPredictor() const { return apred_; }
 
+    /**
+     * Invalidate the L1 data array (a cold-flush context switch, see
+     * SimTarget::flushPrimary()). In-flight MSHR entries and the cycle
+     * clock are untouched; subsequent accesses simply miss.
+     */
+    void flushDataCache();
+
   private:
     struct RobEntry
     {

@@ -69,6 +69,9 @@ class TimingCache
 
     const SetAssocCache &array() const { return *array_; }
 
+    /** Invalidate the functional array (statistics survive). */
+    void flushArray() { array_->flush(); }
+
   private:
     CpuConfig cfg_;
     std::unique_ptr<SetAssocCache> array_;

@@ -107,6 +107,14 @@ TwoLevelHierarchy::externalInvalidate(std::uint64_t paddr)
     }
 }
 
+void
+TwoLevelHierarchy::flushL1()
+{
+    l1_->flush();
+    l1_contents_.clear();
+    holes_.clear();
+}
+
 bool
 TwoLevelHierarchy::checkInclusion() const
 {

@@ -100,6 +100,14 @@ class TwoLevelHierarchy
     PageMap &pageMap() { return page_map_; }
 
     /**
+     * Flush the virtually-indexed L1 (and the reverse map and pending
+     * holes that describe its contents) — the context-switch cold
+     * start of a virtual cache without ASIDs. L2 is physically indexed
+     * and survives; Inclusion trivially holds on an empty L1.
+     */
+    void flushL1();
+
+    /**
      * Verify Inclusion: every virtual block resident in L1 has its
      * physical block resident in L2. O(tracked blocks); test hook.
      */

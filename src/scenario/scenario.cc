@@ -1,0 +1,415 @@
+#include "scenario/scenario.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "trace/builder.hh"
+#include "trace/io.hh"
+#include "workloads/spec_proxy.hh"
+#include "workloads/stride.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+constexpr const char *kMixPrefix = "mix:";
+constexpr const char *kTracePrefix = "trace:";
+constexpr const char *kStridePrefix = "stride";
+
+/** PC window per program, mirroring the address windows. */
+constexpr std::uint32_t kPcStridePerAsid = std::uint32_t{1} << 20;
+
+/** Parse "50", "50k", "2m" (k = x1000, m = x1000000). */
+bool
+parseScaled(const std::string &text, std::uint64_t &value)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t parsed = 0;
+    std::size_t i = 0;
+    for (; i < text.size()
+           && std::isdigit(static_cast<unsigned char>(text[i]));
+         ++i) {
+        parsed = parsed * 10 + (text[i] - '0');
+        if (parsed > (std::uint64_t{1} << 40)) // reject absurd values
+            return false;
+    }
+    if (i == 0)
+        return false;
+    if (i < text.size()) {
+        if (i + 1 != text.size())
+            return false;
+        const char suffix =
+            static_cast<char>(std::tolower(static_cast<unsigned char>(
+                text[i])));
+        if (suffix == 'k')
+            parsed *= 1000;
+        else if (suffix == 'm')
+            parsed *= 1000 * 1000;
+        else
+            return false;
+    }
+    value = parsed;
+    return true;
+}
+
+/** "stride512" -> 512; false when @p atom is not of that shape. */
+bool
+parseStrideAtom(const std::string &atom, std::uint64_t &stride)
+{
+    const std::size_t len = std::char_traits<char>::length(kStridePrefix);
+    if (atom.compare(0, len, kStridePrefix) != 0
+        || atom.size() == len) {
+        return false;
+    }
+    std::uint64_t parsed = 0;
+    for (std::size_t i = len; i < atom.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(atom[i])))
+            return false;
+        parsed = parsed * 10 + (atom[i] - '0');
+        if (parsed > (std::uint64_t{1} << 40)) // same cap as parseScaled
+            return false;
+    }
+    stride = parsed;
+    return stride > 0;
+}
+
+bool
+isTraceAtom(const std::string &atom)
+{
+    const std::size_t len = std::char_traits<char>::length(kTracePrefix);
+    return atom.compare(0, len, kTracePrefix) == 0 && atom.size() > len;
+}
+
+/** The "known:" tail of the unknown-workload diagnostic. */
+std::string
+knownProgramLabels()
+{
+    std::string out;
+    for (const SpecProxyInfo &info : specProxyList()) {
+        if (!out.empty())
+            out += ", ";
+        out += info.name;
+    }
+    out += ", strideN, trace:PATH";
+    return out;
+}
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+/** Split @p text on @p sep (empty pieces preserved). */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+}
+
+bool
+parseInto(const std::string &label, ScenarioSpec &spec,
+          std::string *error)
+{
+    const std::string diag = "scenario '" + label + "': ";
+    std::string rest;
+    if (!isScenarioLabel(label))
+        return fail(error, diag + "expected a 'mix:' prefix");
+    rest = label.substr(std::char_traits<char>::length(kMixPrefix));
+
+    const std::size_t at = rest.find('@');
+    const std::string programs_part = rest.substr(0, at);
+    const std::string options_part =
+        at == std::string::npos ? std::string() : rest.substr(at + 1);
+
+    spec.label = label;
+    spec.programs.clear();
+    spec.config = ScenarioConfig{};
+
+    if (programs_part.empty())
+        return fail(error, diag + "no programs before '@'");
+    for (const std::string &atom : split(programs_part, '+')) {
+        if (atom.empty())
+            return fail(error, diag + "empty program in the '+' list");
+        std::uint64_t stride = 0;
+        if (!knownSpecProxy(atom) && !parseStrideAtom(atom, stride)
+            && !isTraceAtom(atom)) {
+            return fail(error, diag + "unknown workload '" + atom
+                                   + "' (known: " + knownProgramLabels()
+                                   + ")");
+        }
+        spec.programs.push_back(atom);
+    }
+
+    if (options_part.empty() && at != std::string::npos)
+        return fail(error, diag + "empty option list after '@'");
+    if (options_part.empty())
+        return true;
+    for (const std::string &opt : split(options_part, ',')) {
+        if (opt == "keep") {
+            spec.config.policy = SwitchPolicy::WarmKeep;
+            continue;
+        }
+        if (opt == "flush") {
+            spec.config.policy = SwitchPolicy::ColdFlush;
+            continue;
+        }
+        const std::size_t eq = opt.find('=');
+        const std::string key =
+            eq == std::string::npos ? opt : opt.substr(0, eq);
+        std::uint64_t value = 0;
+        if (eq == std::string::npos
+            || !parseScaled(opt.substr(eq + 1), value)) {
+            return fail(error, diag + "bad option '" + opt
+                                   + "' (expected q=, n=, phase=, "
+                                     "asid=, seed=, flush or keep)");
+        }
+        if (key == "q") {
+            if (value == 0)
+                return fail(error, diag + "quantum must be > 0");
+            spec.config.quantumRecords = value;
+        } else if (key == "n") {
+            if (value == 0)
+                return fail(error, diag + "n must be > 0");
+            spec.config.programRecords =
+                static_cast<std::size_t>(value);
+        } else if (key == "phase") {
+            spec.config.phaseRecords = value;
+        } else if (key == "asid") {
+            if (value == 0)
+                return fail(error, diag + "asid stride must be > 0");
+            spec.config.asidStrideBytes = value;
+        } else if (key == "seed") {
+            spec.config.seed = value;
+        } else {
+            return fail(error, diag + "bad option '" + opt
+                                   + "' (expected q=, n=, phase=, "
+                                     "asid=, seed=, flush or keep)");
+        }
+    }
+    return true;
+}
+
+/** Build one program's (un-relocated) trace. */
+Trace
+buildProgramTrace(const std::string &atom, const ScenarioConfig &config)
+{
+    if (isTraceAtom(atom)) {
+        return readTrace(atom.substr(
+            std::char_traits<char>::length(kTracePrefix)));
+    }
+    std::uint64_t stride = 0;
+    if (parseStrideAtom(atom, stride)) {
+        StrideWorkloadConfig wc;
+        wc.stride = stride;
+        wc.sweeps = std::max<std::size_t>(
+            1, config.programRecords / wc.numElements);
+        Trace trace;
+        TraceBuilder builder(trace);
+        for (std::uint64_t addr : makeStrideAddressTrace(wc))
+            builder.load(addr, reg::r(1), reg::r(30));
+        return trace;
+    }
+    return buildSpecProxy(atom, config.programRecords, config.seed);
+}
+
+/**
+ * The one list of CacheStats counters, so the delta and accumulate
+ * sides of per-program attribution cannot drift apart when a field is
+ * added.
+ */
+constexpr std::uint64_t CacheStats::*kStatFields[] = {
+    &CacheStats::loads,          &CacheStats::stores,
+    &CacheStats::loadMisses,     &CacheStats::storeMisses,
+    &CacheStats::fills,          &CacheStats::evictions,
+    &CacheStats::writebacks,     &CacheStats::invalidations,
+    &CacheStats::firstProbeHits, &CacheStats::secondProbeHits};
+
+CacheStats
+statsDelta(const CacheStats &now, const CacheStats &then)
+{
+    CacheStats d;
+    for (auto field : kStatFields)
+        d.*field = now.*field - then.*field;
+    return d;
+}
+
+void
+statsAccumulate(CacheStats &into, const CacheStats &delta)
+{
+    for (auto field : kStatFields)
+        into.*field += delta.*field;
+}
+
+} // anonymous namespace
+
+std::string
+switchPolicyName(SwitchPolicy policy)
+{
+    return policy == SwitchPolicy::ColdFlush ? "flush" : "keep";
+}
+
+bool
+isScenarioLabel(const std::string &label)
+{
+    return label.compare(0, std::char_traits<char>::length(kMixPrefix),
+                         kMixPrefix) == 0;
+}
+
+std::optional<ScenarioSpec>
+parseScenarioLabel(const std::string &label, std::string *error)
+{
+    ScenarioSpec spec;
+    if (!parseInto(label, spec, error))
+        return std::nullopt;
+    return spec;
+}
+
+Scenario::Scenario(const ScenarioSpec &spec)
+    : label_(spec.label), names_(spec.programs), config_(spec.config)
+{
+    CAC_ASSERT(!names_.empty());
+    // parseScenarioLabel() rejects q=0, but a hand-built spec reaches
+    // this constructor directly — and a zero quantum would spin the
+    // interleaving loop forever without ever advancing a program.
+    if (config_.quantumRecords == 0)
+        fatal("scenario '%s': quantum must be > 0", label_.c_str());
+
+    // Build, relocate and phase-shift every program's private stream.
+    std::vector<Trace> programs;
+    programs.reserve(names_.size());
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        Trace trace = buildProgramTrace(names_[i], config_);
+        if (trace.empty())
+            fatal("scenario '%s': program '%s' produced no records",
+                  label_.c_str(), names_[i].c_str());
+        relocateTrace(trace, i * config_.asidStrideBytes,
+                      static_cast<std::uint32_t>(i) * kPcStridePerAsid);
+        rotateTrace(trace, (i * config_.phaseRecords) % trace.size());
+        total += trace.size();
+        programs.push_back(std::move(trace));
+    }
+
+    // Round-robin interleave in quantum-sized slices until every
+    // program is exhausted. When only one program still has records,
+    // its consecutive slices merge into one segment (no switch
+    // happens), so the schedule's transitions are exactly the context
+    // switches.
+    composed_.reserve(total);
+    std::vector<std::size_t> pos(programs.size(), 0);
+    const std::size_t quantum =
+        static_cast<std::size_t>(config_.quantumRecords);
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (unsigned i = 0; i < programs.size(); ++i) {
+            const Trace &trace = programs[i];
+            if (pos[i] >= trace.size())
+                continue;
+            const std::size_t take =
+                std::min(quantum, trace.size() - pos[i]);
+            if (!schedule_.empty() && schedule_.back().program == i) {
+                schedule_.back().count += take;
+            } else {
+                schedule_.push_back(
+                    Segment{i, composed_.size(), take});
+            }
+            composed_.insert(composed_.end(),
+                             trace.begin()
+                                 + static_cast<std::ptrdiff_t>(pos[i]),
+                             trace.begin()
+                                 + static_cast<std::ptrdiff_t>(pos[i]
+                                                               + take));
+            pos[i] += take;
+            progressed = true;
+        }
+    }
+    CAC_ASSERT(composed_.size() == total);
+}
+
+std::uint64_t
+Scenario::numSwitches() const
+{
+    return schedule_.empty()
+        ? 0
+        : static_cast<std::uint64_t>(schedule_.size()) - 1;
+}
+
+ScenarioResult
+Scenario::replayInto(SimTarget &target, std::size_t chunk_records) const
+{
+    ScenarioResult result;
+    result.programs.resize(names_.size());
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        result.programs[i].name = names_[i];
+        result.programs[i].asid = static_cast<unsigned>(i);
+    }
+
+    target.checkpoint();
+    CacheStats prev = target.stats().l1;
+    const TraceRecord *base = composed_.data();
+    bool first = true;
+    for (const Segment &segment : schedule_) {
+        if (!first) {
+            ++result.switches;
+            if (config_.policy == SwitchPolicy::ColdFlush) {
+                target.flushPrimary();
+                ++result.flushes;
+            }
+        }
+        first = false;
+
+        std::size_t done = 0;
+        const std::size_t chunk =
+            chunk_records > 0 ? chunk_records : segment.count;
+        while (done < segment.count) {
+            const std::size_t n =
+                std::min(chunk, segment.count - done);
+            target.replay(base + segment.offset + done, n);
+            done += n;
+        }
+
+        // Checkpoint so stats() is exact at the slice boundary, then
+        // bill the delta (including any flush side effects of this
+        // slice's own switch-in) to the program that just ran.
+        target.checkpoint();
+        const CacheStats now = target.stats().l1;
+        ScenarioProgramStats &program =
+            result.programs[segment.program];
+        statsAccumulate(program.l1, statsDelta(now, prev));
+        program.records += segment.count;
+        prev = now;
+    }
+    return result;
+}
+
+std::shared_ptr<const Scenario>
+buildScenario(const std::string &label)
+{
+    std::string error;
+    const std::optional<ScenarioSpec> spec =
+        parseScenarioLabel(label, &error);
+    if (!spec)
+        fatal("%s", error.c_str());
+    return std::make_shared<const Scenario>(*spec);
+}
+
+} // namespace cac

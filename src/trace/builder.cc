@@ -1,5 +1,6 @@
 #include "trace/builder.hh"
 
+#include <algorithm>
 #include <functional>
 #include <string_view>
 
@@ -23,6 +24,30 @@ TraceBuilder::pcFor(const std::source_location &loc, unsigned salt)
     const auto pc = static_cast<std::uint32_t>(pc_map_.size() * 4);
     pc_map_.emplace(key, pc);
     return pc;
+}
+
+void
+relocateTrace(Trace &trace, std::uint64_t addr_offset,
+              std::uint32_t pc_offset)
+{
+    for (TraceRecord &rec : trace) {
+        if (isMemOp(rec.op))
+            rec.addr += addr_offset;
+        rec.pc += pc_offset;
+    }
+}
+
+void
+rotateTrace(Trace &trace, std::size_t records)
+{
+    if (trace.empty())
+        return;
+    records %= trace.size();
+    if (records == 0)
+        return;
+    std::rotate(trace.begin(),
+                trace.begin() + static_cast<std::ptrdiff_t>(records),
+                trace.end());
 }
 
 } // namespace cac

@@ -130,6 +130,23 @@ class TraceBuilder
     std::unordered_map<std::uint64_t, std::uint32_t> pc_map_;
 };
 
+/**
+ * Relocate a trace into a private address/PC window: every memory
+ * operation's address shifts by @p addr_offset and every record's
+ * synthetic PC by @p pc_offset. The scenario engine uses this to give
+ * each co-scheduled program a disjoint ASID region (and disjoint
+ * static instructions, so the predictors see separate code).
+ */
+void relocateTrace(Trace &trace, std::uint64_t addr_offset,
+                   std::uint32_t pc_offset);
+
+/**
+ * Rotate @p trace left by @p records (modulo its length): the stream
+ * starts that many records into its cyclic reference pattern. The
+ * scenario engine's phase-shift knob.
+ */
+void rotateTrace(Trace &trace, std::size_t records);
+
 } // namespace cac
 
 #endif // CAC_TRACE_BUILDER_HH

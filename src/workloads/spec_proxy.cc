@@ -500,6 +500,16 @@ specProxyInfo(const std::string &name)
     return findDef(name).info;
 }
 
+bool
+knownSpecProxy(const std::string &name)
+{
+    for (const auto &def : defs()) {
+        if (def.info.name == name)
+            return true;
+    }
+    return false;
+}
+
 Trace
 buildSpecProxy(const std::string &name, std::size_t target_instructions,
                std::uint64_t seed)

@@ -47,6 +47,13 @@ const std::vector<SpecProxyInfo> &specProxyList();
 const SpecProxyInfo &specProxyInfo(const std::string &name);
 
 /**
+ * Is @p name a known proxy? The soft-error form for label parsers
+ * (the scenario mix grammar) that want a diagnostic instead of the
+ * fatal path.
+ */
+bool knownSpecProxy(const std::string &name);
+
+/**
  * Build the dynamic trace of a proxy.
  *
  * @param name proxy name (e.g. "tomcatv").

@@ -19,7 +19,8 @@ endif()
 if(NOT err MATCHES "unknown argument '--definitely-not-a-flag'")
   message(FATAL_ERROR "unknown flag not diagnosed: ${err}")
 endif()
-foreach(flag --analyze --search --stream --l2-size --l2-ways --threads)
+foreach(flag --analyze --search --stream --l2-size --l2-ways --threads
+        --scenario)
   if(NOT err MATCHES "${flag}")
     message(FATAL_ERROR "usage text is missing ${flag}: ${err}")
   endif()
@@ -68,5 +69,48 @@ endif()
 if(NOT out MATCHES "conflict-free")
   message(FATAL_ERROR "--analyze output missing stride table: ${out}")
 endif()
+
+# 6. --scenario with an unknown workload: a clear diagnostic naming
+#    the bad atom and the known labels, non-zero exit — never a
+#    silently empty grid.
+execute_process(COMMAND ${SIM} --scenario mix:swimm+tomcatv@q=5k
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--scenario with unknown workload exited 0")
+endif()
+if(NOT err MATCHES "unknown workload 'swimm'")
+  message(FATAL_ERROR "unknown scenario workload not diagnosed: ${err}")
+endif()
+if(NOT err MATCHES "known:.*swim.*strideN.*trace:PATH")
+  message(FATAL_ERROR
+          "diagnostic does not list the known workloads: ${err}")
+endif()
+
+# 7. A malformed scenario option is diagnosed too.
+execute_process(COMMAND ${SIM} --scenario mix:swim@zz=1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--scenario with bad option exited 0")
+endif()
+if(NOT err MATCHES "bad option 'zz=1'")
+  message(FATAL_ERROR "bad scenario option not diagnosed: ${err}")
+endif()
+
+# 8. A tiny mix runs end to end and reports per-program attribution
+#    rows plus the aggregate.
+execute_process(COMMAND ${SIM} --scenario mix:li+compress@q=4k,n=16k
+                        --org a2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--scenario smoke run failed (${rc}): ${err}")
+endif()
+foreach(row li compress <all> switches)
+  if(NOT out MATCHES "${row}")
+    message(FATAL_ERROR "--scenario output missing '${row}': ${out}")
+  endif()
+endforeach()
 
 message(STATUS "cac_sim CLI smoke: all checks passed")

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_perf.json.
+
+Compares a freshly measured BENCH_perf.json against the committed
+baseline, metric by metric, and fails when any throughput metric
+dropped by more than the tolerance (default 35% — generous, because CI
+machines differ from the machine that wrote the baseline; what the
+gate catches is an accidental algorithmic regression, not noise).
+
+Throughput metrics are recognized by name: any numeric leaf whose key
+ends in "aps" (accesses/sec), "_rps" (records/sec) or "per_sec".
+List entries are keyed by their identifying field ("org" for the
+organization table, "threads" for the sweep/search runs), so a
+baseline written on a 16-core machine and a fresh file from a 4-core
+runner compare only the thread counts they share (threads=1 is always
+present). Metrics present on only one side are reported and skipped;
+no common metric at all is an error, so a schema mismatch cannot
+silently pass.
+
+Dependency-free by design (json/argparse only): runs on any CI image
+with a Python 3 interpreter.
+
+Usage:
+  tools/check_perf.py BASELINE.json FRESH.json [--tolerance 0.35]
+"""
+
+import argparse
+import json
+import sys
+
+RATE_SUFFIXES = ("aps", "_rps", "per_sec")
+
+
+def is_rate_key(key):
+    return any(key.endswith(suffix) for suffix in RATE_SUFFIXES)
+
+
+def collect_metrics(node, path, out):
+    """Flatten rate metrics into {dotted.path: value}."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            collect_metrics(value, path + [str(key)], out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            key = str(index)
+            if isinstance(value, dict):
+                if "org" in value:
+                    key = str(value["org"])
+                elif "threads" in value:
+                    key = "threads=%s" % value["threads"]
+            collect_metrics(value, path + [key], out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if path and is_rate_key(path[-1]):
+            out[".".join(path)] = float(node)
+
+
+def load_metrics(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit("check_perf: cannot read %s: %s" % (path, err))
+    metrics = {}
+    collect_metrics(data, [], metrics)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when FRESH throughput dropped vs BASELINE")
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_perf.json")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed fractional drop (default 0.35)")
+    args = parser.parse_args()
+    if not 0.0 < args.tolerance < 1.0:
+        sys.exit("check_perf: --tolerance must be in (0, 1)")
+
+    base = load_metrics(args.baseline)
+    fresh = load_metrics(args.fresh)
+
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        sys.exit("check_perf: no common throughput metrics between "
+                 "%s and %s (schema mismatch?)" % (args.baseline,
+                                                   args.fresh))
+    for name in sorted(set(base) ^ set(fresh)):
+        side = args.fresh if name in base else args.baseline
+        print("check_perf: skipping %-58s (only missing from %s)"
+              % (name, side))
+
+    floor = 1.0 - args.tolerance
+    failures = []
+    for name in common:
+        old, new = base[name], fresh[name]
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "ok"
+        if old > 0 and ratio < floor:
+            verdict = "FAIL"
+            failures.append(name)
+        print("%-62s %14.0f -> %14.0f  %6.2fx  %s"
+              % (name, old, new, ratio, verdict))
+
+    if failures:
+        print("check_perf: %d/%d metrics dropped more than %.0f%%:"
+              % (len(failures), len(common), 100 * args.tolerance))
+        for name in failures:
+            print("  %s" % name)
+        return 1
+    print("check_perf: %d metrics within %.0f%% of baseline"
+          % (len(common), 100 * args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

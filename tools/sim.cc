@@ -20,6 +20,7 @@
  *   cac_sim --trace swim.trc --org a2-Hp-Sk --bench
  *   cac_sim --analyze a2-Hp-Sk [--trace swim.trc]
  *   cac_sim --trace swim.trc --search [--threads 4] [--csv]
+ *   cac_sim --scenario mix:swim+tomcatv@q=50k,flush [--org a2-Hp-Sk]
  *
  * --stream replays the trace from disk in chunks (TraceReader) instead
  * of loading it, so memory stays flat however long the trace is.
@@ -39,13 +40,23 @@
  * seeded random XOR matrices, the conventional baselines) against the
  * trace on the sweep thread pool and ranks them by measured conflict
  * misses, predicted conflict score and XOR fan-in.
+ *
+ * --scenario replays a multiprogrammed mix (scenario/scenario.hh
+ * grammar: round-robin quantum, cold-flush vs warm-keep, ASID windows,
+ * phase shifts) against one target (--org) or the scenario comparison
+ * set, reporting per-program and aggregate miss attribution; the
+ * aggregate conflict-miss column comes from a ConflictProfiler shadow
+ * replaying the identical mixed stream.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -75,6 +86,14 @@ usage()
         "  cac_sim --trace FILE --search [--search-polys N] "
         "[--search-random N]\n"
         "          [--seed S] [--threads N] [--csv] [--stream]\n"
+        "  cac_sim --scenario MIX [--org TARGET | --compare] "
+        "[--threads N] [--csv]\n"
+        "          [--stream]\n"
+        "scenarios:\n"
+        "  MIX             mix:PROG[+PROG...][@q=N,n=N,phase=N,asid=N,"
+        "seed=N,flush|keep]\n"
+        "                  PROG: a Spec95 proxy name, strideN, or "
+        "trace:PATH\n"
         "targets:\n"
         "  LABEL           functional single-level organization "
         "(table below)\n"
@@ -249,12 +268,128 @@ runSearch(const std::string &trace_path, const TargetSpec &spec,
     return 0;
 }
 
+/**
+ * --scenario: grid a multiprogrammed mix against one target or the
+ * scenario comparison set, with per-program and aggregate attribution.
+ */
+int
+runScenarioCmd(const std::string &mix_label, const std::string &org,
+               bool compare, const TargetSpec &spec, unsigned threads,
+               bool csv, bool stream)
+{
+    std::string parse_error;
+    const std::optional<ScenarioSpec> parsed =
+        parseScenarioLabel(mix_label, &parse_error);
+    if (!parsed) {
+        // The one soft-error path: a mistyped workload must not
+        // silently grid nothing.
+        std::fprintf(stderr, "%s\n", parse_error.c_str());
+        return 1;
+    }
+    auto scenario = std::make_shared<const Scenario>(*parsed);
+
+    SweepRunner sweep(threads > 0 ? threads : 1);
+    sweep.setTargetSpec(spec);
+    const std::vector<std::string> labels =
+        (compare || org.empty()) ? scenarioComparisonLabels()
+                                 : std::vector<std::string>{org};
+    // The conflict column only exists in the table output, so the CSV
+    // path skips the profiler (and its fully-associative shadow replay
+    // of the whole mix) entirely.
+    for (const std::string &label : labels) {
+        if (!csv && OrgRegistry::global().known(label)) {
+            // Single-level organization: wrap it in a profiler so the
+            // cell reports the mixed stream's conflict misses against
+            // a fully-associative shadow.
+            sweep.addTarget(label, [label, spec] {
+                auto model = makeOrganization(label, spec.org);
+                const CacheGeometry geometry = model->geometry();
+                ProfilerOptions options;
+                options.pairs = false;
+                return std::make_unique<ConflictProfiler>(
+                    std::make_unique<CacheTarget>(std::move(model)),
+                    geometry, options);
+            });
+        } else {
+            sweep.addTarget(label); // "2lvl:" / "cpu:" — no profiler
+        }
+    }
+    sweep.addScenarioWorkload(
+        scenario->name(), scenario,
+        stream ? TraceReader::kDefaultChunkRecords : 0);
+
+    // Harvest each cell's aggregate conflict misses before the
+    // profiler is destroyed (cells finish on worker threads).
+    std::mutex conflicts_mutex;
+    std::map<std::string, std::uint64_t> conflicts;
+    sweep.setCellObserver(
+        [&](const SweepCell &cell, SimTarget &target) {
+            if (auto *profiler =
+                    dynamic_cast<ConflictProfiler *>(&target)) {
+                std::lock_guard<std::mutex> lock(conflicts_mutex);
+                conflicts[cell.org] =
+                    profiler->profile().conflictMisses();
+            }
+        });
+
+    const std::vector<SweepCell> cells = sweep.run();
+
+    if (csv) {
+        std::printf("%s", scenarioCsv(cells).c_str());
+        return 0;
+    }
+
+    std::printf("scenario: %s\n", scenario->name().c_str());
+    std::printf("programs: %zu, composed records: %zu, quantum: %llu, "
+                "policy: %s, switches: %llu\n",
+                scenario->programNames().size(),
+                scenario->composed().size(),
+                static_cast<unsigned long long>(
+                    scenario->config().quantumRecords),
+                switchPolicyName(scenario->config().policy).c_str(),
+                static_cast<unsigned long long>(
+                    scenario->numSwitches()));
+    TextTable table;
+    table.header({"target", "cache", "program", "asid", "records",
+                  "loads", "load miss%", "miss%", "conflict"});
+    for (const SweepCell &cell : cells) {
+        for (const ScenarioProgramStats &program : cell.programs) {
+            table.beginRow();
+            table.cell(cell.org);
+            table.cell(cell.cacheName);
+            table.cell(program.name);
+            table.cell(static_cast<long long>(program.asid));
+            table.cell(static_cast<long long>(program.records));
+            table.cell(static_cast<long long>(program.l1.loads));
+            table.cell(100.0 * program.l1.loadMissRatio(), 2);
+            table.cell(100.0 * program.l1.missRatio(), 2);
+            table.cell("-");
+        }
+        table.beginRow();
+        table.cell(cell.org);
+        table.cell(cell.cacheName);
+        table.cell("<all>");
+        table.cell("-");
+        table.cell(static_cast<long long>(
+            scenario->composed().size()));
+        table.cell(static_cast<long long>(cell.stats.loads));
+        table.cell(100.0 * cell.stats.loadMissRatio(), 2);
+        table.cell(100.0 * cell.stats.missRatio(), 2);
+        const auto it = conflicts.find(cell.org);
+        table.cell(it != conflicts.end()
+                       ? std::to_string(it->second)
+                       : std::string("-"));
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string trace_path, org, cpu, analyze;
+    std::string trace_path, org, cpu, analyze, scenario;
     bool compare = false;
     bool csv = false;
     bool bench = false;
@@ -276,6 +411,8 @@ main(int argc, char **argv)
             cpu = argValue(argc, argv, i);
         else if (!std::strcmp(arg, "--analyze"))
             analyze = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--scenario"))
+            scenario = argValue(argc, argv, i);
         else if (!std::strcmp(arg, "--compare"))
             compare = true;
         else if (!std::strcmp(arg, "--csv"))
@@ -318,6 +455,17 @@ main(int argc, char **argv)
         }
     }
 
+    if (!scenario.empty()) {
+        if (!trace_path.empty() || bench || !analyze.empty() || search
+            || !cpu.empty()) {
+            std::fprintf(stderr,
+                         "--scenario does not combine with --trace, "
+                         "--bench, --analyze, --search or --cpu\n");
+            usage();
+        }
+        return runScenarioCmd(scenario, org, compare, spec, threads,
+                              csv, stream);
+    }
     if (!analyze.empty())
         return runAnalyze(analyze, trace_path, spec, stream);
     if (search) {
