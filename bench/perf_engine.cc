@@ -24,7 +24,12 @@
  *  6. scenario engine (schema 4) — multiprogrammed replay throughput
  *     in records per second: the swim+tomcatv mix driven through the
  *     headline organization under warm-keep and under cold-flush
- *     context switches (scenario/scenario.hh).
+ *     context switches (scenario/scenario.hh);
+ *  7. sharded replay (schema 5) — time-sharded single-trace replay
+ *     (core/shard_replay.hh) through the headline organization at 1,
+ *     2 and 4 shards, in records per second. Near-linear scaling
+ *     needs as many cores as shards; on fewer cores the ratios
+ *     measure the sharding overhead instead.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -126,6 +131,22 @@ struct AnalysisResult
     std::vector<SearchRun> searchRuns;
 };
 
+/** One shard-count point of the sharded-replay measurement. */
+struct ShardRun
+{
+    unsigned shards = 0;
+    double seconds = 0.0;
+    double recordsPerSec = 0.0;
+};
+
+/** Time-sharded single-trace replay throughput (schema 5). */
+struct ShardedPerf
+{
+    std::size_t records = 0;
+    std::uint64_t warmupRecords = 0;
+    std::vector<ShardRun> runs;
+};
+
 /** Multiprogrammed-replay throughput (schema 4). */
 struct ScenarioPerf
 {
@@ -142,7 +163,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           const std::vector<OrgResult> &orgs, std::size_t sweep_cells,
           std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
           const StreamingResult &streaming, const AnalysisResult &analysis,
-          const ScenarioPerf &scenario)
+          const ScenarioPerf &scenario, const ShardedPerf &sharded)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -151,7 +172,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 4,\n");
+    std::fprintf(f, "  \"schema\": 5,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -215,6 +236,21 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
                  scenario.warmKeepRps);
     std::fprintf(f, "    \"cold_flush_rps\": %.0f\n",
                  scenario.coldFlushRps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sharded\": {\n");
+    std::fprintf(f, "    \"records\": %zu,\n", sharded.records);
+    std::fprintf(f, "    \"warmup_records\": %llu,\n",
+                 static_cast<unsigned long long>(sharded.warmupRecords));
+    std::fprintf(f, "    \"runs\": [\n");
+    for (std::size_t i = 0; i < sharded.runs.size(); ++i) {
+        const ShardRun &r = sharded.runs[i];
+        std::fprintf(f,
+                     "      {\"shards\": %u, \"seconds\": %.4f, "
+                     "\"records_per_sec\": %.0f}%s\n",
+                     r.shards, r.seconds, r.recordsPerSec,
+                     i + 1 < sharded.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -446,9 +482,49 @@ main(int argc, char **argv)
                         scenario_perf.switches));
     }
 
+    // Sharded replay: the same memory stream as an in-memory trace,
+    // time-sharded across 1/2/4 workers. shards=1 is the monolithic
+    // baseline the speedups are measured against.
+    ShardedPerf sharded_perf;
+    {
+        Trace trace;
+        TraceBuilder builder(trace);
+        for (std::uint64_t addr : stream)
+            builder.load(addr, reg::r(1), reg::r(30));
+        sharded_perf.records = trace.size();
+        sharded_perf.warmupRecords = ShardOptions{}.warmupRecords;
+
+        const TargetFactory factory = [&spec] {
+            return std::make_unique<CacheTarget>(
+                makeOrganization("a2-Hp-Sk", spec));
+        };
+        for (unsigned shards : {1u, 2u, 4u}) {
+            ShardOptions opts;
+            opts.shards = shards;
+            const ThroughputResult r =
+                measureThroughput(min_seconds, [&] {
+                    shardedReplayTrace(factory, trace, opts);
+                    return static_cast<std::uint64_t>(trace.size());
+                });
+            ShardRun run;
+            run.shards = shards;
+            run.seconds = r.seconds;
+            run.recordsPerSec = r.unitsPerSec;
+            const double speedup =
+                sharded_perf.runs.empty()
+                    ? 1.0
+                    : run.recordsPerSec
+                          / sharded_perf.runs[0].recordsPerSec;
+            std::printf("sharded replay %u shard%s %14.0f rps (%.2fx)\n",
+                        shards, shards == 1 ? " " : "s",
+                        run.recordsPerSec, speedup);
+            sharded_perf.runs.push_back(run);
+        }
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
               sweep_accesses, sweep_results, streaming, analysis,
-              scenario_perf);
+              scenario_perf, sharded_perf);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -15,4 +15,36 @@ CacheModel::accessBatch(const std::uint64_t *addrs, std::size_t n,
         access(addrs[i], is_write);
 }
 
+namespace
+{
+
+/**
+ * The one list of CacheStats counters, so the delta and accumulate
+ * sides of slice attribution cannot drift apart when a field is added.
+ */
+constexpr std::uint64_t CacheStats::*kStatFields[] = {
+    &CacheStats::loads,          &CacheStats::stores,
+    &CacheStats::loadMisses,     &CacheStats::storeMisses,
+    &CacheStats::fills,          &CacheStats::evictions,
+    &CacheStats::writebacks,     &CacheStats::invalidations,
+    &CacheStats::firstProbeHits, &CacheStats::secondProbeHits};
+
+} // anonymous namespace
+
+CacheStats
+cacheStatsDelta(const CacheStats &now, const CacheStats &then)
+{
+    CacheStats d;
+    for (auto field : kStatFields)
+        d.*field = now.*field - then.*field;
+    return d;
+}
+
+void
+cacheStatsAccumulate(CacheStats &into, const CacheStats &delta)
+{
+    for (auto field : kStatFields)
+        into.*field += delta.*field;
+}
+
 } // namespace cac

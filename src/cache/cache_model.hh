@@ -58,6 +58,17 @@ struct CacheStats
     }
 };
 
+/**
+ * now - then, counter by counter: the stats a cache accumulated
+ * between two snapshots. The scenario engine bills context-switch
+ * slices with this, and the sharded replay engine (core/shard_replay)
+ * subtracts each shard's warm-up window the same way.
+ */
+CacheStats cacheStatsDelta(const CacheStats &now, const CacheStats &then);
+
+/** into += delta, counter by counter. */
+void cacheStatsAccumulate(CacheStats &into, const CacheStats &delta);
+
 /** Outcome of one access. */
 struct AccessResult
 {

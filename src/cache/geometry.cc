@@ -19,11 +19,14 @@ CacheGeometry::CacheGeometry(std::uint64_t size_bytes,
     if (size_bytes % (block_bytes * ways) != 0)
         fatal("capacity %llu not divisible by ways*blockBytes",
               static_cast<unsigned long long>(size_bytes));
-    if (!isPowerOf2(numSets()))
+    // Derive the field widths from local divisions: the accessors are
+    // shift-based and read offset_bits_/set_bits_, which are not set yet.
+    const std::uint64_t sets = size_bytes / block_bytes / ways;
+    if (!isPowerOf2(sets))
         fatal("number of sets must be a power of two");
 
     offset_bits_ = floorLog2(block_bytes);
-    set_bits_ = floorLog2(numSets());
+    set_bits_ = floorLog2(sets);
 }
 
 std::string

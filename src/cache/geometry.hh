@@ -42,10 +42,10 @@ class CacheGeometry
     unsigned ways() const { return ways_; }
 
     /** Total number of lines. */
-    std::uint64_t numBlocks() const { return size_bytes_ / block_bytes_; }
+    std::uint64_t numBlocks() const { return size_bytes_ >> offset_bits_; }
 
     /** Number of sets (lines / ways). */
-    std::uint64_t numSets() const { return numBlocks() / ways_; }
+    std::uint64_t numSets() const { return std::uint64_t{1} << set_bits_; }
 
     /** log2(blockBytes): width of the block-offset field. */
     unsigned offsetBits() const { return offset_bits_; }

@@ -33,6 +33,8 @@ class LruPolicy : public ReplacementPolicy
     }
 
     std::string name() const override { return "lru"; }
+
+    bool isPlainLru() const override { return true; }
 };
 
 /** First-in first-out: evict the smallest insertTick. */

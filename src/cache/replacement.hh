@@ -85,6 +85,16 @@ class ReplacementPolicy
     /** Policy name. */
     virtual std::string name() const = 0;
 
+    /**
+     * True only for the stock LRU policy: metadata updates are exactly
+     * the base onAccess()/onInsert() and the victim is the first
+     * invalid candidate, else the first with the smallest lastTouch.
+     * SetAssocCache uses this to inline the whole policy on its batch
+     * fast path — any subclass that changes the semantics must keep
+     * returning false (the default) or the inlined path would diverge.
+     */
+    virtual bool isPlainLru() const { return false; }
+
   protected:
     /**
      * Return the position of an invalid candidate if any, else SIZE_MAX.

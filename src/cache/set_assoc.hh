@@ -87,6 +87,29 @@ class SetAssocCache : public CacheModel
     /** True when the block containing @p addr is present and dirty. */
     bool isDirty(std::uint64_t addr) const;
 
+    /**
+     * Hot-path entry for callers that batch-precompute index words:
+     * identical to access() on the block containing @p block_addr,
+     * but consumes @p packed — the indexPlan().packedOne() /
+     * indexPackedBatch() word for @p block_addr — instead of
+     * re-evaluating the placement function. Precondition: the plan is
+     * packedCapable() and @p packed was computed against the current
+     * plan epoch (hold no packed words across a reprogram).
+     */
+    AccessResult accessPacked(std::uint64_t block_addr,
+                              std::uint64_t packed, bool is_write);
+
+    /**
+     * Fused probe + access with one index evaluation: when the block
+     * is present, or @p allow_fill is true, performs exactly what
+     * access(addr, is_write) would and returns true; otherwise leaves
+     * the cache (stats included) untouched and returns false. This is
+     * the MSHR-gated L1 lookup of the timing model, which previously
+     * paid probe() *and* access().
+     */
+    bool tryAccess(std::uint64_t addr, bool is_write, bool allow_fill,
+                   AccessResult &out);
+
   private:
     struct Line
     {
@@ -105,6 +128,14 @@ class SetAssocCache : public CacheModel
 
     /** Victim selection + replacement for @p block_addr. */
     AccessResult fillBlock(std::uint64_t block_addr, bool dirty);
+
+    /** fillBlock() with the index word already computed. */
+    AccessResult fillPacked(std::uint64_t block_addr, std::uint64_t packed,
+                            bool dirty);
+
+    /** Shared eviction + insert tail of the fill paths. */
+    AccessResult installLine(unsigned way, std::uint64_t set,
+                             std::uint64_t block_addr, bool dirty);
 
     /** Non-virtual body of access(); the batch loop calls this. */
     AccessResult accessOne(std::uint64_t addr, bool is_write);
@@ -127,6 +158,12 @@ class SetAssocCache : public CacheModel
     mutable IndexPlan plan_;
     mutable std::uint64_t plan_epoch_ = 0;
     std::unique_ptr<ReplacementPolicy> repl_;
+    /**
+     * Cached repl_->isPlainLru(): the batch fast path inlines the
+     * whole LRU policy (touch on hit, first-invalid-else-oldest on
+     * fill) instead of two virtual calls per access.
+     */
+    bool repl_plain_lru_ = false;
     WriteAllocate write_allocate_;
     bool write_back_;
     std::uint64_t tick_ = 0; ///< access counter driving LRU/FIFO

@@ -50,21 +50,53 @@ void
 TwoProbeCache::accessBatch(const std::uint64_t *addrs, std::size_t n,
                            bool is_write)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        accessOne(addrs[i], is_write);
+    // The polynomial plan is batch-capable for every registry
+    // configuration (one way always packs); the Callback plan the test
+    // hook forces is the only exception.
+    if (rehash_ == RehashKind::IPoly && !poly_plan_.packedCapable()) {
+        for (std::size_t i = 0; i < n; ++i)
+            accessOne(addrs[i], is_write);
+        return;
+    }
+
+    constexpr std::size_t kTile = 256;
+    std::uint64_t blocks[kTile];
+    std::uint64_t second[kTile];
+    const std::uint64_t set_mask = mask(geometry_.setBits());
+    const std::uint64_t top_bit = std::uint64_t{1}
+                               << (geometry_.setBits() - 1);
+    for (std::size_t base = 0; base < n; base += kTile) {
+        const std::size_t m = n - base < kTile ? n - base : kTile;
+        for (std::size_t i = 0; i < m; ++i)
+            blocks[i] = geometry_.blockAddr(addrs[base + i]);
+        if (rehash_ == RehashKind::IPoly) {
+            poly_plan_.indexPackedBatch(blocks, m, second);
+        } else {
+            for (std::size_t i = 0; i < m; ++i)
+                second[i] = (blocks[i] & set_mask) ^ top_bit;
+        }
+        for (std::size_t i = 0; i < m; ++i)
+            accessIndexed(blocks[i], blocks[i] & set_mask, second[i],
+                          is_write);
+    }
 }
 
 AccessResult
 TwoProbeCache::accessOne(std::uint64_t addr, bool is_write)
 {
     const std::uint64_t block = geometry_.blockAddr(addr);
+    return accessIndexed(block, primaryIndex(block),
+                         secondaryIndex(block), is_write);
+}
+
+AccessResult
+TwoProbeCache::accessIndexed(std::uint64_t block, std::uint64_t i1,
+                             std::uint64_t i2, bool is_write)
+{
     if (is_write)
         ++stats_.stores;
     else
         ++stats_.loads;
-
-    const std::uint64_t i1 = primaryIndex(block);
-    const std::uint64_t i2 = secondaryIndex(block);
 
     if (lines_[i1].valid && lines_[i1].block == block) {
         ++stats_.firstProbeHits;

@@ -70,6 +70,14 @@ class TwoProbeCache : public CacheModel
     /** Non-virtual body of access(); the batch loop calls this. */
     AccessResult accessOne(std::uint64_t addr, bool is_write);
 
+    /**
+     * accessOne() with both probe indices already computed — the batch
+     * path evaluates the polynomial rehash for a whole tile per pass
+     * and feeds the results here.
+     */
+    AccessResult accessIndexed(std::uint64_t block, std::uint64_t i1,
+                               std::uint64_t i2, bool is_write);
+
     RehashKind rehash_;
     std::unique_ptr<IndexFn> poly_; ///< used when rehash_ == IPoly
     /**

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The one thread-pool primitive the engine uses: a dynamic-work-shared
+ * parallel for. Extracted from SweepRunner::run() so the sweep grid
+ * and the sharded single-trace replay (core/shard_replay.hh) schedule
+ * work the same way.
+ *
+ * Determinism contract: fn(i) must write only into slot i of whatever
+ * output the caller owns. Workers pull the next unclaimed index, so
+ * the *timing* of calls varies run to run but the index->slot mapping
+ * never does — results are identical at any worker count.
+ */
+
+#ifndef CAC_COMMON_PARALLEL_HH
+#define CAC_COMMON_PARALLEL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace cac
+{
+
+/**
+ * Run fn(i) for every i in [0, count) on up to @p threads workers
+ * (clamped to count; 0 or 1 runs inline on the caller's thread).
+ * Returns when all calls have finished.
+ */
+template <typename Fn>
+void
+parallelFor(unsigned threads, std::size_t count, Fn &&fn)
+{
+    if (count == 0)
+        return;
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(threads > 0 ? threads : 1, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+            fn(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+}
+
+} // namespace cac
+
+#endif // CAC_COMMON_PARALLEL_HH

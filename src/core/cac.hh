@@ -22,6 +22,7 @@
 #include "common/table.hh"
 #include "core/experiment.hh"
 #include "core/registry.hh"
+#include "core/shard_replay.hh"
 #include "core/sim_target.hh"
 #include "core/sweep.hh"
 #include "cpu/addr_predictor.hh"

@@ -33,33 +33,6 @@ measureThroughput(double min_seconds,
     return r;
 }
 
-void
-MemRunGatherer::replay(CacheModel &cache, const TraceRecord *recs,
-                       std::size_t n)
-{
-    // Access order is preserved exactly, so stats match a scalar loop.
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceRecord &rec = recs[i];
-        if (!isMemOp(rec.op))
-            continue;
-        const bool is_write = rec.op == OpClass::Store;
-        if (is_write != run_is_write_ || run_.size() == kMaxRun) {
-            flush(cache);
-            run_is_write_ = is_write;
-        }
-        run_.push_back(rec.addr);
-    }
-}
-
-void
-MemRunGatherer::flush(CacheModel &cache)
-{
-    if (!run_.empty()) {
-        cache.accessBatch(run_.data(), run_.size(), run_is_write_);
-        run_.clear();
-    }
-}
-
 CacheStats
 runTraceMemory(CacheModel &cache, const Trace &trace)
 {

@@ -28,11 +28,13 @@ CacheStats runAddressStream(CacheModel &cache,
 
 /**
  * Gathers runs of same-kind memory operations from an instruction
- * stream so a cache sees one accessBatch() per run instead of one
+ * stream so a sink sees one accessBatch() per run instead of one
  * virtual access() per record. Restartable: replay() may be called
  * with consecutive stream chunks (the partially-gathered run carries
  * over), so the single batching rule serves both whole-trace replay
- * (runTraceMemory) and chunked streaming (CacheTarget).
+ * (runTraceMemory) and chunked streaming (CacheTarget). The sink is
+ * anything with an accessBatch(addrs, n, is_write) member — a
+ * CacheModel or the two-level hierarchy.
  */
 class MemRunGatherer
 {
@@ -42,12 +44,36 @@ class MemRunGatherer
 
     MemRunGatherer() { run_.reserve(kMaxRun); }
 
-    /** Feed the memory operations of @p recs[0..n) into @p cache. */
-    void replay(CacheModel &cache, const TraceRecord *recs,
-                std::size_t n);
+    /** Feed the memory operations of @p recs[0..n) into @p sink. */
+    template <typename Sink>
+    void
+    replay(Sink &sink, const TraceRecord *recs, std::size_t n)
+    {
+        // Access order is preserved exactly, so stats match a scalar
+        // loop.
+        for (std::size_t i = 0; i < n; ++i) {
+            const TraceRecord &rec = recs[i];
+            if (!isMemOp(rec.op))
+                continue;
+            const bool is_write = rec.op == OpClass::Store;
+            if (is_write != run_is_write_ || run_.size() == kMaxRun) {
+                flush(sink);
+                run_is_write_ = is_write;
+            }
+            run_.push_back(rec.addr);
+        }
+    }
 
     /** Issue the partially-gathered run, preserving access order. */
-    void flush(CacheModel &cache);
+    template <typename Sink>
+    void
+    flush(Sink &sink)
+    {
+        if (!run_.empty()) {
+            sink.accessBatch(run_.data(), run_.size(), run_is_write_);
+            run_.clear();
+        }
+    }
 
   private:
     std::vector<std::uint64_t> run_;

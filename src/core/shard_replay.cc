@@ -1,0 +1,188 @@
+#include "core/shard_replay.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "trace/io.hh"
+
+namespace cac
+{
+
+namespace
+{
+
+/** Record range [warmupBegin, end) for shard @p i of @p count. */
+ShardSlice
+sliceFor(unsigned i, unsigned shards, std::uint64_t count,
+         std::uint64_t warmup)
+{
+    ShardSlice s;
+    s.begin = count * i / shards;
+    s.end = count * (i + 1) / shards;
+    s.warmupBegin = s.begin >= warmup ? s.begin - warmup : 0;
+    return s;
+}
+
+/**
+ * Replay one shard: warm up over [warmupBegin, begin), checkpoint and
+ * snapshot, replay [begin, end), finish, and return the delta. @p feed
+ * is called as feed(target, from, to) to replay the records in
+ * [from, to); it lets the in-memory and file paths share the shard
+ * protocol.
+ */
+template <typename Feed>
+TargetStats
+replayShard(SimTarget &target, const ShardSlice &s, Feed &&feed)
+{
+    if (s.warmupBegin < s.begin) {
+        feed(target, s.warmupBegin, s.begin);
+        target.checkpoint();
+    }
+    const TargetStats before = target.stats();
+    feed(target, s.begin, s.end);
+    target.finish();
+    return targetStatsDelta(target.stats(), before);
+}
+
+/** Shared driver: @p makeFeed builds one shard's feed callable. */
+template <typename MakeFeed>
+ShardedReplayResult
+runShards(const TargetFactory &factory, std::uint64_t count,
+          const ShardOptions &opts, MakeFeed &&makeFeed)
+{
+    CAC_ASSERT(factory != nullptr);
+    const unsigned shards = std::max(1u, opts.shards);
+
+    ShardedReplayResult result;
+    result.shards = shards;
+    result.slices.resize(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        result.slices[i] = sliceFor(i, shards, count, opts.warmupRecords);
+
+    std::vector<TargetStats> deltas(shards);
+    std::vector<std::string> names(shards);
+    const unsigned threads = opts.threads > 0 ? opts.threads : shards;
+    parallelFor(threads, shards, [&](std::size_t i) {
+        std::unique_ptr<SimTarget> target = factory();
+        CAC_ASSERT(target != nullptr);
+        if (target->kind() == TargetKind::Cpu && shards > 1) {
+            fatal("CPU targets cannot be time-sharded (cycle state is "
+                  "not attributable to a slice); replay monolithically");
+        }
+        names[i] = target->name();
+        deltas[i] = replayShard(*target, result.slices[i],
+                                makeFeed(static_cast<unsigned>(i)));
+    });
+
+    // Index-ordered summation: identical result at any thread count.
+    result.name = names[0];
+    result.stats = deltas[0];
+    result.stats.kind = deltas[0].kind;
+    for (unsigned i = 1; i < shards; ++i)
+        targetStatsAccumulate(result.stats, deltas[i]);
+    return result;
+}
+
+/**
+ * Cursor over one shard's TraceReader: feeds exactly the requested
+ * record range, splitting reader chunks at warm-up and slice
+ * boundaries.
+ */
+class FileFeed
+{
+  public:
+    FileFeed(const std::string &path, std::uint64_t start)
+        : reader_(path)
+    {
+        if (!reader_.ok())
+            fatal("%s", reader_.error().c_str());
+        if (!reader_.seekTo(start))
+            fatal("%s", reader_.error().c_str());
+    }
+
+    void
+    operator()(SimTarget &target, std::uint64_t from, std::uint64_t to)
+    {
+        std::uint64_t want = to - from;
+        while (want > 0) {
+            if (pos_ >= size_) {
+                const std::vector<TraceRecord> &chunk = reader_.next();
+                if (chunk.empty())
+                    break;
+                data_ = chunk.data();
+                size_ = chunk.size();
+                pos_ = 0;
+            }
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(want, size_ - pos_));
+            target.replay(data_ + pos_, take);
+            pos_ += take;
+            want -= take;
+        }
+        if (!reader_.ok())
+            fatal("%s", reader_.error().c_str());
+        if (want > 0) {
+            fatal("'%s': trace ended %llu records short of the shard "
+                  "slice end",
+                  reader_.path().c_str(),
+                  static_cast<unsigned long long>(want));
+        }
+    }
+
+  private:
+    TraceReader reader_;
+    const TraceRecord *data_ = nullptr;
+    std::size_t pos_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // anonymous namespace
+
+ShardedReplayResult
+shardedReplayTrace(const TargetFactory &factory, const Trace &trace,
+                   const ShardOptions &opts)
+{
+    const TraceRecord *recs = trace.data();
+    return runShards(
+        factory, trace.size(), opts, [recs](unsigned) {
+            return [recs](SimTarget &target, std::uint64_t from,
+                          std::uint64_t to) {
+                target.replay(recs + from,
+                              static_cast<std::size_t>(to - from));
+            };
+        });
+}
+
+ShardedReplayResult
+shardedReplayFile(const TargetFactory &factory, const std::string &path,
+                  const ShardOptions &opts)
+{
+    // Validate the header on the caller's thread so a bad path fails
+    // with a clean diagnostic before the fan-out.
+    std::uint64_t count = 0;
+    {
+        TraceReader probe(path);
+        if (!probe.ok())
+            fatal("%s", probe.error().c_str());
+        count = probe.recordCount();
+    }
+
+    ShardedReplayResult result = runShards(
+        factory, count, opts, [&](unsigned shard) {
+            // One private reader per shard, pre-seeked to its warm-up
+            // window; shared_ptr keeps it alive inside the copyable
+            // feed callable.
+            auto feed = std::make_shared<FileFeed>(
+                path, sliceFor(shard, std::max(1u, opts.shards), count,
+                               opts.warmupRecords)
+                          .warmupBegin);
+            return [feed](SimTarget &target, std::uint64_t from,
+                          std::uint64_t to) {
+                (*feed)(target, from, to);
+            };
+        });
+    return result;
+}
+
+} // namespace cac

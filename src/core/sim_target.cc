@@ -77,6 +77,35 @@ cpuConfigFor(const std::string &rest, const TargetSpec &spec)
 
 } // anonymous namespace
 
+TargetStats
+targetStatsDelta(const TargetStats &now, const TargetStats &then)
+{
+    CAC_ASSERT(now.kind == then.kind);
+    CAC_ASSERT(now.kind != TargetKind::Cpu);
+    TargetStats d;
+    d.kind = now.kind;
+    d.l1 = cacheStatsDelta(now.l1, then.l1);
+    d.hasHierarchy = now.hasHierarchy;
+    if (now.hasHierarchy) {
+        d.l2 = cacheStatsDelta(now.l2, then.l2);
+        d.holes = holeStatsDelta(now.holes, then.holes);
+    }
+    return d;
+}
+
+void
+targetStatsAccumulate(TargetStats &into, const TargetStats &delta)
+{
+    CAC_ASSERT(into.kind == delta.kind);
+    CAC_ASSERT(into.kind != TargetKind::Cpu);
+    cacheStatsAccumulate(into.l1, delta.l1);
+    if (delta.hasHierarchy) {
+        into.hasHierarchy = true;
+        cacheStatsAccumulate(into.l2, delta.l2);
+        holeStatsAccumulate(into.holes, delta.holes);
+    }
+}
+
 std::string
 targetKindName(TargetKind kind)
 {
@@ -160,23 +189,34 @@ void
 HierarchyTarget::accessBatch(const std::uint64_t *addrs, std::size_t n,
                              bool is_write)
 {
-    for (std::size_t i = 0; i < n; ++i)
-        hierarchy_->access(addrs[i], is_write);
+    gather_.flush(*hierarchy_);
+    hierarchy_->accessBatch(addrs, n, is_write);
 }
 
 void
 HierarchyTarget::replay(const TraceRecord *recs, std::size_t n)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceRecord &rec = recs[i];
-        if (isMemOp(rec.op))
-            hierarchy_->access(rec.addr, rec.op == OpClass::Store);
-    }
+    // Same-kind runs reach the hierarchy's batch path, which
+    // precomputes the L1 index words for a whole tile per pass.
+    gather_.replay(*hierarchy_, recs, n);
+}
+
+void
+HierarchyTarget::finish()
+{
+    gather_.flush(*hierarchy_);
+}
+
+void
+HierarchyTarget::checkpoint()
+{
+    gather_.flush(*hierarchy_);
 }
 
 void
 HierarchyTarget::flushPrimary()
 {
+    gather_.flush(*hierarchy_);
     hierarchy_->flushL1();
 }
 

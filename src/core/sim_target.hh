@@ -81,6 +81,21 @@ struct TargetStats
 };
 
 /**
+ * Stats accumulated between two snapshots of one target: every counter
+ * in @p now minus the same counter in @p then (kinds must match).
+ * The sharded replay engine subtracts each shard's post-warm-up
+ * snapshot from its final stats to isolate the counted slice. Only
+ * Cache and Hierarchy targets are deltaable — CPU timing state (cycles
+ * in flight) cannot be attributed to a slice, so Cpu kinds are
+ * rejected.
+ */
+TargetStats targetStatsDelta(const TargetStats &now,
+                             const TargetStats &then);
+
+/** Add every counter of @p delta into @p into (kinds must match). */
+void targetStatsAccumulate(TargetStats &into, const TargetStats &delta);
+
+/**
  * Abstract simulatable target. Feed one workload per instance:
  * any mix of accessBatch()/replay() calls in stream order, then
  * finish(), then stats().
@@ -171,6 +186,8 @@ class HierarchyTarget : public SimTarget
     void accessBatch(const std::uint64_t *addrs, std::size_t n,
                      bool is_write) override;
     void replay(const TraceRecord *recs, std::size_t n) override;
+    void finish() override;
+    void checkpoint() override;
     void flushPrimary() override;
     TargetStats stats() const override;
 
@@ -179,6 +196,8 @@ class HierarchyTarget : public SimTarget
   private:
     std::string name_;
     std::unique_ptr<TwoLevelHierarchy> hierarchy_;
+    /** Same-kind run gathering, restartable across replay() chunks. */
+    MemRunGatherer gather_;
 };
 
 /** Out-of-order CPU target (timing model, IPC). */

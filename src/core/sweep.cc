@@ -1,11 +1,10 @@
 #include "core/sweep.hh"
 
-#include <atomic>
 #include <cstdio>
-#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
 
@@ -213,32 +212,12 @@ SweepRunner::run() const
     // immutable stream instead of regenerating it per cell.
     const std::vector<SharedAddrs> materialized = materializeWorkloads();
 
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(threads_, cells));
-
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < cells; ++i)
-            results[i] = runCell(i, materialized);
-        return results;
-    }
-
     // Dynamic work sharing: threads pull the next unclaimed cell and
     // write into its slot, so the output order is the grid order no
     // matter how cells are interleaved in time.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (std::size_t i = next.fetch_add(1); i < cells;
-             i = next.fetch_add(1)) {
-            results[i] = runCell(i, materialized);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (auto &thread : pool)
-        thread.join();
+    parallelFor(threads_, cells, [&](std::size_t i) {
+        results[i] = runCell(i, materialized);
+    });
     return results;
 }
 

@@ -41,13 +41,15 @@ TimingCache::load(std::uint64_t addr, std::uint64_t start_tick)
         return t;
     }
 
-    const bool present = array_->probe(addr);
-    if (!present && mshrs_.full()) {
+    // Fused probe + access: one index evaluation and one tag scan.
+    // With a full MSHR file only a hit may proceed (allow_fill=false
+    // leaves the array untouched on a miss, exactly like the old
+    // probe-then-reject).
+    AccessResult r;
+    if (!array_->tryAccess(addr, false, !mshrs_.full(), r)) {
         t.accepted = false;
         return t;
     }
-
-    AccessResult r = array_->access(addr, false);
     if (r.hit) {
         t.readyTick = start_tick + cfg_.hitCycles;
         return t;

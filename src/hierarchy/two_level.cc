@@ -1,9 +1,42 @@
 #include "hierarchy/two_level.hh"
 
+#include "cache/set_assoc.hh"
 #include "common/logging.hh"
 
 namespace cac
 {
+
+namespace
+{
+
+/** The HoleStats counter list (delta/accumulate cannot drift apart). */
+constexpr std::uint64_t HoleStats::*kHoleFields[] = {
+    &HoleStats::l1Misses,
+    &HoleStats::l2Misses,
+    &HoleStats::l2Replacements,
+    &HoleStats::inclusionInvalidates,
+    &HoleStats::holesCreated,
+    &HoleStats::holeRefills,
+    &HoleStats::externalInvalidates,
+    &HoleStats::aliasRemovals};
+
+} // anonymous namespace
+
+HoleStats
+holeStatsDelta(const HoleStats &now, const HoleStats &then)
+{
+    HoleStats d;
+    for (auto field : kHoleFields)
+        d.*field = now.*field - then.*field;
+    return d;
+}
+
+void
+holeStatsAccumulate(HoleStats &into, const HoleStats &delta)
+{
+    for (auto field : kHoleFields)
+        into.*field += delta.*field;
+}
 
 TwoLevelHierarchy::TwoLevelHierarchy(std::unique_ptr<CacheModel> l1,
                                      std::unique_ptr<CacheModel> l2,
@@ -15,16 +48,53 @@ TwoLevelHierarchy::TwoLevelHierarchy(std::unique_ptr<CacheModel> l1,
         fatal("L1 and L2 must share a block size in this hierarchy");
     if (page_map_.pageBytes() < l1_->geometry().blockBytes())
         fatal("page size smaller than the cache block size");
+    l1_sa_ = dynamic_cast<SetAssocCache *>(l1_.get());
 }
 
 bool
 TwoLevelHierarchy::access(std::uint64_t vaddr, bool is_write)
 {
-    const std::uint64_t vblock = l1_->geometry().blockAddr(vaddr);
-
     AccessResult l1_result = l1_->access(vaddr, is_write);
     if (l1_result.hit)
         return true;
+    missPath(vaddr, is_write, l1_result);
+    return false;
+}
+
+void
+TwoLevelHierarchy::accessBatch(const std::uint64_t *vaddrs, std::size_t n,
+                               bool is_write)
+{
+    if (l1_sa_ == nullptr || !l1_sa_->indexPlan().packedCapable()) {
+        for (std::size_t i = 0; i < n; ++i)
+            access(vaddrs[i], is_write);
+        return;
+    }
+    // L1 hits — the overwhelming majority — cost one precomputed-index
+    // lookup; only misses enter the translation + Inclusion path.
+    const IndexPlan &plan = l1_sa_->indexPlan();
+    constexpr std::size_t kTile = 256;
+    std::uint64_t blocks[kTile];
+    std::uint64_t packed[kTile];
+    for (std::size_t base = 0; base < n; base += kTile) {
+        const std::size_t m = n - base < kTile ? n - base : kTile;
+        for (std::size_t i = 0; i < m; ++i)
+            blocks[i] = l1_->geometry().blockAddr(vaddrs[base + i]);
+        plan.indexPackedBatch(blocks, m, packed);
+        for (std::size_t i = 0; i < m; ++i) {
+            const AccessResult r =
+                l1_sa_->accessPacked(blocks[i], packed[i], is_write);
+            if (!r.hit)
+                missPath(vaddrs[base + i], is_write, r);
+        }
+    }
+}
+
+void
+TwoLevelHierarchy::missPath(std::uint64_t vaddr, bool is_write,
+                            const AccessResult &l1_result)
+{
+    const std::uint64_t vblock = l1_->geometry().blockAddr(vaddr);
 
     ++hole_stats_.l1Misses;
     if (holes_.erase(vblock))
@@ -65,7 +135,7 @@ TwoLevelHierarchy::access(std::uint64_t vaddr, bool is_write)
     // L2 lookup with the physical address.
     AccessResult l2_result = l2_->access(paddr, is_write);
     if (l2_result.hit)
-        return false;
+        return;
 
     ++hole_stats_.l2Misses;
     if (l2_result.evictedAddr) {
@@ -91,7 +161,6 @@ TwoLevelHierarchy::access(std::uint64_t vaddr, bool is_write)
             l1_contents_.erase(it);
         }
     }
-    return false;
 }
 
 void

@@ -25,6 +25,8 @@
 namespace cac
 {
 
+class SetAssocCache;
+
 /** Hole bookkeeping for the section 3.3 experiment. */
 struct HoleStats
 {
@@ -62,6 +64,12 @@ struct HoleStats
     }
 };
 
+/** now - then, counter by counter (sharded-replay reconciliation). */
+HoleStats holeStatsDelta(const HoleStats &now, const HoleStats &then);
+
+/** into += delta, counter by counter. */
+void holeStatsAccumulate(HoleStats &into, const HoleStats &delta);
+
 /**
  * Virtually-indexed L1 over physically-indexed L2 with explicit
  * Inclusion.
@@ -86,6 +94,15 @@ class TwoLevelHierarchy
      * @return true when L1 hit.
      */
     bool access(std::uint64_t vaddr, bool is_write);
+
+    /**
+     * @p n same-kind references in order, identical in outcome to n
+     * access() calls. When L1 is a SetAssocCache with a batch-capable
+     * plan, the L1 index words for a whole tile are precomputed in one
+     * SIMD pass and only misses fall into the slow bookkeeping path.
+     */
+    void accessBatch(const std::uint64_t *vaddrs, std::size_t n,
+                     bool is_write);
 
     /**
      * External coherence invalidation, physically addressed (snooped at
@@ -114,8 +131,14 @@ class TwoLevelHierarchy
     bool checkInclusion() const;
 
   private:
+    /** Everything access() does after an L1 miss. */
+    void missPath(std::uint64_t vaddr, bool is_write,
+                  const AccessResult &l1_result);
+
     std::unique_ptr<CacheModel> l1_;
     std::unique_ptr<CacheModel> l2_;
+    /** l1_ downcast when it is a SetAssocCache (batch fast path). */
+    SetAssocCache *l1_sa_ = nullptr;
     PageMap page_map_;
     HoleStats hole_stats_;
     /**

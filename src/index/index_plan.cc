@@ -6,6 +6,15 @@
 #include "index/index_fn.hh"
 #include "poly/xor_matrix.hh"
 
+// The AVX2 byte-table gather is compiled with a per-function target
+// attribute and selected at run time (__builtin_cpu_supports), so the
+// translation unit builds without -mavx2 and the binary still runs on
+// CPUs that lack the extension.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CAC_INDEX_PLAN_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace cac
 {
 
@@ -14,6 +23,94 @@ namespace
 
 /** Test hook (see forceCallbackForTests). */
 std::atomic<bool> s_force_callback{false};
+
+/**
+ * Portable batch fold of the Packed byte tables: four independent
+ * accumulator chains per iteration so the table loads of consecutive
+ * addresses overlap instead of serializing on one XOR chain.
+ */
+void
+packedBatchSwar(const std::uint64_t *table, unsigned chunks,
+                const std::uint64_t *block_addrs, std::size_t n,
+                std::uint64_t *packed_out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        std::uint64_t v0 = block_addrs[i];
+        std::uint64_t v1 = block_addrs[i + 1];
+        std::uint64_t v2 = block_addrs[i + 2];
+        std::uint64_t v3 = block_addrs[i + 3];
+        std::uint64_t p0 = 0, p1 = 0, p2 = 0, p3 = 0;
+        for (unsigned c = 0; c < chunks; ++c) {
+            const std::uint64_t *t = table + (std::size_t{c} << 8);
+            p0 ^= t[v0 & 0xff];
+            p1 ^= t[v1 & 0xff];
+            p2 ^= t[v2 & 0xff];
+            p3 ^= t[v3 & 0xff];
+            v0 >>= 8;
+            v1 >>= 8;
+            v2 >>= 8;
+            v3 >>= 8;
+        }
+        packed_out[i] = p0;
+        packed_out[i + 1] = p1;
+        packed_out[i + 2] = p2;
+        packed_out[i + 3] = p3;
+    }
+    for (; i < n; ++i) {
+        std::uint64_t v = block_addrs[i];
+        std::uint64_t p = 0;
+        for (unsigned c = 0; c < chunks; ++c, v >>= 8)
+            p ^= table[(std::size_t{c} << 8) | (v & 0xff)];
+        packed_out[i] = p;
+    }
+}
+
+#ifdef CAC_INDEX_PLAN_AVX2
+
+/**
+ * AVX2 batch fold: four addresses per vector, one table gather per
+ * (chunk, vector). The gather index is (chunk << 8) | byte, exactly
+ * the scalar table layout, so results are bit-identical to
+ * packedBatchSwar().
+ */
+__attribute__((target("avx2"))) void
+packedBatchAvx2(const std::uint64_t *table, unsigned chunks,
+                const std::uint64_t *block_addrs, std::size_t n,
+                std::uint64_t *packed_out)
+{
+    const __m256i byte_mask = _mm256_set1_epi64x(0xff);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(block_addrs + i));
+        __m256i acc = _mm256_setzero_si256();
+        for (unsigned c = 0; c < chunks; ++c) {
+            const __m256i idx = _mm256_or_si256(
+                _mm256_and_si256(v, byte_mask),
+                _mm256_set1_epi64x(static_cast<long long>(c) << 8));
+            acc = _mm256_xor_si256(
+                acc, _mm256_i64gather_epi64(
+                         reinterpret_cast<const long long *>(table), idx,
+                         8));
+            v = _mm256_srli_epi64(v, 8);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(packed_out + i),
+                            acc);
+    }
+    if (i < n)
+        packedBatchSwar(table, chunks, block_addrs + i, n - i,
+                        packed_out + i);
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+#endif // CAC_INDEX_PLAN_AVX2
 
 } // anonymous namespace
 
@@ -141,6 +238,50 @@ IndexPlan::genericAll(std::uint64_t block_addr, std::uint64_t *out) const
 {
     for (unsigned w = 0; w < num_ways_; ++w)
         out[w] = genericOne(block_addr, w);
+}
+
+void
+IndexPlan::indexPackedBatch(const std::uint64_t *block_addrs,
+                            std::size_t n,
+                            std::uint64_t *packed_out) const
+{
+    CAC_ASSERT(packedCapable());
+    if (kind_ == Kind::Modulo) {
+        const std::uint64_t m = set_mask_;
+        for (std::size_t i = 0; i < n; ++i)
+            packed_out[i] = block_addrs[i] & m;
+        return;
+    }
+#ifdef CAC_INDEX_PLAN_AVX2
+    if (haveAvx2()) {
+        packedBatchAvx2(table_.data(), chunks_, block_addrs, n,
+                        packed_out);
+        return;
+    }
+#endif
+    packedBatchSwar(table_.data(), chunks_, block_addrs, n, packed_out);
+}
+
+void
+IndexPlan::indexSetsBatch(const std::uint64_t *block_addrs, std::size_t n,
+                          std::uint64_t *sets_out) const
+{
+    if (packedCapable()) {
+        // One packed pass per tile, then an extract per (address, way).
+        constexpr std::size_t kTile = 256;
+        std::uint64_t packed[kTile];
+        for (std::size_t base = 0; base < n; base += kTile) {
+            const std::size_t m = n - base < kTile ? n - base : kTile;
+            indexPackedBatch(block_addrs + base, m, packed);
+            std::uint64_t *out = sets_out + base * num_ways_;
+            for (std::size_t i = 0; i < m; ++i)
+                for (unsigned w = 0; w < num_ways_; ++w)
+                    out[i * num_ways_ + w] = wayFromPacked(packed[i], w);
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        genericAll(block_addrs[i], sets_out + i * num_ways_);
 }
 
 void

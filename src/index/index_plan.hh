@@ -28,6 +28,17 @@
  * Caches obtain a plan via compilePlan(fn) at construction and
  * recompile when fn.planEpoch() changes (ConfigurableIndex bumps the
  * epoch on every reprogram).
+ *
+ * Batch evaluation: because every plan is GF(2)-linear, a whole block
+ * of addresses can be pushed through the same tables per pass.
+ * indexSetsBatch() is the universal form (every Kind, way-minor
+ * output); indexPackedBatch() is the hot-path form the caches consume
+ * — one packed word per address holding the concatenated per-way
+ * indices, produced by a software-pipelined SWAR loop or, where the
+ * CPU supports it, an AVX2 gather over the byte tables (dispatched at
+ * run time, so one binary serves both). Both batch paths are
+ * bit-identical to the scalar indexOne()/indexAll() they replace;
+ * tests/index/test_index_plan.cc asserts this for every Kind.
  */
 
 #ifndef CAC_INDEX_INDEX_PLAN_HH
@@ -136,6 +147,59 @@ class IndexPlan
             genericAll(block_addr, out);
         }
     }
+
+    /**
+     * True when the plan has a packed single-word form: the set indices
+     * of *all* ways fit one uint64 (Modulo and Packed kinds). Exactly
+     * these plans may use packedOne()/indexPackedBatch(); every
+     * organization in the registry compiles to one of them.
+     */
+    bool packedCapable() const
+    {
+        return kind_ == Kind::Modulo || kind_ == Kind::Packed;
+    }
+
+    /**
+     * Packed index word of @p block_addr: the concatenated per-way set
+     * indices (way w in bits [w*setBits(), (w+1)*setBits())). For
+     * Modulo plans the word is simply the shared set index. Requires
+     * packedCapable().
+     */
+    std::uint64_t packedOne(std::uint64_t block_addr) const
+    {
+        if (kind_ == Kind::Modulo)
+            return block_addr & set_mask_;
+        return packedAll(block_addr);
+    }
+
+    /** Extract way @p way's set index from a packedOne() word. */
+    std::uint64_t wayFromPacked(std::uint64_t packed, unsigned way) const
+    {
+        if (kind_ == Kind::Modulo)
+            return packed;
+        return packed >> (way * set_bits_) & set_mask_;
+    }
+
+    /**
+     * Batch form of packedOne(): packed_out[i] = packedOne(
+     * block_addrs[i]) for i in [0, n). Requires packedCapable(). This
+     * is the SIMD entry point: Modulo vectorizes to a masked copy, and
+     * the Packed byte-table fold runs 4 addresses per iteration (an
+     * AVX2 table gather when the CPU has it, a 4-chain SWAR unroll
+     * otherwise). In-place operation (packed_out == block_addrs) is
+     * allowed.
+     */
+    void indexPackedBatch(const std::uint64_t *block_addrs, std::size_t n,
+                          std::uint64_t *packed_out) const;
+
+    /**
+     * Batch form of indexAll() for every Kind: sets_out[i * numWays()
+     * + w] = indexOne(block_addrs[i], w). Packed-capable plans route
+     * through indexPackedBatch(); RowMask and Callback plans evaluate
+     * per address. @p sets_out must not alias @p block_addrs.
+     */
+    void indexSetsBatch(const std::uint64_t *block_addrs, std::size_t n,
+                        std::uint64_t *sets_out) const;
 
     /**
      * Test hook: while true, compilePlan() returns Callback plans so the

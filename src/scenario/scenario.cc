@@ -230,34 +230,6 @@ buildProgramTrace(const std::string &atom, const ScenarioConfig &config)
     return buildSpecProxy(atom, config.programRecords, config.seed);
 }
 
-/**
- * The one list of CacheStats counters, so the delta and accumulate
- * sides of per-program attribution cannot drift apart when a field is
- * added.
- */
-constexpr std::uint64_t CacheStats::*kStatFields[] = {
-    &CacheStats::loads,          &CacheStats::stores,
-    &CacheStats::loadMisses,     &CacheStats::storeMisses,
-    &CacheStats::fills,          &CacheStats::evictions,
-    &CacheStats::writebacks,     &CacheStats::invalidations,
-    &CacheStats::firstProbeHits, &CacheStats::secondProbeHits};
-
-CacheStats
-statsDelta(const CacheStats &now, const CacheStats &then)
-{
-    CacheStats d;
-    for (auto field : kStatFields)
-        d.*field = now.*field - then.*field;
-    return d;
-}
-
-void
-statsAccumulate(CacheStats &into, const CacheStats &delta)
-{
-    for (auto field : kStatFields)
-        into.*field += delta.*field;
-}
-
 } // anonymous namespace
 
 std::string
@@ -394,7 +366,7 @@ Scenario::replayInto(SimTarget &target, std::size_t chunk_records) const
         const CacheStats now = target.stats().l1;
         ScenarioProgramStats &program =
             result.programs[segment.program];
-        statsAccumulate(program.l1, statsDelta(now, prev));
+        cacheStatsAccumulate(program.l1, cacheStatsDelta(now, prev));
         program.records += segment.count;
         prev = now;
     }

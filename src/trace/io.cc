@@ -85,9 +85,21 @@ writeTrace(const Trace &trace, const std::string &path)
 }
 
 TraceReader::TraceReader(const std::string &path,
-                         std::size_t chunk_records)
+                         std::size_t chunk_records, Prefetch prefetch)
     : path_(path), chunk_records_(chunk_records > 0 ? chunk_records : 1)
 {
+    switch (prefetch) {
+      case Prefetch::Auto:
+        prefetch_enabled_ = std::thread::hardware_concurrency() > 1;
+        break;
+      case Prefetch::Off:
+        prefetch_enabled_ = false;
+        break;
+      case Prefetch::On:
+        prefetch_enabled_ = true;
+        break;
+    }
+
     raw_.resize(chunk_records_ * sizeof(PackedRecord));
     buffer_.reserve(chunk_records_);
 
@@ -114,6 +126,7 @@ TraceReader::TraceReader(const std::string &path,
 
 TraceReader::~TraceReader()
 {
+    stopPrefetcher();
     if (file_)
         std::fclose(file_);
 }
@@ -130,12 +143,13 @@ TraceReader::fail(std::string message)
     return false;
 }
 
-const std::vector<TraceRecord> &
-TraceReader::next()
+bool
+TraceReader::decodeNextChunk(std::vector<TraceRecord> &out,
+                             std::string &err)
 {
-    buffer_.clear();
-    if (!ok() || next_record_ >= record_count_)
-        return buffer_;
+    out.clear();
+    if (next_record_ >= record_count_)
+        return true;
 
     const std::uint64_t remaining = record_count_ - next_record_;
     const std::size_t want = static_cast<std::size_t>(
@@ -147,21 +161,119 @@ TraceReader::next()
         // Short read: the header promised more records than the file
         // holds. Report exactly where the data ran out.
         const std::uint64_t have = next_record_ + got;
-        fail("'" + path_ + "': truncated at record "
-             + std::to_string(have) + " of "
-             + std::to_string(record_count_) + " (data ends near byte "
-             + std::to_string(recordOffset(have)) + ", expected "
-             + std::to_string(recordOffset(record_count_)) + " bytes)");
-        return buffer_;
+        err = "'" + path_ + "': truncated at record "
+            + std::to_string(have) + " of "
+            + std::to_string(record_count_) + " (data ends near byte "
+            + std::to_string(recordOffset(have)) + ", expected "
+            + std::to_string(recordOffset(record_count_)) + " bytes)";
+        return false;
     }
 
-    for (std::size_t i = 0; i < got; ++i) {
+    // Decode with direct indexed writes (resize once, no per-record
+    // push_back bookkeeping) — this loop runs on the replay hot path.
+    out.resize(got);
+    const std::uint8_t *in = raw_.data();
+    for (std::size_t i = 0; i < got; ++i, in += sizeof(PackedRecord)) {
         PackedRecord p;
-        std::memcpy(&p, raw_.data() + i * sizeof(PackedRecord),
-                    sizeof(PackedRecord));
-        buffer_.push_back(unpack(p));
+        std::memcpy(&p, in, sizeof(PackedRecord));
+        out[i] = unpack(p);
     }
     next_record_ += got;
+    return true;
+}
+
+void
+TraceReader::startPrefetcher()
+{
+    if (prefetch_)
+        return;
+    prefetch_ = std::make_unique<PrefetchState>();
+    PrefetchState &st = *prefetch_;
+    st.worker = std::thread([this, &st] {
+        // Double buffering: decode into a local chunk while the
+        // consumer drains the slot, then hand it over.
+        std::vector<TraceRecord> local;
+        local.reserve(chunk_records_);
+        for (;;) {
+            std::string err;
+            const bool clean = decodeNextChunk(local, err);
+            std::unique_lock<std::mutex> lock(st.m);
+            st.canProduce.wait(
+                lock, [&] { return !st.slotFull || st.stop; });
+            if (st.stop)
+                return;
+            if (!clean || local.empty()) {
+                st.slotError = std::move(err);
+                st.eof = true;
+                st.canConsume.notify_all();
+                return;
+            }
+            st.slot.swap(local);
+            st.slotFull = true;
+            st.canConsume.notify_all();
+        }
+    });
+}
+
+void
+TraceReader::stopPrefetcher()
+{
+    if (!prefetch_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(prefetch_->m);
+        prefetch_->stop = true;
+        prefetch_->slotFull = false;
+    }
+    prefetch_->canProduce.notify_all();
+    if (prefetch_->worker.joinable())
+        prefetch_->worker.join();
+    prefetch_.reset();
+}
+
+const std::vector<TraceRecord> &
+TraceReader::nextPrefetched()
+{
+    startPrefetcher();
+    PrefetchState &st = *prefetch_;
+    std::unique_lock<std::mutex> lock(st.m);
+    st.canConsume.wait(lock, [&] { return st.slotFull || st.eof; });
+    if (st.slotFull) {
+        buffer_.swap(st.slot);
+        st.slot.clear();
+        st.slotFull = false;
+        lock.unlock();
+        st.canProduce.notify_one();
+        delivered_ += buffer_.size();
+        return buffer_;
+    }
+    // Producer finished: surface its truncation error, if any, exactly
+    // once the preceding complete chunks have been delivered.
+    std::string err = std::move(st.slotError);
+    st.slotError.clear();
+    lock.unlock();
+    buffer_.clear();
+    if (!err.empty())
+        fail(std::move(err));
+    return buffer_;
+}
+
+const std::vector<TraceRecord> &
+TraceReader::next()
+{
+    if (!ok()) {
+        buffer_.clear();
+        return buffer_;
+    }
+    if (prefetch_enabled_)
+        return nextPrefetched();
+
+    std::string err;
+    if (!decodeNextChunk(buffer_, err)) {
+        fail(std::move(err));
+        return buffer_;
+    }
+    delivered_ += buffer_.size();
     return buffer_;
 }
 
@@ -170,13 +282,34 @@ TraceReader::rewind()
 {
     if (!ok())
         return;
+    stopPrefetcher();
     if (std::fseek(file_, static_cast<long>(kHeaderBytes), SEEK_SET)
         != 0) {
         fail("'" + path_ + "': seek failed during rewind");
         return;
     }
     next_record_ = 0;
+    delivered_ = 0;
     buffer_.clear();
+}
+
+bool
+TraceReader::seekTo(std::uint64_t record)
+{
+    if (!ok())
+        return false;
+    stopPrefetcher();
+    if (record > record_count_)
+        record = record_count_;
+    if (std::fseek(file_, static_cast<long>(recordOffset(record)),
+                   SEEK_SET)
+        != 0) {
+        return fail("'" + path_ + "': seek to record "
+                    + std::to_string(record) + " failed");
+    }
+    next_record_ = record;
+    buffer_.clear();
+    return true;
 }
 
 bool

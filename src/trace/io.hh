@@ -21,8 +21,12 @@
 #ifndef CAC_TRACE_IO_HH
 #define CAC_TRACE_IO_HH
 
+#include <condition_variable>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "trace/record.hh"
@@ -79,12 +83,28 @@ class TraceReader
     static constexpr std::size_t kDefaultChunkRecords = 4096;
 
     /**
+     * Read-ahead mode: whether a helper thread decodes the next chunk
+     * while the caller consumes the current one (double buffering, so
+     * disk read + decode overlap simulation). Auto enables it exactly
+     * when the machine has more than one hardware thread — on a single
+     * core the helper would only add context switches.
+     */
+    enum class Prefetch
+    {
+        Auto,
+        Off,
+        On
+    };
+
+    /**
      * Open @p path and validate the header. Check ok() afterwards.
      *
      * @param chunk_records records decoded per next() call (>= 1).
+     * @param prefetch read-ahead mode (see Prefetch).
      */
     explicit TraceReader(const std::string &path,
-                         std::size_t chunk_records = kDefaultChunkRecords);
+                         std::size_t chunk_records = kDefaultChunkRecords,
+                         Prefetch prefetch = Prefetch::Auto);
     ~TraceReader();
 
     TraceReader(const TraceReader &) = delete;
@@ -104,7 +124,7 @@ class TraceReader
     std::size_t chunkRecords() const { return chunk_records_; }
 
     /** Records handed out by next() since construction or rewind(). */
-    std::uint64_t recordsRead() const { return next_record_; }
+    std::uint64_t recordsRead() const { return delivered_; }
 
     /**
      * Decode the next chunk into the internal buffer and return it.
@@ -116,18 +136,61 @@ class TraceReader
     /** Seek back to the first record (no-op in the failed state). */
     void rewind();
 
+    /**
+     * Position the stream at record @p record (clamped to
+     * recordCount()); the next next() decodes from there. The sharded
+     * replay engine opens one reader per shard and seeks it to the
+     * shard's warm-up window. Does not reset recordsRead().
+     *
+     * @return true on success; a seek failure enters the failed state.
+     */
+    bool seekTo(std::uint64_t record);
+
   private:
+    /** Helper-thread handoff slot (one decoded chunk + stream state). */
+    struct PrefetchState
+    {
+        std::thread worker;
+        std::mutex m;
+        std::condition_variable canProduce;
+        std::condition_variable canConsume;
+        std::vector<TraceRecord> slot;
+        std::string slotError; ///< truncation found by the producer
+        bool slotFull = false;
+        bool eof = false;  ///< producer finished (cleanly or not)
+        bool stop = false; ///< consumer asked the producer to exit
+    };
+
     /** Enter the failed state with a formatted message; returns false. */
     bool fail(std::string message);
 
+    /**
+     * fread + decode the next chunk into @p out (empty at end of
+     * trace). False on truncation with the diagnostic in @p err.
+     * Touches file_/next_record_/raw_ — in prefetch mode only the
+     * helper thread calls this.
+     */
+    bool decodeNextChunk(std::vector<TraceRecord> &out, std::string &err);
+
+    /** Start the helper thread if enabled and not yet running. */
+    void startPrefetcher();
+
+    /** Stop and join the helper thread; safe to call repeatedly. */
+    void stopPrefetcher();
+
+    const std::vector<TraceRecord> &nextPrefetched();
+
     std::string path_;
     std::size_t chunk_records_;
+    bool prefetch_enabled_ = false;
     std::FILE *file_ = nullptr;
     std::uint64_t record_count_ = 0;
     std::uint64_t next_record_ = 0;
+    std::uint64_t delivered_ = 0;
     std::vector<TraceRecord> buffer_;
     std::vector<std::uint8_t> raw_;
     std::string error_;
+    std::unique_ptr<PrefetchState> prefetch_;
 };
 
 } // namespace cac

@@ -110,6 +110,46 @@ TEST(PlanEquivalence, EveryRegistryOrganizationIsStatsIdentical)
     }
 }
 
+/**
+ * accessBatch() must be stats-identical to an access() loop over the
+ * same stream, for every registry organization. Run lengths vary from
+ * 1 to several thousand so the batch tiling (256-address index blocks)
+ * is crossed at every alignment — this is the direct guard on the
+ * precomputed-index fast path the sweep engine runs on.
+ */
+TEST(PlanEquivalence, BatchPathMatchesScalarPath)
+{
+    const std::vector<std::uint64_t> addrs = testAddresses();
+
+    std::vector<std::string> labels =
+        OrgRegistry::global().exampleLabels();
+    for (const char *extra : {"a4", "a4-Hp-Sk", "a8-Hx-Sk"})
+        labels.push_back(extra);
+
+    OrgSpec spec;
+    for (const std::string &label : labels) {
+        auto scalar_cache = makeOrganization(label, spec);
+        auto batch_cache = makeOrganization(label, spec);
+
+        std::size_t pos = 0;
+        std::size_t run = 1;
+        bool write = false;
+        while (pos < addrs.size()) {
+            const std::size_t n = std::min(run, addrs.size() - pos);
+            for (std::size_t i = pos; i < pos + n; ++i)
+                scalar_cache->access(addrs[i], write);
+            batch_cache->accessBatch(addrs.data() + pos, n, write);
+            pos += n;
+            write = !write;
+            run = run * 3 + 1;
+            if (run > 5000)
+                run = 1;
+        }
+        expectStatsEqual(batch_cache->stats(), scalar_cache->stats(),
+                         label + " batch-vs-scalar");
+    }
+}
+
 TEST(PlanEquivalence, WriteBackAndNoAllocateVariants)
 {
     const std::vector<std::uint64_t> addrs = testAddresses();

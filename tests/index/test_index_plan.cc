@@ -40,7 +40,13 @@ testAddresses()
     return addrs;
 }
 
-/** Plan and virtual path agree on every (address, way). */
+/**
+ * Plan and virtual path agree on every (address, way), through the
+ * scalar entry points AND the batch ones (indexSetsBatch for every
+ * plan kind; indexPackedBatch + wayFromPacked for packed-capable
+ * plans) — the batch path is the sweep engine's hot path, so any
+ * divergence from index() would silently corrupt whole sweeps.
+ */
 void
 expectPlanMatchesVirtual(const IndexFn &fn)
 {
@@ -48,8 +54,9 @@ expectPlanMatchesVirtual(const IndexFn &fn)
     ASSERT_EQ(plan.setBits(), fn.setBits());
     ASSERT_EQ(plan.numWays(), fn.numWays());
 
+    const std::vector<std::uint64_t> addrs = testAddresses();
     std::vector<std::uint64_t> all(fn.numWays());
-    for (std::uint64_t addr : testAddresses()) {
+    for (std::uint64_t addr : addrs) {
         plan.indexAll(addr, all.data());
         for (unsigned w = 0; w < fn.numWays(); ++w) {
             const std::uint64_t want = fn.index(addr, w);
@@ -57,6 +64,34 @@ expectPlanMatchesVirtual(const IndexFn &fn)
                 << fn.name() << " addr=" << addr << " way=" << w;
             ASSERT_EQ(all[w], want)
                 << fn.name() << " addr=" << addr << " way=" << w;
+        }
+    }
+
+    // Batch evaluation over the whole stream at once. The length is
+    // not a multiple of the SIMD width, so the scalar tail runs too.
+    std::vector<std::uint64_t> batch(addrs.size() * fn.numWays());
+    plan.indexSetsBatch(addrs.data(), addrs.size(), batch.data());
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+        for (unsigned w = 0; w < fn.numWays(); ++w) {
+            ASSERT_EQ(batch[i * fn.numWays() + w],
+                      fn.index(addrs[i], w))
+                << fn.name() << " batch addr=" << addrs[i]
+                << " way=" << w;
+        }
+    }
+
+    if (plan.packedCapable()) {
+        std::vector<std::uint64_t> packed(addrs.size());
+        plan.indexPackedBatch(addrs.data(), addrs.size(), packed.data());
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+            ASSERT_EQ(packed[i], plan.packedOne(addrs[i]))
+                << fn.name() << " addr=" << addrs[i];
+            for (unsigned w = 0; w < fn.numWays(); ++w) {
+                ASSERT_EQ(plan.wayFromPacked(packed[i], w),
+                          fn.index(addrs[i], w))
+                    << fn.name() << " packed addr=" << addrs[i]
+                    << " way=" << w;
+            }
         }
     }
 }

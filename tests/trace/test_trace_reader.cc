@@ -185,6 +185,76 @@ TEST(TraceReader, RewindReplaysFromTheFirstRecord)
     std::remove(path.c_str());
 }
 
+TEST(TraceReader, SeekToPositionsMidStream)
+{
+    const std::string path = tmpPath("cac_reader_seek.trc");
+    const Trace original = randomTrace(1000, 8);
+    writeTrace(original, path);
+
+    TraceReader reader(path, 128);
+    ASSERT_TRUE(reader.seekTo(700));
+    const Trace tail = drain(reader);
+    ASSERT_EQ(tail.size(), 300u);
+    expectTracesEqual(tail, Trace(original.begin() + 700,
+                                  original.end()));
+    // seekTo does not reset the delivered-records counter.
+    EXPECT_EQ(reader.recordsRead(), 300u);
+
+    // Seeking back mid-stream re-reads from the new position.
+    ASSERT_TRUE(reader.seekTo(999));
+    EXPECT_EQ(reader.next().size(), 1u);
+
+    // Past-the-end clamps to end-of-trace: no records, still ok.
+    ASSERT_TRUE(reader.seekTo(5000));
+    EXPECT_TRUE(reader.next().empty());
+    EXPECT_TRUE(reader.ok());
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, PrefetchOnMatchesPrefetchOff)
+{
+    const std::string path = tmpPath("cac_reader_prefetch.trc");
+    const Trace original = randomTrace(3000, 9);
+    writeTrace(original, path);
+
+    // Force the helper thread on even on a single-core machine, with a
+    // chunk size that exercises many producer/consumer handoffs.
+    TraceReader on(path, 100, TraceReader::Prefetch::On);
+    ASSERT_TRUE(on.ok()) << on.error();
+    expectTracesEqual(drain(on), original);
+    EXPECT_EQ(on.recordsRead(), 3000u);
+    EXPECT_TRUE(on.ok());
+
+    // rewind() must stop and restart the prefetcher cleanly.
+    on.rewind();
+    EXPECT_EQ(on.recordsRead(), 0u);
+    expectTracesEqual(drain(on), original);
+
+    // seekTo() under prefetch delivers the same tail.
+    ASSERT_TRUE(on.seekTo(2500));
+    const Trace tail = drain(on);
+    ASSERT_EQ(tail.size(), 500u);
+    expectTracesEqual(tail, Trace(original.begin() + 2500,
+                                  original.end()));
+    std::remove(path.c_str());
+}
+
+TEST(TraceReader, PrefetchOnReportsTruncation)
+{
+    const std::string path = tmpPath("cac_reader_prefetch_trunc.trc");
+    writeTrace(randomTrace(100, 10), path);
+    std::filesystem::resize_file(path, 16 + 24 * 50 + 7);
+
+    TraceReader reader(path, 32, TraceReader::Prefetch::On);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    const Trace partial = drain(reader);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_LE(partial.size(), 50u);
+    EXPECT_NE(reader.error().find("truncated"), std::string::npos)
+        << reader.error();
+    std::remove(path.c_str());
+}
+
 /**
  * The acceptance-criteria test: streamed replay is stats-identical to
  * fully-loaded replay for every registry organization (one example

@@ -10,12 +10,17 @@ gate catches is an accidental algorithmic regression, not noise).
 Throughput metrics are recognized by name: any numeric leaf whose key
 ends in "aps" (accesses/sec), "_rps" (records/sec) or "per_sec".
 List entries are keyed by their identifying field ("org" for the
-organization table, "threads" for the sweep/search runs), so a
-baseline written on a 16-core machine and a fresh file from a 4-core
-runner compare only the thread counts they share (threads=1 is always
-present). Metrics present on only one side are reported and skipped;
-no common metric at all is an error, so a schema mismatch cannot
-silently pass.
+organization table, "threads" for the sweep/search runs, "shards" for
+the sharded-replay runs), so a baseline written on a 16-core machine
+and a fresh file from a 4-core runner compare only the run points they
+share (threads=1 is always present).
+
+Coverage is one-sided on purpose: a metric present in the BASELINE but
+missing from FRESH is a FAILURE — a schema bump that drops or renames
+a gated metric must update the baseline in the same change, never
+silently shrink the gate. Metrics only in FRESH are new and reported
+as notes (they start being gated once the baseline is regenerated).
+No common metric at all is also an error.
 
 Dependency-free by design (json/argparse only): runs on any CI image
 with a Python 3 interpreter.
@@ -48,6 +53,8 @@ def collect_metrics(node, path, out):
                     key = str(value["org"])
                 elif "threads" in value:
                     key = "threads=%s" % value["threads"]
+                elif "shards" in value:
+                    key = "shards=%s" % value["shards"]
             collect_metrics(value, path + [key], out)
     elif isinstance(node, (int, float)) and not isinstance(node, bool):
         if path and is_rate_key(path[-1]):
@@ -84,23 +91,35 @@ def main():
         sys.exit("check_perf: no common throughput metrics between "
                  "%s and %s (schema mismatch?)" % (args.baseline,
                                                    args.fresh))
-    for name in sorted(set(base) ^ set(fresh)):
-        side = args.fresh if name in base else args.baseline
-        print("check_perf: skipping %-58s (only missing from %s)"
-              % (name, side))
+
+    # Baseline metrics that vanished from the fresh file fail outright:
+    # the gate must never shrink without the baseline saying so.
+    lost = sorted(set(base) - set(fresh))
+    for name in lost:
+        print("check_perf: FAIL %-58s missing from %s"
+              % (name, args.fresh))
+    for name in sorted(set(fresh) - set(base)):
+        print("check_perf: note %-58s new metric (ungated until the "
+              "baseline is regenerated)" % name)
 
     floor = 1.0 - args.tolerance
     failures = []
     for name in common:
         old, new = base[name], fresh[name]
         ratio = new / old if old > 0 else float("inf")
+        delta_pct = 100.0 * (ratio - 1.0) if old > 0 else float("inf")
         verdict = "ok"
         if old > 0 and ratio < floor:
             verdict = "FAIL"
             failures.append(name)
-        print("%-62s %14.0f -> %14.0f  %6.2fx  %s"
-              % (name, old, new, ratio, verdict))
+        print("%-62s %14.0f -> %14.0f  %+7.1f%%  %s"
+              % (name, old, new, delta_pct, verdict))
 
+    if lost:
+        print("check_perf: %d baseline metric(s) missing from %s — a "
+              "schema change must regenerate the committed baseline"
+              % (len(lost), args.fresh))
+        return 1
     if failures:
         print("check_perf: %d/%d metrics dropped more than %.0f%%:"
               % (len(failures), len(common), 100 * args.tolerance))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Sharded-replay reconciliation gate.
+
+Compares `cac_sim --csv` output from a monolithic run (--shards 1 or
+no --shards) against a time-sharded run (--shards K) of the same trace
+and targets, enforcing the reconciliation rule from
+src/core/shard_replay.hh:
+
+ - loads and stores must match EXACTLY (every record lands in exactly
+   one counted slice);
+ - load_misses/store_misses may differ by at most K x BLOCKS per row
+   (each shard's warm-up can misreconstruct at most a cache's worth of
+   lines), where BLOCKS is the block count of the largest cache level;
+ - every row present in one file must be present in the other.
+
+Identical miss counts (the common case when the warm-up window covers
+the reuse distance) print as "exact". Dependency-free (csv/argparse).
+
+Usage:
+  tools/check_shards.py MONO.csv SHARDED.csv --shards K [--blocks N]
+"""
+
+import argparse
+import csv
+import sys
+
+EXACT_FIELDS = ("loads", "stores")
+BOUNDED_FIELDS = ("load_misses", "store_misses")
+
+
+def load_rows(path):
+    try:
+        with open(path, newline="") as f:
+            rows = list(csv.DictReader(f))
+    except OSError as err:
+        sys.exit("check_shards: cannot read %s: %s" % (path, err))
+    if not rows:
+        sys.exit("check_shards: %s has no data rows" % path)
+    out = {}
+    for row in rows:
+        key = (row.get("workload", ""), row.get("organization", ""))
+        out[key] = row
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="verify sharded replay reconciles with monolithic")
+    parser.add_argument("mono", help="monolithic-run CSV")
+    parser.add_argument("sharded", help="sharded-run CSV")
+    parser.add_argument("--shards", type=int, required=True,
+                        help="shard count K of the sharded run")
+    parser.add_argument("--blocks", type=int, default=256,
+                        help="blocks in the largest cache level "
+                             "(default 256: 8KB / 32B)")
+    args = parser.parse_args()
+    if args.shards < 1 or args.blocks < 1:
+        sys.exit("check_shards: --shards and --blocks must be >= 1")
+
+    mono = load_rows(args.mono)
+    sharded = load_rows(args.sharded)
+    if set(mono) != set(sharded):
+        only_mono = sorted(set(mono) - set(sharded))
+        only_sharded = sorted(set(sharded) - set(mono))
+        for key in only_mono:
+            print("check_shards: FAIL row %s only in %s"
+                  % (key, args.mono))
+        for key in only_sharded:
+            print("check_shards: FAIL row %s only in %s"
+                  % (key, args.sharded))
+        return 1
+
+    bound = args.shards * args.blocks
+    failures = 0
+    for key in sorted(mono):
+        a, b = mono[key], sharded[key]
+        label = "%s/%s" % key
+        for field in EXACT_FIELDS:
+            va, vb = int(a[field]), int(b[field])
+            if va != vb:
+                print("check_shards: FAIL %-40s %s %d != %d "
+                      "(must be exact)" % (label, field, va, vb))
+                failures += 1
+        worst = 0
+        for field in BOUNDED_FIELDS:
+            va, vb = int(a[field]), int(b[field])
+            delta = abs(va - vb)
+            worst = max(worst, delta)
+            if delta > bound:
+                print("check_shards: FAIL %-40s %s |%d - %d| = %d "
+                      "exceeds K x blocks = %d"
+                      % (label, field, va, vb, delta, bound))
+                failures += 1
+        print("%-50s misses %s (bound %d)"
+              % (label, "exact" if worst == 0
+                 else "within %d" % worst, bound))
+
+    if failures:
+        print("check_shards: %d check(s) failed" % failures)
+        return 1
+    print("check_shards: %d row(s) reconcile at %d shard(s)"
+          % (len(mono), args.shards))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

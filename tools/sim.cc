@@ -16,6 +16,7 @@
  *   cac_sim --trace swim.trc --org cpu:8k-ipoly-cp-pred
  *   cac_sim --trace swim.trc --compare --threads 4 --csv
  *   cac_sim --trace huge.trc --compare --stream
+ *   cac_sim --trace swim.trc --org a2-Hp-Sk --shards 4 [--warmup N]
  *   cac_sim --trace swim.trc --cpu 8k-ipoly-cp-pred
  *   cac_sim --trace swim.trc --org a2-Hp-Sk --bench
  *   cac_sim --analyze a2-Hp-Sk [--trace swim.trc]
@@ -24,6 +25,12 @@
  *
  * --stream replays the trace from disk in chunks (TraceReader) instead
  * of loading it, so memory stays flat however long the trace is.
+ *
+ * --shards K time-shards a single trace across K parallel workers
+ * (core/shard_replay.hh): loads/stores are exact, hit/miss counters
+ * carry the documented bounded warm-up error, and the result is
+ * deterministic at any --threads value. CPU targets replay
+ * monolithically (with a note) — cycle state cannot be sliced.
  *
  * --bench times the functional simulation itself (accesses per second
  * through the compiled-index-plan batch path) instead of reporting miss
@@ -80,6 +87,8 @@ usage()
         "  cac_sim --trace FILE --cpu CONFIG\n"
         "  cac_sim --trace FILE --compare [--threads N] [--csv] "
         "[--stream]\n"
+        "  cac_sim --trace FILE (--org TARGET | --compare) --shards K "
+        "[--warmup N]\n"
         "  cac_sim --trace FILE (--org LABEL | --compare) --bench\n"
         "  cac_sim --analyze LABEL [--trace FILE] [--stream] "
         "[--size BYTES] [--ways N]\n"
@@ -384,6 +393,79 @@ runScenarioCmd(const std::string &mix_label, const std::string &org,
     return 0;
 }
 
+/**
+ * --shards: time-sharded replay of one trace across every requested
+ * target. Returns cells shaped exactly like SweepRunner::run()'s so
+ * the reporting paths are shared. CPU targets fall back to monolithic
+ * replay with a stderr note (their cycle state cannot be sliced).
+ */
+std::vector<SweepCell>
+runSharded(const std::string &trace_path,
+           const std::vector<std::string> &labels,
+           const TargetSpec &spec, const ShardOptions &opts,
+           bool stream, bool csv)
+{
+    std::shared_ptr<const Trace> trace;
+    std::uint64_t records = 0;
+    if (stream) {
+        TraceReader probe(trace_path);
+        if (!probe.ok())
+            fatal("%s", probe.error().c_str());
+        records = probe.recordCount();
+    } else {
+        trace = std::make_shared<const Trace>(readTrace(trace_path));
+        records = trace->size();
+    }
+    if (!csv) {
+        std::printf("trace: %s (%llu instructions%s), %u shard(s), "
+                    "warmup %llu\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(records),
+                    stream ? ", streamed" : "",
+                    std::max(1u, opts.shards),
+                    static_cast<unsigned long long>(opts.warmupRecords));
+    }
+
+    std::vector<SweepCell> cells;
+    for (const std::string &label : labels) {
+        const TargetFactory factory = [label, spec] {
+            return OrgRegistry::global().buildTarget(label, spec);
+        };
+        SweepCell cell;
+        cell.workload = trace_path;
+        cell.org = label;
+
+        std::unique_ptr<SimTarget> probe = factory();
+        if (probe->kind() == TargetKind::Cpu) {
+            std::fprintf(stderr,
+                         "note: '%s' is a CPU target; replaying "
+                         "monolithically (--shards does not apply)\n",
+                         label.c_str());
+            if (stream) {
+                TraceReader reader(trace_path);
+                if (!reader.ok())
+                    fatal("%s", reader.error().c_str());
+                replayAll(reader, *probe);
+            } else {
+                probe->replay(trace->data(), trace->size());
+            }
+            probe->finish();
+            cell.cacheName = probe->name();
+            cell.target = probe->stats();
+        } else {
+            probe.reset();
+            const ShardedReplayResult result =
+                stream ? shardedReplayFile(factory, trace_path, opts)
+                       : shardedReplayTrace(factory, *trace, opts);
+            cell.cacheName = result.name;
+            cell.target = result.stats;
+        }
+        cell.stats = cell.target.l1;
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
 } // anonymous namespace
 
 int
@@ -399,6 +481,8 @@ main(int argc, char **argv)
     std::size_t search_random = 8;
     std::uint64_t seed = 1;
     unsigned threads = std::thread::hardware_concurrency();
+    unsigned shards = 0; // 0 = sharding not requested
+    std::uint64_t warmup = ShardOptions{}.warmupRecords;
     TargetSpec spec;
 
     for (int i = 1; i < argc; ++i) {
@@ -434,6 +518,11 @@ main(int argc, char **argv)
         else if (!std::strcmp(arg, "--threads"))
             threads = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
+        else if (!std::strcmp(arg, "--shards"))
+            shards = static_cast<unsigned>(
+                std::strtoul(argValue(argc, argv, i), nullptr, 0));
+        else if (!std::strcmp(arg, "--warmup"))
+            warmup = std::strtoull(argValue(argc, argv, i), nullptr, 0);
         else if (!std::strcmp(arg, "--size"))
             spec.org.sizeBytes = std::strtoull(argValue(argc, argv, i),
                                                nullptr, 0);
@@ -551,13 +640,52 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const std::vector<std::string> labels =
+        compare ? standardTargetLabels()
+                : std::vector<std::string>{org};
+
+    if (shards > 0) {
+        // Time-sharded replay of the single trace (the sweep path
+        // parallelizes across targets; this parallelizes within one).
+        for (const std::string &label : labels) {
+            if (!OrgRegistry::global().knownTarget(label))
+                fatal("unknown simulation target '%s'", label.c_str());
+        }
+        ShardOptions opts;
+        opts.shards = shards;
+        opts.threads = threads;
+        opts.warmupRecords = warmup;
+        const std::vector<SweepCell> cells =
+            runSharded(trace_path, labels, spec, opts, stream, csv);
+        if (csv) {
+            std::printf("%s", sweepCsv(cells).c_str());
+            return 0;
+        }
+        TextTable table;
+        table.header({"target", "cache", "loads", "load miss%",
+                      "overall miss%", "L2 miss%", "holes"});
+        for (const SweepCell &cell : cells) {
+            const TargetStats &t = cell.target;
+            table.beginRow();
+            table.cell(cell.org);
+            table.cell(cell.cacheName);
+            table.cell(static_cast<long long>(cell.stats.loads));
+            table.cell(100.0 * cell.stats.loadMissRatio(), 2);
+            table.cell(100.0 * cell.stats.missRatio(), 2);
+            table.cell(optionalCell(t.hasHierarchy,
+                                    100.0 * t.l2.missRatio(), 2));
+            table.cell(t.hasHierarchy
+                           ? std::to_string(t.holes.holesCreated)
+                           : std::string("-"));
+        }
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+
     SweepRunner sweep(threads);
     sweep.setTargetSpec(spec);
-    for (const std::string &label :
-         compare ? standardTargetLabels()
-                 : std::vector<std::string>{org}) {
+    for (const std::string &label : labels)
         sweep.addTarget(label);
-    }
 
     if (stream) {
         // Chunked replay from disk: only the header is read up front.
