@@ -29,7 +29,14 @@
  *     (core/shard_replay.hh) through the headline organization at 1,
  *     2 and 4 shards, in records per second. Near-linear scaling
  *     needs as many cores as shards; on fewer cores the ratios
- *     measure the sharding overhead instead.
+ *     measure the sharding overhead instead;
+ *  8. integrity (schema 6) — the cost of trace integrity checking:
+ *     the same trace streamed from a legacy CACTRC01 file, from a
+ *     CACTRC02 file with checksum verification disabled, and from a
+ *     CACTRC02 file fully CRC-verified. The acceptance gate
+ *     (tools/check_perf.py) requires verified_aps >= 0.9 x
+ *     unverified_aps — integrity must cost under 10% of streamed
+ *     throughput.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -115,6 +122,15 @@ struct StreamingResult
     double streamedAps = 0.0;
 };
 
+/** Integrity-checking overhead on the streamed path (schema 6). */
+struct IntegrityPerf
+{
+    std::size_t records = 0;
+    double v1StreamedAps = 0.0;   ///< CACTRC01 (no checksums to check)
+    double unverifiedAps = 0.0;   ///< CACTRC02, verifyChecksums=false
+    double verifiedAps = 0.0;     ///< CACTRC02, full CRC verification
+};
+
 /** One --threads point of the index-search throughput measurement. */
 struct SearchRun
 {
@@ -163,7 +179,8 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           const std::vector<OrgResult> &orgs, std::size_t sweep_cells,
           std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
           const StreamingResult &streaming, const AnalysisResult &analysis,
-          const ScenarioPerf &scenario, const ShardedPerf &sharded)
+          const ScenarioPerf &scenario, const ShardedPerf &sharded,
+          const IntegrityPerf &integrity)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -172,7 +189,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 5,\n");
+    std::fprintf(f, "  \"schema\": 6,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -251,6 +268,15 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
                      i + 1 < sharded.runs.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"integrity\": {\n");
+    std::fprintf(f, "    \"records\": %zu,\n", integrity.records);
+    std::fprintf(f, "    \"v1_streamed_aps\": %.0f,\n",
+                 integrity.v1StreamedAps);
+    std::fprintf(f, "    \"unverified_aps\": %.0f,\n",
+                 integrity.unverifiedAps);
+    std::fprintf(f, "    \"verified_aps\": %.0f\n",
+                 integrity.verifiedAps);
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -522,9 +548,60 @@ main(int argc, char **argv)
         }
     }
 
+    // Integrity overhead: identical trace content streamed through the
+    // headline organization from a CACTRC01 file (nothing to verify),
+    // a CACTRC02 file with verification off (framing only), and a
+    // CACTRC02 file fully CRC-verified. verified vs unverified is the
+    // <10% acceptance gate.
+    IntegrityPerf integrity;
+    {
+        Trace trace;
+        TraceBuilder builder(trace);
+        for (std::uint64_t addr : stream)
+            builder.load(addr, reg::r(1), reg::r(30));
+        integrity.records = trace.size();
+
+        const std::string base =
+            (std::filesystem::temp_directory_path()
+             / ("cac_perf_integrity." + std::to_string(getpid())))
+                .string();
+        const std::string v1_path = base + ".v1.trc";
+        const std::string v2_path = base + ".v2.trc";
+        writeTrace(trace, v1_path, TraceFormat::V1);
+        writeTrace(trace, v2_path, TraceFormat::V2);
+
+        const auto measure = [&](const std::string &path,
+                                 bool verify) {
+            CacheTarget target(makeOrganization("a2-Hp-Sk", spec));
+            TraceReaderOptions opts;
+            opts.verifyChecksums = verify;
+            return measureThroughput(min_seconds, [&] {
+                const std::uint64_t before =
+                    target.model().stats().accesses();
+                TraceReader reader(path, opts);
+                replayAll(reader, target);
+                target.finish();
+                return target.model().stats().accesses() - before;
+            }).unitsPerSec;
+        };
+        integrity.v1StreamedAps = measure(v1_path, true);
+        integrity.unverifiedAps = measure(v2_path, false);
+        integrity.verifiedAps = measure(v2_path, true);
+        std::remove(v1_path.c_str());
+        std::remove(v2_path.c_str());
+        std::printf("integrity %14.0f aps v1, %14.0f unverified, "
+                    "%14.0f verified (%.1f%% cost)\n",
+                    integrity.v1StreamedAps, integrity.unverifiedAps,
+                    integrity.verifiedAps,
+                    100.0
+                        * (1.0
+                           - integrity.verifiedAps
+                                 / integrity.unverifiedAps));
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
               sweep_accesses, sweep_results, streaming, analysis,
-              scenario_perf, sharded_perf);
+              scenario_perf, sharded_perf, integrity);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

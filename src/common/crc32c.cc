@@ -1,0 +1,271 @@
+#include "common/crc32c.hh"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CAC_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
+
+namespace cac
+{
+
+namespace
+{
+
+constexpr std::uint32_t kPoly = 0x82F63B78u; // CRC32C, reflected
+
+/** Slice-by-8 tables: table[t][b] advances byte b by t+1 positions. */
+struct SliceTables
+{
+    std::uint32_t table[8][256];
+
+    SliceTables()
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+            table[0][i] = c;
+        }
+        for (unsigned i = 0; i < 256; ++i) {
+            for (int t = 1; t < 8; ++t) {
+                table[t][i] = (table[t - 1][i] >> 8)
+                              ^ table[0][table[t - 1][i] & 0xff];
+            }
+        }
+    }
+};
+
+const SliceTables &
+tables()
+{
+    static const SliceTables t;
+    return t;
+}
+
+/**
+ * GF(2) 32x32 matrix arithmetic for CRC stream combination (the zlib
+ * crc32_combine construction). A CRC register is a degree-31
+ * polynomial; appending N zero bytes multiplies it by x^(8N) mod P,
+ * which is a linear map — representable as a bit matrix and built in
+ * O(log N) squarings.
+ */
+std::uint32_t
+gf2MatTimesVec(const std::uint32_t *mat, std::uint32_t vec)
+{
+    std::uint32_t sum = 0;
+    for (int i = 0; vec; ++i, vec >>= 1) {
+        if (vec & 1)
+            sum ^= mat[i];
+    }
+    return sum;
+}
+
+void
+gf2MatSquare(std::uint32_t *out, const std::uint32_t *m)
+{
+    for (int i = 0; i < 32; ++i)
+        out[i] = gf2MatTimesVec(m, m[i]);
+}
+
+/** The "advance a CRC register past len zero bytes" operator. */
+struct ZeroShift
+{
+    std::uint32_t mat[32];
+
+    explicit ZeroShift(std::size_t len)
+    {
+        // Identity, in case len == 0.
+        for (int i = 0; i < 32; ++i)
+            mat[i] = 1u << i;
+        if (len == 0)
+            return;
+
+        // x^1 operator (one zero *bit*): column i maps bit i to bit
+        // i-1, bit 0 folds into the polynomial.
+        std::uint32_t op[32];
+        op[0] = kPoly;
+        for (int i = 1; i < 32; ++i)
+            op[i] = 1u << (i - 1);
+
+        // Square up to the x^8 operator (one zero byte)...
+        std::uint32_t tmp[32];
+        gf2MatSquare(tmp, op);  // x^2
+        gf2MatSquare(op, tmp);  // x^4
+        gf2MatSquare(tmp, op);  // x^8
+        std::memcpy(op, tmp, sizeof(op));
+
+        // ...then square-and-multiply over the byte count.
+        bool first = true;
+        std::size_t l = len;
+        while (l) {
+            if (l & 1) {
+                if (first) {
+                    std::memcpy(mat, op, sizeof(mat));
+                    first = false;
+                } else {
+                    for (int i = 0; i < 32; ++i)
+                        tmp[i] = gf2MatTimesVec(op, mat[i]);
+                    std::memcpy(mat, tmp, sizeof(mat));
+                }
+            }
+            gf2MatSquare(tmp, op);
+            std::memcpy(op, tmp, sizeof(op));
+            l >>= 1;
+        }
+    }
+
+    std::uint32_t apply(std::uint32_t crc) const
+    {
+        return gf2MatTimesVec(mat, crc);
+    }
+};
+
+std::uint32_t
+portableRaw(const std::uint8_t *p, std::size_t n, std::uint32_t reg)
+{
+    const SliceTables &t = tables();
+    while (n >= 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p, 8);
+        w ^= reg;
+        reg = t.table[7][w & 0xff] ^ t.table[6][(w >> 8) & 0xff]
+              ^ t.table[5][(w >> 16) & 0xff]
+              ^ t.table[4][(w >> 24) & 0xff]
+              ^ t.table[3][(w >> 32) & 0xff]
+              ^ t.table[2][(w >> 40) & 0xff]
+              ^ t.table[1][(w >> 48) & 0xff]
+              ^ t.table[0][(w >> 56) & 0xff];
+        p += 8;
+        n -= 8;
+    }
+    while (n--)
+        reg = (reg >> 8) ^ t.table[0][(reg ^ *p++) & 0xff];
+    return reg;
+}
+
+#ifdef CAC_CRC32C_X86
+
+/** Below this, the 3-way split's combine overhead beats its gain. */
+constexpr std::size_t kThreeWayMinBytes = 3 * 256;
+
+__attribute__((target("sse4.2"))) std::uint32_t
+hwRaw(const std::uint8_t *p, std::size_t n, std::uint32_t reg)
+{
+    std::uint64_t c = reg;
+    while (n >= 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p, 8);
+        c = _mm_crc32_u64(c, w);
+        p += 8;
+        n -= 8;
+    }
+    std::uint32_t c32 = static_cast<std::uint32_t>(c);
+    while (n--)
+        c32 = _mm_crc32_u8(c32, *p++);
+    return c32;
+}
+
+/**
+ * Three independent crc32q dependency chains over contiguous thirds,
+ * merged with the zero-shift operator for one third's length. The
+ * operator matrix is memoized per thread for the last part length —
+ * chunk payloads have one fixed size, so steady-state replay never
+ * rebuilds it.
+ */
+__attribute__((target("sse4.2"))) std::uint32_t
+hw3Raw(const std::uint8_t *p, std::size_t n, std::uint32_t reg,
+       const ZeroShift &shift, std::size_t part)
+{
+    std::uint64_t a = reg, b = 0, c = 0;
+    const std::uint8_t *pa = p;
+    const std::uint8_t *pb = p + part;
+    const std::uint8_t *pc = p + 2 * part;
+    for (std::size_t i = 0; i < part / 8; ++i) {
+        std::uint64_t wa, wb, wc;
+        std::memcpy(&wa, pa, 8);
+        std::memcpy(&wb, pb, 8);
+        std::memcpy(&wc, pc, 8);
+        a = _mm_crc32_u64(a, wa);
+        b = _mm_crc32_u64(b, wb);
+        c = _mm_crc32_u64(c, wc);
+        pa += 8;
+        pb += 8;
+        pc += 8;
+    }
+    std::uint32_t comb =
+        shift.apply(static_cast<std::uint32_t>(a))
+        ^ static_cast<std::uint32_t>(b);
+    comb = shift.apply(comb) ^ static_cast<std::uint32_t>(c);
+    return hwRaw(p + 3 * part, n - 3 * part, comb);
+}
+
+std::uint32_t
+hwCrc(const std::uint8_t *p, std::size_t n, std::uint32_t reg)
+{
+    if (n < kThreeWayMinBytes)
+        return hwRaw(p, n, reg);
+
+    // Contiguous thirds, rounded to whole 64-bit words; the remainder
+    // runs as a serial tail.
+    const std::size_t part = (n / 3) & ~std::size_t{7};
+
+    struct CachedShift
+    {
+        std::size_t part = 0;
+        ZeroShift shift{0};
+    };
+    thread_local CachedShift cached;
+    if (cached.part != part) {
+        cached.shift = ZeroShift(part);
+        cached.part = part;
+    }
+    return hw3Raw(p, n, reg, cached.shift, part);
+}
+
+bool
+detectHardware()
+{
+    return __builtin_cpu_supports("sse4.2");
+}
+
+#else
+
+bool
+detectHardware()
+{
+    return false;
+}
+
+#endif // CAC_CRC32C_X86
+
+} // anonymous namespace
+
+std::uint32_t
+crc32cPortable(const void *data, std::size_t len, std::uint32_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    return ~portableRaw(p, len, ~seed);
+}
+
+bool
+crc32cHardwareAvailable()
+{
+    static const bool available = detectHardware();
+    return available;
+}
+
+std::uint32_t
+crc32c(const void *data, std::size_t len, std::uint32_t seed)
+{
+#ifdef CAC_CRC32C_X86
+    if (crc32cHardwareAvailable()) {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        return ~hwCrc(p, len, ~seed);
+    }
+#endif
+    return crc32cPortable(data, len, seed);
+}
+
+} // namespace cac

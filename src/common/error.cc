@@ -1,0 +1,64 @@
+#include "common/error.hh"
+
+namespace cac
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None:
+        return "none";
+      case ErrorCode::OpenFailed:
+        return "open_failed";
+      case ErrorCode::ReadFailed:
+        return "read_failed";
+      case ErrorCode::SeekFailed:
+        return "seek_failed";
+      case ErrorCode::BadMagic:
+        return "bad_magic";
+      case ErrorCode::BadFileHeader:
+        return "bad_file_header";
+      case ErrorCode::Truncated:
+        return "truncated";
+      case ErrorCode::BadChunkHeader:
+        return "bad_chunk_header";
+      case ErrorCode::ChecksumMismatch:
+        return "checksum_mismatch";
+      case ErrorCode::BadRecord:
+        return "bad_record";
+      case ErrorCode::WorkerFailed:
+        return "worker_failed";
+      case ErrorCode::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+std::string
+Error::message() const
+{
+    if (!detail.empty())
+        return detail;
+    if (ok())
+        return std::string();
+    std::string msg = errorCodeName(code);
+    if (!context.empty())
+        msg = context + ": " + msg;
+    return msg;
+}
+
+Error
+Error::make(ErrorCode code, std::string detail, std::string context,
+            std::uint64_t byte_offset, std::uint64_t chunk_index)
+{
+    Error err;
+    err.code = code;
+    err.detail = std::move(detail);
+    err.context = std::move(context);
+    err.byteOffset = byte_offset;
+    err.chunkIndex = chunk_index;
+    return err;
+}
+
+} // namespace cac

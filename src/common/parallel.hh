@@ -9,6 +9,12 @@
  * output the caller owns. Workers pull the next unclaimed index, so
  * the *timing* of calls varies run to run but the index->slot mapping
  * never does — results are identical at any worker count.
+ *
+ * Exception contract: an exception escaping fn(i) does not terminate
+ * the process (which is what a bare std::thread would do). The first
+ * one is captured, the remaining iterations still run, and the
+ * exception is rethrown on the caller's thread after all workers have
+ * joined — so a poisoned iteration cannot strand the others half-done.
  */
 
 #ifndef CAC_COMMON_PARALLEL_HH
@@ -17,6 +23,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -43,10 +51,18 @@ parallelFor(unsigned threads, std::size_t count, Fn &&fn)
     }
 
     std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
     auto worker = [&] {
         for (std::size_t i = next.fetch_add(1); i < count;
              i = next.fetch_add(1)) {
-            fn(i);
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
         }
     };
 
@@ -56,6 +72,8 @@ parallelFor(unsigned threads, std::size_t count, Fn &&fn)
         pool.emplace_back(worker);
     for (auto &thread : pool)
         thread.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace cac

@@ -26,6 +26,15 @@
  * timing state (in-flight instructions, cycle counts) cannot be
  * attributed to a time slice, so Cpu targets are rejected — drivers
  * fall back to monolithic replay for them.
+ *
+ * Resilience: shards read their slice under the Strict policy even
+ * when the caller asked for Skip/Resync — a shard that silently
+ * dropped records would shift its slice boundaries and corrupt the
+ * reconciliation rule. When any shard fails (damaged trace, rejected
+ * target, worker exception), the engine logs a note and falls back to
+ * one monolithic replay under the caller's requested policy, so a
+ * damaged-but-recoverable trace still produces a result — flagged via
+ * ShardedReplayResult::fellBack with exact drop totals in ::read.
  */
 
 #ifndef CAC_CORE_SHARD_REPLAY_HH
@@ -37,7 +46,9 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "core/sim_target.hh"
+#include "trace/io.hh"
 #include "trace/record.hh"
 
 namespace cac
@@ -61,6 +72,14 @@ struct ShardOptions
      * the default covers an 8 KB L1 many times over.
      */
     std::uint64_t warmupRecords = 65536;
+
+    /**
+     * Reader configuration for file replay (policy, checksum
+     * verification, fault injection). Shards force the policy to
+     * Strict internally (see the header comment); the requested policy
+     * applies to the monolithic fallback.
+     */
+    TraceReaderOptions read;
 };
 
 /** Where one shard's slice and warm-up window fell in the trace. */
@@ -83,22 +102,42 @@ struct ShardedReplayResult
 
     /** Per-shard slice boundaries, index order. */
     std::vector<ShardSlice> slices;
+
+    /** True when sharded replay failed and the result is monolithic. */
+    bool fellBack = false;
+
+    /** Human-readable reason for the fallback (empty otherwise). */
+    std::string note;
+
+    /**
+     * Set when even the monolithic fallback failed; stats are then
+     * meaningless. ok() (code None) in every successful replay.
+     */
+    Error error;
+
+    /** Degradation totals from the trace readers (file replay only). */
+    ReadStats read;
+
+    /** True when every requested record went into the stats intact. */
+    bool complete() const { return error.ok() && !read.degraded(); }
 };
 
 /**
  * Shard-replay an in-memory trace across @p opts.shards slices.
- * Fatal if the factory produces a CPU target and shards > 1.
+ * A factory that produces a CPU target with shards > 1 triggers the
+ * monolithic fallback (fellBack + note in the result).
  */
 ShardedReplayResult shardedReplayTrace(const TargetFactory &factory,
                                        const Trace &trace,
                                        const ShardOptions &opts);
 
 /**
- * Shard-replay a CACTRC01 trace file: each shard opens its own
- * TraceReader and seeks to its warm-up window, so replay memory stays
- * bounded by shards x chunk size. Statistics are identical to
- * shardedReplayTrace() on the same records. Fatal on a malformed or
- * truncated file.
+ * Shard-replay a CACTRC01/CACTRC02 trace file: each shard opens its
+ * own TraceReader and seeks to its warm-up window, so replay memory
+ * stays bounded by shards x chunk size. Statistics are identical to
+ * shardedReplayTrace() on the same records. A damaged file triggers
+ * the monolithic fallback under opts.read.policy; check
+ * result.error/result.read — nothing here exits the process.
  */
 ShardedReplayResult shardedReplayFile(const TargetFactory &factory,
                                       const std::string &path,

@@ -363,8 +363,8 @@ OrgRegistry::buildTarget(const std::string &label,
     return std::make_unique<CacheTarget>(build(label, spec.org));
 }
 
-void
-replayAll(TraceReader &reader, SimTarget &target)
+bool
+tryReplayAll(TraceReader &reader, SimTarget &target, Error *error)
 {
     while (true) {
         const std::vector<TraceRecord> &chunk = reader.next();
@@ -372,8 +372,20 @@ replayAll(TraceReader &reader, SimTarget &target)
             break;
         target.replay(chunk.data(), chunk.size());
     }
-    if (!reader.ok())
-        fatal("%s", reader.error().c_str());
+    if (!reader.ok()) {
+        if (error)
+            *error = reader.errorInfo();
+        return false;
+    }
+    return true;
+}
+
+void
+replayAll(TraceReader &reader, SimTarget &target)
+{
+    Error error;
+    if (!tryReplayAll(reader, target, &error))
+        fatal("%s", error.message().c_str());
 }
 
 std::vector<std::string>

@@ -231,12 +231,17 @@ class CpuTarget : public SimTarget
 };
 
 /**
- * Replay every remaining chunk of @p reader into @p target; fatal
- * (with the reader's byte-offset diagnostic) on a malformed or
+ * Replay every remaining chunk of @p reader into @p target; false
+ * (with the reader's structured error in @p error) on a malformed or
  * truncated file. The one streaming drain loop every driver shares.
  * Does not call target.finish() — the caller decides when the stream
- * ends.
+ * ends. Under a non-strict read policy, recoverable damage does not
+ * fail the replay — check reader.readStats() for drops.
  */
+bool tryReplayAll(TraceReader &reader, SimTarget &target,
+                  Error *error = nullptr);
+
+/** tryReplayAll(), but fatal with the reader's diagnostic instead. */
 void replayAll(TraceReader &reader, SimTarget &target);
 
 } // namespace cac

@@ -1,5 +1,7 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -10,6 +12,49 @@
 
 namespace cac
 {
+
+namespace
+{
+
+/**
+ * Cooperative per-cell deadline: check() throws a Timeout CacError
+ * once the wall-clock budget is spent. Callers invoke it between
+ * chunks/batches, so a runaway cell is cancelled at the next chunk
+ * boundary instead of hanging the sweep.
+ */
+class CellDeadline
+{
+  public:
+    explicit CellDeadline(unsigned ms)
+        : ms_(ms), start_(std::chrono::steady_clock::now())
+    {}
+
+    void
+    check(const std::string &what) const
+    {
+        if (ms_ == 0)
+            return;
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        if (elapsed > static_cast<long long>(ms_)) {
+            throw CacError(Error::make(
+                ErrorCode::Timeout,
+                what + ": cell exceeded its " + std::to_string(ms_)
+                    + " ms deadline"));
+        }
+    }
+
+  private:
+    unsigned ms_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Batch size for deadline checks on in-memory workloads. */
+constexpr std::size_t kDeadlineBatch = 65536;
+
+} // anonymous namespace
 
 SweepRunner::SweepRunner(unsigned threads)
 {
@@ -122,6 +167,26 @@ SweepRunner::addTraceFileWorkload(const std::string &name,
 }
 
 void
+SweepRunner::addTraceFileWorkload(const std::string &name,
+                                  const std::string &path,
+                                  const TraceReaderOptions &options)
+{
+    // Probe without the workload's injection/policy: add-time failures
+    // are caller configuration errors, not simulated storage faults.
+    TraceReader probe(path);
+    if (!probe.ok())
+        fatal("%s", probe.error().c_str());
+
+    Workload w;
+    w.name = name;
+    w.tracePath = path;
+    w.chunkRecords =
+        options.chunkRecords > 0 ? options.chunkRecords : 1;
+    w.read = options;
+    workloads_.push_back(std::move(w));
+}
+
+void
 SweepRunner::addScenarioWorkload(const std::string &name,
                                  std::shared_ptr<const Scenario> scenario,
                                  std::size_t chunk_records)
@@ -155,6 +220,73 @@ SweepRunner::materializeWorkloads() const
     return materialized;
 }
 
+void
+SweepRunner::runCellBody(SweepCell &cell, const Workload &workload,
+                         SimTarget &target,
+                         const std::vector<SharedAddrs> &materialized,
+                         std::size_t wi) const
+{
+    const CellDeadline deadline(cell_deadline_ms_);
+    const std::string where = workload.name + " x " + cell.org;
+
+    if (workload.scenario) {
+        // Multiprogrammed replay: segments + switch policy, with the
+        // per-program attribution landing in the cell.
+        ScenarioResult scenario_result = workload.scenario->replayInto(
+            target, workload.scenarioChunkRecords);
+        cell.programs = std::move(scenario_result.programs);
+        deadline.check(where);
+    } else if (!workload.tracePath.empty()) {
+        // Streamed replay: this cell's private reader, chunk by chunk,
+        // under the workload's (or the runner's) read options.
+        TraceReaderOptions options =
+            workload.read ? *workload.read : read_options_;
+        options.chunkRecords = workload.chunkRecords;
+        TraceReader reader(workload.tracePath, options);
+        if (!reader.ok())
+            throw CacError(reader.errorInfo());
+        while (true) {
+            const std::vector<TraceRecord> &chunk = reader.next();
+            if (chunk.empty())
+                break;
+            target.replay(chunk.data(), chunk.size());
+            deadline.check(where);
+        }
+        cell.read = reader.readStats();
+        if (!reader.ok())
+            throw CacError(reader.errorInfo());
+    } else if (workload.trace) {
+        // Feed in slices only when a deadline wants mid-stream checks;
+        // the single-call fast path stays the default.
+        const Trace &trace = *workload.trace;
+        const std::size_t batch =
+            cell_deadline_ms_ > 0 ? kDeadlineBatch : trace.size();
+        for (std::size_t at = 0; at < trace.size(); at += batch) {
+            const std::size_t run =
+                std::min(batch, trace.size() - at);
+            target.replay(trace.data() + at, run);
+            deadline.check(where);
+        }
+    } else {
+        const std::vector<std::uint64_t> &addrs =
+            workload.addrs ? *workload.addrs : *materialized[wi];
+        const std::size_t batch =
+            cell_deadline_ms_ > 0 ? kDeadlineBatch : addrs.size();
+        for (std::size_t at = 0; at < addrs.size(); at += batch) {
+            const std::size_t run =
+                std::min(batch, addrs.size() - at);
+            target.accessBatch(addrs.data() + at, run, false);
+            deadline.check(where);
+        }
+    }
+    target.finish();
+
+    cell.target = target.stats();
+    cell.stats = cell.target.l1;
+    if (observer_)
+        observer_(cell, target);
+}
+
 SweepCell
 SweepRunner::runCell(std::size_t index,
                      const std::vector<SharedAddrs> &materialized) const
@@ -163,39 +295,37 @@ SweepRunner::runCell(std::size_t index,
     const Workload &workload = workloads_[wi];
     const Target &target_entry = targets_[index % targets_.size()];
 
-    std::unique_ptr<SimTarget> target = target_entry.build();
-    CAC_ASSERT(target != nullptr);
-
     SweepCell cell;
     cell.workload = workload.name;
     cell.org = target_entry.label;
-    cell.cacheName = target->name();
 
-    if (workload.scenario) {
-        // Multiprogrammed replay: segments + switch policy, with the
-        // per-program attribution landing in the cell.
-        ScenarioResult scenario_result = workload.scenario->replayInto(
-            *target, workload.scenarioChunkRecords);
-        cell.programs = std::move(scenario_result.programs);
-    } else if (!workload.tracePath.empty()) {
-        // Streamed replay: this cell's private reader, chunk by chunk.
-        TraceReader reader(workload.tracePath, workload.chunkRecords);
-        replayAll(reader, *target);
-    } else if (workload.trace) {
-        target->replay(workload.trace->data(), workload.trace->size());
-    } else if (workload.addrs) {
-        target->accessBatch(workload.addrs->data(),
-                            workload.addrs->size(), false);
-    } else {
-        const std::vector<std::uint64_t> &addrs = *materialized[wi];
-        target->accessBatch(addrs.data(), addrs.size(), false);
+    // Quarantine: whatever goes wrong in this cell — strict-policy
+    // damage, a blown deadline, a worker exception — lands in the
+    // cell's failed/error fields and the rest of the grid still runs.
+    try {
+        std::unique_ptr<SimTarget> target = target_entry.build();
+        CAC_ASSERT(target != nullptr);
+        cell.cacheName = target->name();
+        runCellBody(cell, workload, *target, materialized, wi);
+    } catch (const CacError &e) {
+        cell.failed = true;
+        cell.error = e.err();
+    } catch (const std::exception &e) {
+        cell.failed = true;
+        cell.error = Error::make(ErrorCode::WorkerFailed,
+                                 cell.workload + " x " + cell.org
+                                     + ": " + e.what());
+    } catch (...) {
+        cell.failed = true;
+        cell.error = Error::make(ErrorCode::WorkerFailed,
+                                 cell.workload + " x " + cell.org
+                                     + ": unknown exception");
     }
-    target->finish();
-
-    cell.target = target->stats();
-    cell.stats = cell.target.l1;
-    if (observer_)
-        observer_(cell, *target);
+    if (cell.failed) {
+        cell.stats = CacheStats{};
+        cell.target = TargetStats{};
+        cell.programs.clear();
+    }
     return cell;
 }
 
@@ -224,10 +354,24 @@ SweepRunner::run() const
 std::string
 sweepCsv(const std::vector<SweepCell> &cells)
 {
+    // The historical column set stays byte-identical for healthy
+    // sweeps (CI diffs golden CSVs against it); the resilience columns
+    // appear exactly when they carry information.
+    bool extended = false;
+    for (const SweepCell &cell : cells) {
+        if (cell.failed || cell.read.degraded()) {
+            extended = true;
+            break;
+        }
+    }
+
     std::string out =
         "workload,organization,cache,loads,stores,load_misses,"
         "store_misses,load_miss_pct,miss_pct,l2_miss_pct,holes,"
-        "inclusion_invalidates,ipc,cycles\n";
+        "inclusion_invalidates,ipc,cycles";
+    if (extended)
+        out += ",dropped_records,status";
+    out += '\n';
     char numbers[224];
     for (const SweepCell &cell : cells) {
         std::snprintf(numbers, sizeof(numbers),
@@ -269,6 +413,15 @@ sweepCsv(const std::vector<SweepCell> &cells)
             out += numbers;
         } else {
             out += ",,";
+        }
+        if (extended) {
+            std::snprintf(numbers, sizeof(numbers), ",%llu,%s",
+                          static_cast<unsigned long long>(
+                              cell.read.droppedRecords),
+                          cell.failed ? "failed"
+                          : cell.read.degraded() ? "degraded"
+                                                 : "ok");
+            out += numbers;
         }
         out += '\n';
     }

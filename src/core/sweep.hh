@@ -20,6 +20,16 @@
  * instruction traces, and *streamed* trace files, which every cell
  * replays through its own chunked TraceReader so memory stays bounded
  * by the chunk size however long the trace is.
+ *
+ * Resilience: a cell that fails — damaged trace under the strict
+ * policy, a worker exception, or a blown per-cell deadline
+ * (setCellDeadline()) — is quarantined: its SweepCell comes back with
+ * failed/error set and zeroed stats, and every other cell still runs
+ * to completion. Cells reading under Skip/Resync (setReadOptions())
+ * complete with exact drop totals in SweepCell::read; sweepCsv() adds
+ * dropped_records/status columns exactly when some cell was degraded
+ * or failed, so healthy sweeps keep the historical column set and
+ * degraded results are never silently reported as exact.
  */
 
 #ifndef CAC_CORE_SWEEP_HH
@@ -28,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +67,22 @@ struct SweepCell
      * (one entry per co-scheduled program, in schedule order).
      */
     std::vector<ScenarioProgramStats> programs;
+
+    /**
+     * True when this cell did not produce usable stats (strict-policy
+     * damage, worker exception, blown deadline); @ref error has the
+     * diagnostic. The rest of the grid is unaffected.
+     */
+    bool failed = false;
+
+    /** Structured failure when @ref failed (code None otherwise). */
+    Error error;
+
+    /**
+     * Degradation totals from this cell's trace reader (streamed
+     * workloads under Skip/Resync; all-zero for healthy cells).
+     */
+    ReadStats read;
 };
 
 /** Grid executor for (target x workload) sweeps. */
@@ -83,6 +110,36 @@ class SweepRunner
 
     void setThreads(unsigned threads);
     unsigned threads() const { return threads_; }
+
+    /**
+     * Reader configuration (policy, checksum verification, fault
+     * injection) for every streamed trace-file cell added *without* a
+     * per-workload override. chunkRecords here is ignored — the
+     * workload's own chunk size wins.
+     */
+    void setReadOptions(const TraceReaderOptions &options)
+    {
+        read_options_ = options;
+    }
+
+    const TraceReaderOptions &readOptions() const
+    {
+        return read_options_;
+    }
+
+    /**
+     * Soft per-cell deadline in milliseconds (0 = none). Checked
+     * cooperatively between replay chunks/batches, so a cell overruns
+     * by at most one chunk before it is cancelled with a Timeout error
+     * — the rest of the grid still completes. Scenario cells are
+     * checked only at segment granularity.
+     */
+    void setCellDeadline(unsigned deadline_ms)
+    {
+        cell_deadline_ms_ = deadline_ms;
+    }
+
+    unsigned cellDeadline() const { return cell_deadline_ms_; }
 
     /** Spec handed to registry-built targets added after this. */
     void setSpec(const OrgSpec &spec) { spec_.org = spec; }
@@ -152,6 +209,15 @@ class SweepRunner
         std::size_t chunk_records = TraceReader::kDefaultChunkRecords);
 
     /**
+     * Streamed trace-file workload with its own reader configuration
+     * (overrides setReadOptions() for this workload only): policy,
+     * checksum verification, fault injection, chunk size.
+     */
+    void addTraceFileWorkload(const std::string &name,
+                              const std::string &path,
+                              const TraceReaderOptions &options);
+
+    /**
      * Add a multiprogrammed scenario workload (scenario/scenario.hh):
      * every cell replays the shared composed trace segment by segment
      * under the scenario's context-switch policy, and its SweepCell
@@ -215,11 +281,13 @@ class SweepRunner
         std::shared_ptr<const std::vector<std::uint64_t>> addrs;
         std::function<std::vector<std::uint64_t>()> generate;
         std::shared_ptr<const Trace> trace;
-        std::string tracePath; ///< streamed CACTRC01 file
+        std::string tracePath; ///< streamed CACTRC01/02 file
         std::shared_ptr<const Scenario> scenario;
         std::size_t chunkRecords = TraceReader::kDefaultChunkRecords;
         /** Scenario chunking (0 = whole segments). */
         std::size_t scenarioChunkRecords = 0;
+        /** Per-workload reader override (else the runner's). */
+        std::optional<TraceReaderOptions> read;
     };
 
     /** Shared immutable address buffer, one per workload slot. */
@@ -236,18 +304,29 @@ class SweepRunner
     SweepCell runCell(std::size_t index,
                       const std::vector<SharedAddrs> &materialized) const;
 
+    /** The throwing inner body runCell() contains. */
+    void runCellBody(SweepCell &cell, const Workload &workload,
+                     SimTarget &target,
+                     const std::vector<SharedAddrs> &materialized,
+                     std::size_t wi) const;
+
     unsigned threads_;
     TargetSpec spec_;
     CellObserver observer_;
     std::vector<Target> targets_;
     std::vector<Workload> workloads_;
+    TraceReaderOptions read_options_;
+    unsigned cell_deadline_ms_ = 0;
 };
 
 /**
  * Render sweep results as CSV (header + one line per cell), for
  * machine-readable sweep output (cac_sim --csv). Hierarchy and CPU
  * columns (l2_miss_pct, holes, inclusion_invalidates, ipc, cycles) are
- * empty for targets they do not apply to.
+ * empty for targets they do not apply to. When any cell was degraded
+ * or failed, two extra columns (dropped_records, status) are appended
+ * to every row — healthy sweeps keep the historical column set
+ * byte-for-byte.
  */
 std::string sweepCsv(const std::vector<SweepCell> &cells);
 

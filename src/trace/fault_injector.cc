@@ -1,0 +1,140 @@
+#include "trace/fault_injector.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace cac
+{
+
+namespace
+{
+
+/** Split "key=value,key=value" at commas; empty pieces are skipped. */
+bool
+parseOne(const std::string &piece, FaultInjector::Spec &spec,
+         std::string *error)
+{
+    const std::size_t eq = piece.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= piece.size()) {
+        if (error)
+            *error = "bad inject option '" + piece
+                     + "' (want key=value)";
+        return false;
+    }
+    const std::string key = piece.substr(0, eq);
+    const std::string value = piece.substr(eq + 1);
+    char *end = nullptr;
+    if (key == "seed") {
+        spec.seed = std::strtoull(value.c_str(), &end, 0);
+    } else if (key == "flip") {
+        spec.flipPerByte = std::strtod(value.c_str(), &end);
+    } else if (key == "short") {
+        spec.shortReadProb = std::strtod(value.c_str(), &end);
+    } else if (key == "fail") {
+        spec.transientProb = std::strtod(value.c_str(), &end);
+    } else if (key == "burst") {
+        spec.transientBurst = static_cast<unsigned>(
+            std::strtoul(value.c_str(), &end, 0));
+    } else if (key == "lat") {
+        spec.latencyUs = static_cast<unsigned>(
+            std::strtoul(value.c_str(), &end, 0));
+    } else if (key == "throw") {
+        spec.throwAfterReads = std::strtoull(value.c_str(), &end, 0);
+    } else {
+        if (error)
+            *error = "unknown inject key '" + key
+                     + "' (known: seed, flip, short, fail, burst, lat, "
+                       "throw)";
+        return false;
+    }
+    if (end == nullptr || *end != '\0') {
+        if (error)
+            *error = "bad value in inject option '" + piece + "'";
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+std::optional<FaultInjector::Spec>
+FaultInjector::parseSpec(const std::string &text, std::string *error)
+{
+    Spec spec;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string piece = text.substr(start, comma - start);
+        if (!piece.empty() && !parseOne(piece, spec, error))
+            return std::nullopt;
+        start = comma + 1;
+    }
+    return spec;
+}
+
+FaultInjector::FaultInjector(const Spec &spec)
+    : spec_(spec), rng_(spec.seed)
+{}
+
+std::size_t
+FaultInjector::read(std::FILE *file, void *dst, std::size_t want)
+{
+    ++counters_.reads;
+
+    if (spec_.throwAfterReads != 0
+        && counters_.reads == spec_.throwAfterReads) {
+        // A *foreign* exception, deliberately not part of the Error
+        // taxonomy: it models arbitrary worker-thread failure, so the
+        // containment layers must survive exceptions they do not know.
+        throw std::runtime_error("injected worker fault (read "
+                                 + std::to_string(counters_.reads)
+                                 + ")");
+    }
+
+    if (pending_failures_ > 0
+        || (spec_.transientProb > 0.0
+            && rng_.chance(spec_.transientProb))) {
+        if (pending_failures_ == 0)
+            pending_failures_ = spec_.transientBurst > 0
+                                    ? spec_.transientBurst
+                                    : 1;
+        --pending_failures_;
+        ++counters_.transients;
+        throw TransientIoError(Error::make(
+            ErrorCode::ReadFailed, "injected transient read failure"));
+    }
+
+    if (spec_.latencyUs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(spec_.latencyUs));
+    }
+
+    std::size_t take = want;
+    if (spec_.shortReadProb > 0.0 && want > 1
+        && rng_.chance(spec_.shortReadProb)) {
+        take = 1 + static_cast<std::size_t>(
+                       rng_.nextBelow(static_cast<std::uint64_t>(want)));
+        if (take < want)
+            ++counters_.shortReads;
+    }
+
+    const std::size_t got = std::fread(dst, 1, take, file);
+
+    if (spec_.flipPerByte > 0.0) {
+        auto *bytes = static_cast<std::uint8_t *>(dst);
+        for (std::size_t i = 0; i < got; ++i) {
+            if (rng_.chance(spec_.flipPerByte)) {
+                bytes[i] ^= static_cast<std::uint8_t>(
+                    1u << rng_.nextBelow(8));
+                ++counters_.flippedBits;
+            }
+        }
+    }
+    return got;
+}
+
+} // namespace cac

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic fault injection for the trace I/O layer.
+ *
+ * A FaultInjector sits between TraceReader and fread(), perturbing the
+ * byte stream the way unreliable storage would: flipped bits, short
+ * reads, transient EIO-style failures (optionally in bursts), added
+ * per-read latency, and — for testing worker-thread containment — a
+ * plain thrown exception on the Nth read. Everything is driven by one
+ * seeded xorshift generator, so a given Spec reproduces the exact same
+ * fault sequence on every run; the chaos suite asserts exact
+ * dropped-record accounting on top of that determinism.
+ *
+ * Specs parse from a compact "key=value,key=value" string so the same
+ * faults are reachable from tests and from `cac_sim --inject=SPEC`:
+ *
+ *   seed=N      RNG seed (default 1)
+ *   flip=P      per-byte bit-flip probability (corruption, caught by
+ *               CACTRC02 checksums; silently simulated on CACTRC01)
+ *   short=P     per-read probability of returning fewer bytes than
+ *               asked (the reader's read loop resumes them)
+ *   fail=P      per-read probability of a transient I/O failure
+ *   burst=N     consecutive failures per transient event (default 1;
+ *               bursts beyond the reader's retry budget become
+ *               persistent read errors)
+ *   lat=USEC    injected latency per read, microseconds
+ *   throw=N     throw a foreign exception on the Nth read (tests the
+ *               prefetch-thread exception containment)
+ *
+ * Each TraceReader owns its own injector instance (stateful RNG), so
+ * per-shard readers stay independent and deterministic.
+ */
+
+#ifndef CAC_TRACE_FAULT_INJECTOR_HH
+#define CAC_TRACE_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace cac
+{
+
+/**
+ * A transient (retryable) injected read failure. TraceReader's read
+ * loop catches it and retries with exponential backoff; only bursts
+ * longer than the retry budget surface as ReadFailed errors.
+ */
+class TransientIoError : public CacError
+{
+  public:
+    explicit TransientIoError(Error err) : CacError(std::move(err)) {}
+};
+
+/** Deterministic fread() shim injecting storage faults. */
+class FaultInjector
+{
+  public:
+    /** What to inject; see the header comment for the grammar. */
+    struct Spec
+    {
+        std::uint64_t seed = 1;
+        double flipPerByte = 0.0;   ///< per-byte bit-flip probability
+        double shortReadProb = 0.0; ///< per-read short-read probability
+        double transientProb = 0.0; ///< per-read failure probability
+        unsigned transientBurst = 1; ///< failures per transient event
+        unsigned latencyUs = 0;      ///< added latency per read
+        std::uint64_t throwAfterReads = 0; ///< Nth read throws (0=off)
+    };
+
+    /** Totals for test assertions. */
+    struct Counters
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t flippedBits = 0;
+        std::uint64_t shortReads = 0;
+        std::uint64_t transients = 0;
+    };
+
+    /**
+     * Parse "key=value,..." into a Spec. Returns nullopt and fills
+     * @p error on an unknown key or malformed value.
+     */
+    static std::optional<Spec> parseSpec(const std::string &text,
+                                         std::string *error = nullptr);
+
+    explicit FaultInjector(const Spec &spec);
+
+    /**
+     * fread(dst, 1, want, file) with faults applied. May return fewer
+     * bytes than @p want (short read or true EOF), throw
+     * TransientIoError (retryable), or throw std::runtime_error (the
+     * throw=N containment probe). Flipped bits corrupt @p dst only —
+     * the file position always advances by exactly the returned count.
+     */
+    std::size_t read(std::FILE *file, void *dst, std::size_t want);
+
+    const Spec &spec() const { return spec_; }
+    const Counters &counters() const { return counters_; }
+
+  private:
+    Spec spec_;
+    Counters counters_;
+    Rng rng_;
+    unsigned pending_failures_ = 0; ///< remaining burst failures
+};
+
+} // namespace cac
+
+#endif // CAC_TRACE_FAULT_INJECTOR_HH

@@ -1,8 +1,10 @@
 #include "trace/io.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
+#include "common/crc32c.hh"
 #include "common/logging.hh"
 
 namespace cac
@@ -11,8 +13,25 @@ namespace cac
 namespace
 {
 
-constexpr char kMagic[8] = {'C', 'A', 'C', 'T', 'R', 'C', '0', '1'};
-constexpr std::size_t kHeaderBytes = 16;
+constexpr char kMagicV1[8] = {'C', 'A', 'C', 'T', 'R', 'C', '0', '1'};
+constexpr char kMagicV2[8] = {'C', 'A', 'C', 'T', 'R', 'C', '0', '2'};
+constexpr char kChunkMagic[4] = {'C', 'A', 'C', 'K'};
+constexpr std::size_t kHeaderBytesV1 = 16;
+constexpr std::size_t kHeaderBytesV2 = 24;
+constexpr std::size_t kChunkHeaderBytes = 20;
+
+/** Transient-read retry budget and backoff base (doubles per retry). */
+constexpr unsigned kMaxRetries = 5;
+constexpr unsigned kRetryBackoffUs = 100;
+
+/** Resync scan block size (the scan window stays this bounded). */
+constexpr std::size_t kResyncBlock = 65536;
+
+/** Sanity cap on a CACTRC02 chunk size (16M records = 384 MB). */
+constexpr std::uint64_t kMaxFileChunkRecords = 1u << 24;
+
+constexpr std::uint8_t kMaxOp =
+    static_cast<std::uint8_t>(OpClass::Branch);
 
 /** On-disk record: fixed 24-byte layout independent of host padding. */
 struct PackedRecord
@@ -44,38 +63,82 @@ unpack(const PackedRecord &p)
     return rec;
 }
 
-/** Byte offset of record @p index in the file. */
+PackedRecord
+pack(const TraceRecord &rec)
+{
+    PackedRecord p{};
+    p.op = static_cast<std::uint8_t>(rec.op);
+    p.dst = rec.dst;
+    p.src1 = rec.src1;
+    p.src2 = rec.src2;
+    p.taken = rec.taken ? 1 : 0;
+    p.addr = rec.addr;
+    p.pc = rec.pc;
+    return p;
+}
+
+/** Byte offset of record @p index in a CACTRC01 file. */
 std::uint64_t
 recordOffset(std::uint64_t index)
 {
-    return kHeaderBytes + index * sizeof(PackedRecord);
+    return kHeaderBytesV1 + index * sizeof(PackedRecord);
 }
 
-} // anonymous namespace
+std::uint32_t
+loadLE32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0])
+           | static_cast<std::uint32_t>(p[1]) << 8
+           | static_cast<std::uint32_t>(p[2]) << 16
+           | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+loadLE64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(loadLE32(p))
+           | static_cast<std::uint64_t>(loadLE32(p + 4)) << 32;
+}
 
 void
-writeTrace(const Trace &trace, const std::string &path)
+storeLE32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void
+storeLE64(std::uint8_t *p, std::uint64_t v)
+{
+    storeLE32(p, static_cast<std::uint32_t>(v));
+    storeLE32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+backoffSleep(unsigned attempt)
+{
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        kRetryBackoffUs << (attempt > 0 ? attempt - 1 : 0)));
+}
+
+void
+writeTraceV1(const Trace &trace, const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         fatal("cannot open '%s' for writing", path.c_str());
 
     std::uint64_t count = trace.size();
-    if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1
+    if (std::fwrite(kMagicV1, sizeof(kMagicV1), 1, f) != 1
         || std::fwrite(&count, sizeof(count), 1, f) != 1) {
         std::fclose(f);
         fatal("short write to '%s'", path.c_str());
     }
 
     for (const auto &rec : trace) {
-        PackedRecord p{};
-        p.op = static_cast<std::uint8_t>(rec.op);
-        p.dst = rec.dst;
-        p.src1 = rec.src1;
-        p.src2 = rec.src2;
-        p.taken = rec.taken ? 1 : 0;
-        p.addr = rec.addr;
-        p.pc = rec.pc;
+        const PackedRecord p = pack(rec);
         if (std::fwrite(&p, sizeof(p), 1, f) != 1) {
             std::fclose(f);
             fatal("short write to '%s'", path.c_str());
@@ -84,11 +147,89 @@ writeTrace(const Trace &trace, const std::string &path)
     std::fclose(f);
 }
 
+void
+writeTraceV2(const Trace &trace, const std::string &path,
+             std::size_t chunk_records)
+{
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(chunk_records > 0 ? chunk_records : 1,
+                                kMaxFileChunkRecords);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+
+    std::uint8_t header[kHeaderBytesV2];
+    std::memcpy(header, kMagicV2, 8);
+    storeLE64(header + 8, trace.size());
+    storeLE32(header + 16, static_cast<std::uint32_t>(chunk));
+    storeLE32(header + 20, crc32c(header, 20));
+    if (std::fwrite(header, sizeof(header), 1, f) != 1) {
+        std::fclose(f);
+        fatal("short write to '%s'", path.c_str());
+    }
+
+    std::vector<std::uint8_t> payload;
+    payload.resize(static_cast<std::size_t>(chunk)
+                   * sizeof(PackedRecord));
+    std::uint32_t seq = 0;
+    for (std::uint64_t start = 0; start < trace.size();
+         start += chunk, ++seq) {
+        const std::uint32_t count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(chunk, trace.size() - start));
+        std::uint8_t *out = payload.data();
+        for (std::uint32_t i = 0; i < count;
+             ++i, out += sizeof(PackedRecord)) {
+            const PackedRecord p = pack(trace[start + i]);
+            std::memcpy(out, &p, sizeof(PackedRecord));
+        }
+        const std::size_t bytes = count * sizeof(PackedRecord);
+
+        std::uint8_t chunk_header[kChunkHeaderBytes];
+        std::memcpy(chunk_header, kChunkMagic, 4);
+        storeLE32(chunk_header + 4, seq);
+        storeLE32(chunk_header + 8, count);
+        storeLE32(chunk_header + 12, crc32c(payload.data(), bytes));
+        storeLE32(chunk_header + 16, crc32c(chunk_header, 16));
+
+        if (std::fwrite(chunk_header, sizeof(chunk_header), 1, f) != 1
+            || std::fwrite(payload.data(), 1, bytes, f) != bytes) {
+            std::fclose(f);
+            fatal("short write to '%s'", path.c_str());
+        }
+    }
+    std::fclose(f);
+}
+
+} // anonymous namespace
+
+void
+writeTrace(const Trace &trace, const std::string &path,
+           TraceFormat format, std::size_t chunk_records)
+{
+    if (format == TraceFormat::V1)
+        writeTraceV1(trace, path);
+    else
+        writeTraceV2(trace, path, chunk_records);
+}
+
 TraceReader::TraceReader(const std::string &path,
                          std::size_t chunk_records, Prefetch prefetch)
-    : path_(path), chunk_records_(chunk_records > 0 ? chunk_records : 1)
+    : TraceReader(path, [&] {
+          TraceReaderOptions options;
+          options.chunkRecords = chunk_records;
+          options.prefetch = prefetch;
+          return options;
+      }())
+{}
+
+TraceReader::TraceReader(const std::string &path,
+                         const TraceReaderOptions &options)
+    : path_(path), opts_(options),
+      chunk_records_(options.chunkRecords > 0 ? options.chunkRecords
+                                              : 1)
 {
-    switch (prefetch) {
+    switch (opts_.prefetch) {
       case Prefetch::Auto:
         prefetch_enabled_ = std::thread::hardware_concurrency() > 1;
         break;
@@ -100,28 +241,38 @@ TraceReader::TraceReader(const std::string &path,
         break;
     }
 
-    raw_.resize(chunk_records_ * sizeof(PackedRecord));
+    if (opts_.inject)
+        injector_ = std::make_unique<FaultInjector>(*opts_.inject);
+
     buffer_.reserve(chunk_records_);
 
     file_ = std::fopen(path_.c_str(), "rb");
     if (!file_) {
-        fail("cannot open '" + path_ + "' for reading");
+        fail(Error::make(ErrorCode::OpenFailed,
+                         "cannot open '" + path_ + "' for reading",
+                         path_));
         return;
     }
 
-    char magic[8];
-    if (std::fread(magic, sizeof(magic), 1, file_) != 1
-        || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
-        fail("'" + path_ + "' is not a CACTRC01 trace");
-        return;
+    // Contain header-time failures (including injected ones) the same
+    // way mid-stream failures are contained: as an error state, never
+    // an escaping exception.
+    try {
+        readHeader();
+    } catch (const CacError &e) {
+        fail(e.err());
+    } catch (const std::exception &e) {
+        fail(Error::make(ErrorCode::WorkerFailed,
+                         "'" + path_ + "': header read failed: "
+                             + e.what(),
+                         path_, byte_pos_));
+    } catch (...) {
+        fail(Error::make(ErrorCode::WorkerFailed,
+                         "'" + path_
+                             + "': header read failed with an unknown "
+                               "exception",
+                         path_, byte_pos_));
     }
-    std::uint64_t count = 0;
-    if (std::fread(&count, sizeof(count), 1, file_) != 1) {
-        fail("'" + path_ + "': truncated header (file ends before the "
-             + std::to_string(kHeaderBytes) + "-byte magic + count)");
-        return;
-    }
-    record_count_ = count;
 }
 
 TraceReader::~TraceReader()
@@ -132,9 +283,10 @@ TraceReader::~TraceReader()
 }
 
 bool
-TraceReader::fail(std::string message)
+TraceReader::fail(Error err)
 {
-    error_ = std::move(message);
+    error_ = std::move(err);
+    error_text_ = error_.message();
     buffer_.clear();
     if (file_) {
         std::fclose(file_);
@@ -143,43 +295,535 @@ TraceReader::fail(std::string message)
     return false;
 }
 
+void
+TraceReader::readHeader()
+{
+    std::uint8_t header[kHeaderBytesV2];
+    bool rfail = false;
+    if (rawRead(header, 8, rfail, stats_) < 8 || rfail) {
+        if (rfail) {
+            throw CacError(Error::make(
+                ErrorCode::ReadFailed,
+                "'" + path_
+                    + "': read failed reading the header (retry "
+                      "budget exhausted)",
+                path_, byte_pos_));
+        }
+        throw CacError(Error::make(
+            ErrorCode::BadMagic,
+            "'" + path_ + "' is not a CACTRC01/02 trace", path_, 0));
+    }
+
+    if (std::memcmp(header, kMagicV1, 8) == 0) {
+        format_ = TraceFormat::V1;
+        std::uint8_t count[8];
+        if (rawRead(count, 8, rfail, stats_) < 8 || rfail) {
+            if (rfail) {
+                throw CacError(Error::make(
+                    ErrorCode::ReadFailed,
+                    "'" + path_
+                        + "': read failed reading the header (retry "
+                          "budget exhausted)",
+                    path_, byte_pos_));
+            }
+            throw CacError(Error::make(
+                ErrorCode::Truncated,
+                "'" + path_
+                    + "': truncated header (file ends before the "
+                    + std::to_string(kHeaderBytesV1)
+                    + "-byte magic + count)",
+                path_, byte_pos_));
+        }
+        record_count_ = loadLE64(count);
+        raw_.resize(chunk_records_ * sizeof(PackedRecord));
+        return;
+    }
+
+    if (std::memcmp(header, kMagicV2, 8) != 0) {
+        throw CacError(Error::make(
+            ErrorCode::BadMagic,
+            "'" + path_ + "' is not a CACTRC01/02 trace", path_, 0));
+    }
+
+    format_ = TraceFormat::V2;
+    if (rawRead(header + 8, kHeaderBytesV2 - 8, rfail, stats_)
+            < kHeaderBytesV2 - 8
+        || rfail) {
+        if (rfail) {
+            throw CacError(Error::make(
+                ErrorCode::ReadFailed,
+                "'" + path_
+                    + "': read failed reading the header (retry "
+                      "budget exhausted)",
+                path_, byte_pos_));
+        }
+        throw CacError(Error::make(
+            ErrorCode::Truncated,
+            "'" + path_
+                + "': truncated header (file ends before the "
+                + std::to_string(kHeaderBytesV2)
+                + "-byte CACTRC02 header)",
+            path_, byte_pos_));
+    }
+    if (crc32c(header, 20) != loadLE32(header + 20)) {
+        throw CacError(Error::make(
+            ErrorCode::BadFileHeader,
+            "'" + path_ + "': CACTRC02 file header checksum mismatch",
+            path_, 0));
+    }
+    const std::uint64_t count = loadLE64(header + 8);
+    const std::uint32_t chunk = loadLE32(header + 16);
+    if (chunk == 0 || chunk > kMaxFileChunkRecords) {
+        throw CacError(Error::make(
+            ErrorCode::BadFileHeader,
+            "'" + path_ + "': CACTRC02 chunk size "
+                + std::to_string(chunk) + " out of range",
+            path_, 16));
+    }
+    record_count_ = count;
+    file_chunk_records_ = chunk;
+    num_chunks_ = (count + chunk - 1) / chunk;
+}
+
+std::size_t
+TraceReader::rawRead(void *dst, std::size_t want, bool &failed,
+                     ReadStats &stats)
+{
+    failed = false;
+    auto *out = static_cast<std::uint8_t *>(dst);
+    std::size_t got = 0;
+    unsigned attempts = 0;
+    while (got < want) {
+        std::size_t r;
+        try {
+            r = injector_
+                    ? injector_->read(file_, out + got, want - got)
+                    : std::fread(out + got, 1, want - got, file_);
+        } catch (const TransientIoError &) {
+            // Retryable: bounded retries with exponential backoff.
+            if (attempts >= kMaxRetries) {
+                failed = true;
+                break;
+            }
+            ++attempts;
+            ++stats.retries;
+            backoffSleep(attempts);
+            continue;
+        }
+        if (r == 0) {
+            if (std::ferror(file_)) {
+                if (attempts >= kMaxRetries) {
+                    failed = true;
+                    break;
+                }
+                ++attempts;
+                ++stats.retries;
+                std::clearerr(file_);
+                backoffSleep(attempts);
+                continue;
+            }
+            break; // true end of file
+        }
+        got += r;
+    }
+    byte_pos_ += got;
+    return got;
+}
+
 bool
-TraceReader::decodeNextChunk(std::vector<TraceRecord> &out,
-                             std::string &err)
+TraceReader::decodeChunkV1(std::vector<TraceRecord> &out, Error &err,
+                           ReadStats &stats)
 {
     out.clear();
-    if (next_record_ >= record_count_)
-        return true;
+    while (next_record_ < record_count_) {
+        const std::uint64_t remaining = record_count_ - next_record_;
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk_records_, remaining));
+        if (raw_.size() < want * sizeof(PackedRecord))
+            raw_.resize(want * sizeof(PackedRecord));
 
-    const std::uint64_t remaining = record_count_ - next_record_;
-    const std::size_t want = static_cast<std::size_t>(
-        std::min<std::uint64_t>(chunk_records_, remaining));
+        bool rfail = false;
+        const std::size_t bytes = rawRead(
+            raw_.data(), want * sizeof(PackedRecord), rfail, stats);
+        const std::size_t got = bytes / sizeof(PackedRecord);
 
-    const std::size_t got =
-        std::fread(raw_.data(), sizeof(PackedRecord), want, file_);
-    if (got < want) {
-        // Short read: the header promised more records than the file
-        // holds. Report exactly where the data ran out.
-        const std::uint64_t have = next_record_ + got;
-        err = "'" + path_ + "': truncated at record "
-            + std::to_string(have) + " of "
-            + std::to_string(record_count_) + " (data ends near byte "
-            + std::to_string(recordOffset(have)) + ", expected "
-            + std::to_string(recordOffset(record_count_)) + " bytes)";
-        return false;
+        // Decode with direct indexed writes (resize once, no
+        // per-record push_back bookkeeping) — this loop runs on the
+        // replay hot path. Records with an out-of-range opcode are the
+        // only corruption V1 can detect.
+        out.resize(got);
+        std::size_t kept = 0;
+        const std::uint8_t *in = raw_.data();
+        for (std::size_t i = 0; i < got;
+             ++i, in += sizeof(PackedRecord)) {
+            PackedRecord p;
+            std::memcpy(&p, in, sizeof(PackedRecord));
+            if (p.op > kMaxOp) {
+                if (opts_.policy == ReadPolicy::Strict) {
+                    const std::uint64_t at = next_record_ + i;
+                    err = Error::make(
+                        ErrorCode::BadRecord,
+                        "'" + path_ + "': record "
+                            + std::to_string(at)
+                            + " has invalid opcode "
+                            + std::to_string(p.op) + " (near byte "
+                            + std::to_string(recordOffset(at)) + ")",
+                        path_, recordOffset(at));
+                    return false;
+                }
+                ++stats.droppedRecords;
+                continue;
+            }
+            out[kept++] = unpack(p);
+        }
+        out.resize(kept);
+        next_record_ += got;
+
+        if (rfail || got < want) {
+            // Short read: the header promised more records than the
+            // file holds. Strict reports exactly where the data ran
+            // out; Skip/Resync drop the missing tail and end cleanly.
+            const std::uint64_t have = next_record_;
+            if (opts_.policy == ReadPolicy::Strict) {
+                if (rfail) {
+                    err = Error::make(
+                        ErrorCode::ReadFailed,
+                        "'" + path_ + "': read failed near byte "
+                            + std::to_string(byte_pos_)
+                            + " (retries exhausted)",
+                        path_, byte_pos_);
+                } else {
+                    err = Error::make(
+                        ErrorCode::Truncated,
+                        "'" + path_ + "': truncated at record "
+                            + std::to_string(have) + " of "
+                            + std::to_string(record_count_)
+                            + " (data ends near byte "
+                            + std::to_string(recordOffset(have))
+                            + ", expected "
+                            + std::to_string(
+                                  recordOffset(record_count_))
+                            + " bytes)",
+                        path_, recordOffset(have));
+                }
+                return false;
+            }
+            stats.droppedRecords += record_count_ - have;
+            next_record_ = record_count_;
+            return true;
+        }
+        if (!out.empty())
+            return true;
+        // Every record in this chunk was dropped; decode the next one.
     }
-
-    // Decode with direct indexed writes (resize once, no per-record
-    // push_back bookkeeping) — this loop runs on the replay hot path.
-    out.resize(got);
-    const std::uint8_t *in = raw_.data();
-    for (std::size_t i = 0; i < got; ++i, in += sizeof(PackedRecord)) {
-        PackedRecord p;
-        std::memcpy(&p, in, sizeof(PackedRecord));
-        out[i] = unpack(p);
-    }
-    next_record_ += got;
     return true;
+}
+
+std::uint32_t
+TraceReader::expectedCount(std::uint64_t seq) const
+{
+    const std::uint64_t first = seq * file_chunk_records_;
+    return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        file_chunk_records_, record_count_ - first));
+}
+
+std::uint64_t
+TraceReader::chunkOffsetV2(std::uint64_t seq) const
+{
+    const std::uint64_t stride =
+        kChunkHeaderBytes + file_chunk_records_ * sizeof(PackedRecord);
+    return kHeaderBytesV2 + seq * stride;
+}
+
+bool
+TraceReader::resyncScan(std::uint64_t from, std::uint64_t &found_seq,
+                        ReadStats &stats)
+{
+    // Recovery path: scan the raw file for the next plausible chunk
+    // header (magic + header CRC + in-range sequence + matching
+    // count), deliberately bypassing the fault injector so a scan
+    // always terminates. Memory stays bounded by the block size.
+    if (std::fseek(file_, static_cast<long>(from), SEEK_SET) != 0)
+        return false;
+
+    std::vector<std::uint8_t> win;
+    std::uint64_t base = from;
+    for (;;) {
+        const std::size_t old = win.size();
+        win.resize(old + kResyncBlock);
+        const std::size_t r =
+            std::fread(win.data() + old, 1, kResyncBlock, file_);
+        win.resize(old + r);
+
+        for (std::size_t i = 0;
+             i + kChunkHeaderBytes <= win.size(); ++i) {
+            const std::uint8_t *h = win.data() + i;
+            if (std::memcmp(h, kChunkMagic, 4) != 0)
+                continue;
+            if (crc32c(h, 16) != loadLE32(h + 16))
+                continue;
+            const std::uint64_t seq = loadLE32(h + 4);
+            const std::uint32_t count = loadLE32(h + 8);
+            if (seq < next_chunk_ || seq >= num_chunks_
+                || count != expectedCount(seq))
+                continue;
+            const std::uint64_t off = base + i;
+            if (std::fseek(file_, static_cast<long>(off), SEEK_SET)
+                != 0)
+                return false;
+            byte_pos_ = off;
+            found_seq = seq;
+            ++stats.resyncs;
+            return true;
+        }
+
+        if (r == 0)
+            return false; // end of file, nothing plausible ahead
+
+        // Keep a header-sized tail so candidates straddling block
+        // boundaries are still seen (re-checking them is harmless).
+        if (win.size() > kChunkHeaderBytes - 1) {
+            const std::size_t drop =
+                win.size() - (kChunkHeaderBytes - 1);
+            win.erase(win.begin(),
+                      win.begin() + static_cast<std::ptrdiff_t>(drop));
+            base += drop;
+        }
+    }
+}
+
+bool
+TraceReader::decodeFileChunkV2(std::vector<TraceRecord> &out,
+                               Error &err, ReadStats &stats)
+{
+    out.clear();
+    while (next_chunk_ < num_chunks_) {
+        const std::uint64_t chunk_off = byte_pos_;
+        std::uint8_t header[kChunkHeaderBytes];
+        bool rfail = false;
+        std::size_t got =
+            rawRead(header, kChunkHeaderBytes, rfail, stats);
+
+        ErrorCode damage = ErrorCode::None;
+        std::string what;
+        std::uint64_t seq = next_chunk_;
+        std::uint32_t count = 0;
+        std::uint32_t payload_crc = 0;
+
+        if (rfail) {
+            damage = ErrorCode::ReadFailed;
+            what = "read failed (retries exhausted)";
+        } else if (got < kChunkHeaderBytes) {
+            damage = ErrorCode::Truncated;
+            what = "file ends inside the chunk header";
+        } else if (std::memcmp(header, kChunkMagic, 4) != 0) {
+            damage = ErrorCode::BadChunkHeader;
+            what = "chunk magic missing";
+        } else if (crc32c(header, 16) != loadLE32(header + 16)) {
+            damage = ErrorCode::BadChunkHeader;
+            what = "chunk header checksum mismatch";
+        } else {
+            seq = loadLE32(header + 4);
+            count = loadLE32(header + 8);
+            payload_crc = loadLE32(header + 12);
+            if (seq < next_chunk_ || seq >= num_chunks_
+                || count != expectedCount(seq)) {
+                damage = ErrorCode::BadChunkHeader;
+                what = "chunk header fields out of sequence";
+                seq = next_chunk_;
+            }
+        }
+
+        if (damage == ErrorCode::None && seq > next_chunk_) {
+            // A later chunk where an earlier one should be: bytes were
+            // lost. Strict refuses; Skip/Resync account the gap (every
+            // missing chunk is a full one — only the last chunk of the
+            // file may be partial, and it cannot be inside a gap).
+            if (opts_.policy == ReadPolicy::Strict) {
+                damage = ErrorCode::BadChunkHeader;
+                what = "chunk sequence jumped from "
+                       + std::to_string(next_chunk_) + " to "
+                       + std::to_string(seq);
+                seq = next_chunk_;
+            } else {
+                const std::uint64_t gap = seq - next_chunk_;
+                stats.droppedChunks += gap;
+                stats.droppedRecords += gap * file_chunk_records_;
+                next_chunk_ = seq;
+            }
+        }
+
+        if (damage == ErrorCode::None) {
+            const std::size_t payload =
+                static_cast<std::size_t>(count) * sizeof(PackedRecord);
+            if (raw_.size() < payload)
+                raw_.resize(payload);
+            rfail = false;
+            got = rawRead(raw_.data(), payload, rfail, stats);
+            if (rfail) {
+                damage = ErrorCode::ReadFailed;
+                what = "read failed in the chunk payload (retries "
+                       "exhausted)";
+            } else if (got < payload) {
+                damage = ErrorCode::Truncated;
+                what = "file ends inside the chunk payload";
+            } else if (opts_.verifyChecksums
+                       && crc32c(raw_.data(), payload)
+                              != payload_crc) {
+                ++stats.crcErrors;
+                damage = ErrorCode::ChecksumMismatch;
+                what = "chunk payload checksum mismatch";
+            } else {
+                out.resize(count);
+                std::size_t kept = 0;
+                const std::uint8_t *in = raw_.data();
+                for (std::uint32_t i = 0; i < count;
+                     ++i, in += sizeof(PackedRecord)) {
+                    PackedRecord p;
+                    std::memcpy(&p, in, sizeof(PackedRecord));
+                    if (p.op > kMaxOp) {
+                        // CRC-valid but semantically invalid: a buggy
+                        // producer, not storage damage.
+                        if (opts_.policy == ReadPolicy::Strict) {
+                            const std::uint64_t at =
+                                chunk_off + kChunkHeaderBytes
+                                + i * sizeof(PackedRecord);
+                            err = Error::make(
+                                ErrorCode::BadRecord,
+                                "'" + path_ + "': chunk "
+                                    + std::to_string(seq)
+                                    + " record " + std::to_string(i)
+                                    + " has invalid opcode "
+                                    + std::to_string(p.op)
+                                    + " (near byte "
+                                    + std::to_string(at) + ")",
+                                path_, at, seq);
+                            return false;
+                        }
+                        ++stats.droppedRecords;
+                        continue;
+                    }
+                    out[kept++] = unpack(p);
+                }
+                out.resize(kept);
+                next_chunk_ = seq + 1;
+                if (!out.empty())
+                    return true;
+                continue; // chunk fully dropped; decode the next one
+            }
+        }
+
+        // --- Damage handling, per policy ---
+        if (opts_.policy == ReadPolicy::Strict) {
+            err = Error::make(
+                damage,
+                "'" + path_ + "': chunk " + std::to_string(next_chunk_)
+                    + " of " + std::to_string(num_chunks_) + ": " + what
+                    + " (near byte " + std::to_string(chunk_off) + ")",
+                path_, chunk_off, next_chunk_);
+            return false;
+        }
+
+        // Quarantine the chunk the cursor is on.
+        ++stats.droppedChunks;
+        stats.droppedRecords += expectedCount(next_chunk_);
+        ++next_chunk_;
+        if (next_chunk_ >= num_chunks_)
+            return true;
+
+        if (damage == ErrorCode::ChecksumMismatch) {
+            // Framing intact: the payload was fully consumed, so the
+            // cursor already sits on the next chunk header.
+            continue;
+        }
+
+        if (opts_.policy == ReadPolicy::Resync) {
+            std::uint64_t found = 0;
+            if (resyncScan(chunk_off + 1, found, stats)) {
+                if (found > next_chunk_) {
+                    const std::uint64_t gap = found - next_chunk_;
+                    stats.droppedChunks += gap;
+                    stats.droppedRecords += gap * file_chunk_records_;
+                    next_chunk_ = found;
+                }
+                continue;
+            }
+            // Nothing plausible ahead: the rest of the file is lost.
+            stats.droppedChunks += num_chunks_ - next_chunk_;
+            stats.droppedRecords +=
+                record_count_ - next_chunk_ * file_chunk_records_;
+            next_chunk_ = num_chunks_;
+            return true;
+        }
+
+        // Skip: the chunk stride is fixed, so the next chunk's offset
+        // is computable without trusting the damaged header.
+        const std::uint64_t off = chunkOffsetV2(next_chunk_);
+        if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0) {
+            err = Error::make(ErrorCode::SeekFailed,
+                              "'" + path_ + "': seek to chunk "
+                                  + std::to_string(next_chunk_)
+                                  + " failed",
+                              path_, off, next_chunk_);
+            return false;
+        }
+        byte_pos_ = off;
+    }
+    return true;
+}
+
+bool
+TraceReader::decodeNextChunk(std::vector<TraceRecord> &out, Error &err,
+                             ReadStats &stats)
+{
+    if (format_ == TraceFormat::V1)
+        return decodeChunkV1(out, err, stats);
+
+    out.clear();
+    for (;;) {
+        if (staging_pos_ < staging_.size()) {
+            const std::size_t avail = staging_.size() - staging_pos_;
+            if (staging_pos_ == 0 && avail <= chunk_records_) {
+                // Whole-chunk handoff, no copy (the default path:
+                // requested chunking == file chunking).
+                out.swap(staging_);
+                staging_.clear();
+            } else {
+                const std::size_t take =
+                    std::min(chunk_records_, avail);
+                out.assign(staging_.begin()
+                               + static_cast<std::ptrdiff_t>(
+                                   staging_pos_),
+                           staging_.begin()
+                               + static_cast<std::ptrdiff_t>(
+                                   staging_pos_ + take));
+                staging_pos_ += take;
+                if (staging_pos_ < staging_.size())
+                    return true;
+                staging_.clear();
+            }
+            staging_pos_ = 0;
+            return true;
+        }
+
+        staging_.clear();
+        staging_pos_ = 0;
+        if (!decodeFileChunkV2(staging_, err, stats))
+            return false;
+        if (staging_.empty())
+            return true; // end of trace
+        if (skip_records_ > 0) {
+            // seekTo() landed inside this chunk: discard the prefix.
+            staging_pos_ = static_cast<std::size_t>(
+                std::min<std::uint64_t>(staging_.size(),
+                                        skip_records_));
+            skip_records_ = 0;
+            if (staging_pos_ >= staging_.size()) {
+                staging_.clear();
+                staging_pos_ = 0;
+            }
+        }
+    }
 }
 
 void
@@ -191,19 +835,46 @@ TraceReader::startPrefetcher()
     PrefetchState &st = *prefetch_;
     st.worker = std::thread([this, &st] {
         // Double buffering: decode into a local chunk while the
-        // consumer drains the slot, then hand it over.
+        // consumer drains the slot, then hand it over. Every exception
+        // — expected (CacError) or foreign (injected faults, bad
+        // allocs) — is captured and surfaced as an Error on the
+        // consumer side; this thread never lets one escape, so the
+        // process can never std::terminate on a poisoned trace.
         std::vector<TraceRecord> local;
         local.reserve(chunk_records_);
+        ReadStats totals;
         for (;;) {
-            std::string err;
-            const bool clean = decodeNextChunk(local, err);
+            Error err;
+            bool clean = true;
+            try {
+                clean = decodeNextChunk(local, err, totals);
+            } catch (const CacError &e) {
+                clean = false;
+                err = e.err();
+            } catch (const std::exception &e) {
+                clean = false;
+                err = Error::make(ErrorCode::WorkerFailed,
+                                  "'" + path_
+                                      + "': prefetch worker failed: "
+                                      + e.what(),
+                                  path_, byte_pos_);
+            } catch (...) {
+                clean = false;
+                err = Error::make(
+                    ErrorCode::WorkerFailed,
+                    "'" + path_
+                        + "': prefetch worker failed with an unknown "
+                          "exception",
+                    path_, byte_pos_);
+            }
             std::unique_lock<std::mutex> lock(st.m);
+            st.stats = totals;
             st.canProduce.wait(
                 lock, [&] { return !st.slotFull || st.stop; });
             if (st.stop)
                 return;
             if (!clean || local.empty()) {
-                st.slotError = std::move(err);
+                st.error = std::move(err);
                 st.eof = true;
                 st.canConsume.notify_all();
                 return;
@@ -224,6 +895,7 @@ TraceReader::stopPrefetcher()
         std::lock_guard<std::mutex> lock(prefetch_->m);
         prefetch_->stop = true;
         prefetch_->slotFull = false;
+        stats_ = prefetch_->stats;
     }
     prefetch_->canProduce.notify_all();
     if (prefetch_->worker.joinable())
@@ -238,6 +910,7 @@ TraceReader::nextPrefetched()
     PrefetchState &st = *prefetch_;
     std::unique_lock<std::mutex> lock(st.m);
     st.canConsume.wait(lock, [&] { return st.slotFull || st.eof; });
+    stats_ = st.stats;
     if (st.slotFull) {
         buffer_.swap(st.slot);
         st.slot.clear();
@@ -247,13 +920,13 @@ TraceReader::nextPrefetched()
         delivered_ += buffer_.size();
         return buffer_;
     }
-    // Producer finished: surface its truncation error, if any, exactly
-    // once the preceding complete chunks have been delivered.
-    std::string err = std::move(st.slotError);
-    st.slotError.clear();
+    // Producer finished: surface its failure, if any, exactly once the
+    // preceding complete chunks have been delivered.
+    Error err = std::move(st.error);
+    st.error = Error{};
     lock.unlock();
     buffer_.clear();
-    if (!err.empty())
+    if (err)
         fail(std::move(err));
     return buffer_;
 }
@@ -268,8 +941,28 @@ TraceReader::next()
     if (prefetch_enabled_)
         return nextPrefetched();
 
-    std::string err;
-    if (!decodeNextChunk(buffer_, err)) {
+    Error err;
+    bool clean = true;
+    try {
+        clean = decodeNextChunk(buffer_, err, stats_);
+    } catch (const CacError &e) {
+        clean = false;
+        err = e.err();
+    } catch (const std::exception &e) {
+        clean = false;
+        err = Error::make(ErrorCode::WorkerFailed,
+                          "'" + path_ + "': trace read failed: "
+                              + e.what(),
+                          path_, byte_pos_);
+    } catch (...) {
+        clean = false;
+        err = Error::make(
+            ErrorCode::WorkerFailed,
+            "'" + path_
+                + "': trace read failed with an unknown exception",
+            path_, byte_pos_);
+    }
+    if (!clean) {
         fail(std::move(err));
         return buffer_;
     }
@@ -283,12 +976,21 @@ TraceReader::rewind()
     if (!ok())
         return;
     stopPrefetcher();
-    if (std::fseek(file_, static_cast<long>(kHeaderBytes), SEEK_SET)
-        != 0) {
-        fail("'" + path_ + "': seek failed during rewind");
+    const std::uint64_t off = format_ == TraceFormat::V2
+                                  ? kHeaderBytesV2
+                                  : kHeaderBytesV1;
+    if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0) {
+        fail(Error::make(ErrorCode::SeekFailed,
+                         "'" + path_ + "': seek failed during rewind",
+                         path_));
         return;
     }
+    byte_pos_ = off;
     next_record_ = 0;
+    next_chunk_ = 0;
+    skip_records_ = 0;
+    staging_.clear();
+    staging_pos_ = 0;
     delivered_ = 0;
     buffer_.clear();
 }
@@ -301,26 +1003,56 @@ TraceReader::seekTo(std::uint64_t record)
     stopPrefetcher();
     if (record > record_count_)
         record = record_count_;
-    if (std::fseek(file_, static_cast<long>(recordOffset(record)),
-                   SEEK_SET)
-        != 0) {
-        return fail("'" + path_ + "': seek to record "
-                    + std::to_string(record) + " failed");
-    }
-    next_record_ = record;
+    staging_.clear();
+    staging_pos_ = 0;
+    skip_records_ = 0;
     buffer_.clear();
+
+    if (format_ == TraceFormat::V1) {
+        if (std::fseek(file_,
+                       static_cast<long>(recordOffset(record)),
+                       SEEK_SET)
+            != 0) {
+            return fail(Error::make(
+                ErrorCode::SeekFailed,
+                "'" + path_ + "': seek to record "
+                    + std::to_string(record) + " failed",
+                path_, recordOffset(record)));
+        }
+        next_record_ = record;
+        byte_pos_ = recordOffset(record);
+        return true;
+    }
+
+    if (record >= record_count_) {
+        next_chunk_ = num_chunks_;
+        return true;
+    }
+    const std::uint64_t seq = record / file_chunk_records_;
+    const std::uint64_t off = chunkOffsetV2(seq);
+    if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0) {
+        return fail(Error::make(ErrorCode::SeekFailed,
+                                "'" + path_ + "': seek to record "
+                                    + std::to_string(record)
+                                    + " failed",
+                                path_, off, seq));
+    }
+    byte_pos_ = off;
+    next_chunk_ = seq;
+    skip_records_ = record - seq * file_chunk_records_;
     return true;
 }
 
 bool
-tryReadTrace(const std::string &path, Trace &out, std::string &error)
+tryReadTrace(const std::string &path, Trace &out, Error &error,
+             const TraceReaderOptions &options, ReadStats *stats)
 {
-    TraceReader reader(path);
+    TraceReader reader(path, options);
+    out.clear();
     if (!reader.ok()) {
-        error = reader.error();
+        error = reader.errorInfo();
         return false;
     }
-    out.clear();
     out.reserve(reader.recordCount());
     while (true) {
         const std::vector<TraceRecord> &chunk = reader.next();
@@ -328,8 +1060,21 @@ tryReadTrace(const std::string &path, Trace &out, std::string &error)
             break;
         out.insert(out.end(), chunk.begin(), chunk.end());
     }
+    if (stats)
+        *stats = reader.readStats();
     if (!reader.ok()) {
-        error = reader.error();
+        error = reader.errorInfo();
+        return false;
+    }
+    return true;
+}
+
+bool
+tryReadTrace(const std::string &path, Trace &out, std::string &error)
+{
+    Error err;
+    if (!tryReadTrace(path, out, err)) {
+        error = err.message();
         return false;
     }
     return true;
@@ -342,6 +1087,17 @@ readTrace(const std::string &path)
     std::string error;
     if (!tryReadTrace(path, trace, error))
         fatal("%s", error.c_str());
+    return trace;
+}
+
+Trace
+readTrace(const std::string &path, const TraceReaderOptions &options,
+          ReadStats *stats)
+{
+    Trace trace;
+    Error error;
+    if (!tryReadTrace(path, trace, error, options, stats))
+        fatal("%s", error.message().c_str());
     return trace;
 }
 

@@ -138,7 +138,8 @@ TEST(TraceReader, MatchesReadTrace)
 TEST(TraceReader, TruncationReportsByteOffsets)
 {
     const std::string path = tmpPath("cac_reader_trunc.trc");
-    writeTrace(randomTrace(100, 6), path);
+    // V1 explicitly: the offsets below assume the legacy layout.
+    writeTrace(randomTrace(100, 6), path, TraceFormat::V1);
     // Chop mid-record: 50 whole records + 7 stray bytes remain.
     std::filesystem::resize_file(path, 16 + 24 * 50 + 7);
 
@@ -242,7 +243,7 @@ TEST(TraceReader, PrefetchOnMatchesPrefetchOff)
 TEST(TraceReader, PrefetchOnReportsTruncation)
 {
     const std::string path = tmpPath("cac_reader_prefetch_trunc.trc");
-    writeTrace(randomTrace(100, 10), path);
+    writeTrace(randomTrace(100, 10), path, TraceFormat::V1);
     std::filesystem::resize_file(path, 16 + 24 * 50 + 7);
 
     TraceReader reader(path, 32, TraceReader::Prefetch::On);

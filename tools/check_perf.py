@@ -22,6 +22,12 @@ silently shrink the gate. Metrics only in FRESH are new and reported
 as notes (they start being gated once the baseline is regenerated).
 No common metric at all is also an error.
 
+One gate is *within-file* rather than baseline-relative: the schema-6
+"integrity" section must show CRC-verified streamed replay at >= 90%
+of unverified streamed replay (integrity checking may cost at most 10%
+of streamed throughput). This ratio is machine-independent, so it gets
+a hard bound instead of a tolerance band.
+
 Dependency-free by design (json/argparse only): runs on any CI image
 with a Python 3 interpreter.
 
@@ -61,15 +67,49 @@ def collect_metrics(node, path, out):
             out[".".join(path)] = float(node)
 
 
-def load_metrics(path):
+def load_json(path):
     try:
         with open(path) as f:
-            data = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as err:
         sys.exit("check_perf: cannot read %s: %s" % (path, err))
+
+
+def load_metrics(path):
     metrics = {}
-    collect_metrics(data, [], metrics)
+    collect_metrics(load_json(path), [], metrics)
     return metrics
+
+
+# Verified streamed replay must keep at least this fraction of the
+# unverified throughput (the <10% integrity-cost acceptance gate).
+VERIFIED_FLOOR = 0.9
+
+
+def check_integrity_cost(path):
+    """Within-file gate: verified_aps >= VERIFIED_FLOOR * unverified_aps.
+
+    Returns the number of failures (0 or 1); silently passes when the
+    file predates schema 6 and has no integrity section.
+    """
+    integrity = load_json(path).get("integrity")
+    if not isinstance(integrity, dict):
+        return 0
+    unverified = integrity.get("unverified_aps")
+    verified = integrity.get("verified_aps")
+    if not unverified or not verified:
+        return 0
+    ratio = float(verified) / float(unverified)
+    cost_pct = 100.0 * (1.0 - ratio)
+    if ratio < VERIFIED_FLOOR:
+        print("check_perf: FAIL integrity: verified streamed replay is "
+              "%.1f%% below unverified (limit %.0f%%): %.0f vs %.0f aps"
+              % (cost_pct, 100.0 * (1.0 - VERIFIED_FLOOR),
+                 float(verified), float(unverified)))
+        return 1
+    print("check_perf: integrity cost %.1f%% of streamed throughput "
+          "(limit %.0f%%)" % (cost_pct, 100.0 * (1.0 - VERIFIED_FLOOR)))
+    return 0
 
 
 def main():
@@ -102,6 +142,8 @@ def main():
         print("check_perf: note %-58s new metric (ungated until the "
               "baseline is regenerated)" % name)
 
+    integrity_failures = check_integrity_cost(args.fresh)
+
     floor = 1.0 - args.tolerance
     failures = []
     for name in common:
@@ -125,6 +167,8 @@ def main():
               % (len(failures), len(common), 100 * args.tolerance))
         for name in failures:
             print("  %s" % name)
+        return 1
+    if integrity_failures:
         return 1
     print("check_perf: %d metrics within %.0f%% of baseline"
           % (len(common), 100 * args.tolerance))

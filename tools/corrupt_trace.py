@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Deterministically damage a trace file, for chaos testing.
+
+The CI chaos lane uses this to manufacture corrupt CACTRC01/CACTRC02
+inputs and then asserts that the simulator detects the damage (strict
+policy) or recovers with exact drop accounting (skip/resync) — see
+docs/RESILIENCE.md. Damage is seeded, so a failing CI run reproduces
+locally with the same command line.
+
+Operations (combinable; flips happen before truncation):
+  --flip-bits N        flip N randomly chosen bits
+  --truncate-bytes N   drop the last N bytes
+  --truncate-frac F    keep only the first F fraction of the file
+  --skip-header        keep the damage out of the first HEADER bytes
+                       (default 24: both container headers fit), so
+                       corruption lands in chunk data, not the magic
+
+Dependency-free by design (runs on any CI image with Python 3).
+
+Usage:
+  tools/corrupt_trace.py IN.trc OUT.trc --seed 1 --flip-bits 3
+  tools/corrupt_trace.py IN.trc OUT.trc --truncate-frac 0.5
+"""
+
+import argparse
+import random
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="deterministically damage a trace file")
+    parser.add_argument("infile", help="trace to damage")
+    parser.add_argument("outfile", help="damaged copy to write")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="RNG seed (default 1)")
+    parser.add_argument("--flip-bits", type=int, default=0,
+                        metavar="N", help="flip N random bits")
+    parser.add_argument("--truncate-bytes", type=int, default=0,
+                        metavar="N", help="drop the last N bytes")
+    parser.add_argument("--truncate-frac", type=float, default=None,
+                        metavar="F",
+                        help="keep only the first F fraction (0..1)")
+    parser.add_argument("--skip-header", action="store_true",
+                        help="never damage the first HEADER bytes")
+    parser.add_argument("--header-bytes", type=int, default=24,
+                        metavar="B",
+                        help="header size --skip-header protects "
+                             "(default 24)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.infile, "rb") as f:
+            data = bytearray(f.read())
+    except OSError as err:
+        sys.exit("corrupt_trace: cannot read %s: %s"
+                 % (args.infile, err))
+
+    rng = random.Random(args.seed)
+    changed = []
+
+    if args.flip_bits > 0:
+        lo = args.header_bytes if args.skip_header else 0
+        if lo >= len(data):
+            sys.exit("corrupt_trace: %s has no bytes past the header"
+                     % args.infile)
+        for _ in range(args.flip_bits):
+            offset = rng.randrange(lo, len(data))
+            bit = rng.randrange(8)
+            data[offset] ^= 1 << bit
+            changed.append("bit %d at byte %d" % (bit, offset))
+
+    if args.truncate_frac is not None:
+        if not 0.0 <= args.truncate_frac <= 1.0:
+            sys.exit("corrupt_trace: --truncate-frac must be in [0, 1]")
+        keep = int(len(data) * args.truncate_frac)
+        changed.append("truncated to %d of %d bytes"
+                       % (keep, len(data)))
+        data = data[:keep]
+
+    if args.truncate_bytes > 0:
+        keep = max(0, len(data) - args.truncate_bytes)
+        changed.append("dropped last %d bytes (%d remain)"
+                       % (args.truncate_bytes, keep))
+        data = data[:keep]
+
+    if not changed:
+        sys.exit("corrupt_trace: no damage requested (see --help)")
+
+    try:
+        with open(args.outfile, "wb") as f:
+            f.write(data)
+    except OSError as err:
+        sys.exit("corrupt_trace: cannot write %s: %s"
+                 % (args.outfile, err))
+
+    for note in changed:
+        print("corrupt_trace: %s" % note)
+    print("corrupt_trace: wrote %s (%d bytes, seed %d)"
+          % (args.outfile, len(data), args.seed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 /**
  * @file
- * cac_sim — drive a CACTRC01 trace through any simulation target: a
+ * cac_sim — drive a CACTRC01/CACTRC02 trace through any simulation
+ * target: a
  * standalone cache organization (functional, miss ratios), a two-level
  * virtual-real hierarchy (holes, Inclusion invalidations) or the full
  * out-of-order CPU model (timing, IPC).
@@ -47,6 +48,14 @@
  * seeded random XOR matrices, the conventional baselines) against the
  * trace on the sweep thread pool and ranks them by measured conflict
  * misses, predicted conflict score and XOR fan-in.
+ *
+ * Reader resilience (docs/RESILIENCE.md): --policy picks how damage
+ * found mid-trace is handled (strict fail-fast with byte offsets, skip
+ * to quarantine bad chunks, resync to scan for the next chunk header),
+ * --no-verify disables CACTRC02 payload checksums, and --inject mounts
+ * a deterministic fault injector under the reader for chaos testing.
+ * A degraded-but-complete run warns with exact drop totals and exits
+ * 0; a failed cell prints its structured error and exits 1.
  *
  * --scenario replays a multiprogrammed mix (scenario/scenario.hh
  * grammar: round-robin quantum, cold-flush vs warm-keep, ASID windows,
@@ -98,6 +107,19 @@ usage()
         "  cac_sim --scenario MIX [--org TARGET | --compare] "
         "[--threads N] [--csv]\n"
         "          [--stream]\n"
+        "reader options (any mode that reads --trace):\n"
+        "  --policy P      damage handling: strict (fail fast, "
+        "default), skip\n"
+        "                  (quarantine bad chunks), resync (scan for "
+        "the next\n"
+        "                  valid chunk header); drops are counted, "
+        "never silent\n"
+        "  --no-verify     skip CACTRC02 payload checksum "
+        "verification\n"
+        "  --inject SPEC   deterministic fault injection under the "
+        "reader\n"
+        "                  (seed=N,flip=P,short=P,fail=P,burst=N,"
+        "lat=USEC,throw=N)\n"
         "scenarios:\n"
         "  MIX             mix:PROG[+PROG...][@q=N,n=N,phase=N,asid=N,"
         "seed=N,flush|keep]\n"
@@ -143,6 +165,54 @@ optionalCell(bool valid, double value, int precision)
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
     return buf;
+}
+
+/**
+ * Surface per-cell resilience outcomes: failed cells print their
+ * structured error and flip the exit code to 1; degraded cells (drops
+ * under skip/resync) warn with exact totals but stay successful —
+ * the CSV/table output already carries the dropped_records column.
+ */
+int
+reportResilience(const std::vector<SweepCell> &cells)
+{
+    int rc = 0;
+    for (const SweepCell &cell : cells) {
+        if (cell.failed) {
+            std::fprintf(stderr, "error: %s\n",
+                         cell.error.message().c_str());
+            rc = 1;
+        } else if (cell.read.degraded()) {
+            warn("%s x %s: degraded read — %llu record(s) dropped "
+                 "(%llu chunk(s), %llu checksum error(s), %llu "
+                 "resync(s))",
+                 cell.workload.c_str(), cell.org.c_str(),
+                 static_cast<unsigned long long>(
+                     cell.read.droppedRecords),
+                 static_cast<unsigned long long>(
+                     cell.read.droppedChunks),
+                 static_cast<unsigned long long>(cell.read.crcErrors),
+                 static_cast<unsigned long long>(cell.read.resyncs));
+        }
+    }
+    return rc;
+}
+
+/** Whole-file load under the requested policy, warning about drops. */
+Trace
+loadTrace(const std::string &path, const TraceReaderOptions &options)
+{
+    ReadStats stats;
+    Trace trace = readTrace(path, options, &stats);
+    if (stats.degraded()) {
+        warn("'%s': degraded read — %llu record(s) dropped (%llu "
+             "chunk(s), %llu checksum error(s))",
+             path.c_str(),
+             static_cast<unsigned long long>(stats.droppedRecords),
+             static_cast<unsigned long long>(stats.droppedChunks),
+             static_cast<unsigned long long>(stats.crcErrors));
+    }
+    return trace;
 }
 
 /**
@@ -413,7 +483,8 @@ runSharded(const std::string &trace_path,
             fatal("%s", probe.error().c_str());
         records = probe.recordCount();
     } else {
-        trace = std::make_shared<const Trace>(readTrace(trace_path));
+        trace = std::make_shared<const Trace>(
+            loadTrace(trace_path, opts.read));
         records = trace->size();
     }
     if (!csv) {
@@ -441,17 +512,25 @@ runSharded(const std::string &trace_path,
                          "note: '%s' is a CPU target; replaying "
                          "monolithically (--shards does not apply)\n",
                          label.c_str());
+            cell.cacheName = probe->name();
             if (stream) {
-                TraceReader reader(trace_path);
+                TraceReader reader(trace_path, opts.read);
+                Error error;
                 if (!reader.ok())
-                    fatal("%s", reader.error().c_str());
-                replayAll(reader, *probe);
+                    error = reader.errorInfo();
+                else if (tryReplayAll(reader, *probe, &error))
+                    probe->finish();
+                cell.read = reader.readStats();
+                if (!error.ok()) {
+                    cell.failed = true;
+                    cell.error = error;
+                }
             } else {
                 probe->replay(trace->data(), trace->size());
+                probe->finish();
             }
-            probe->finish();
-            cell.cacheName = probe->name();
-            cell.target = probe->stats();
+            if (!cell.failed)
+                cell.target = probe->stats();
         } else {
             probe.reset();
             const ShardedReplayResult result =
@@ -459,6 +538,11 @@ runSharded(const std::string &trace_path,
                        : shardedReplayTrace(factory, *trace, opts);
             cell.cacheName = result.name;
             cell.target = result.stats;
+            cell.read = result.read;
+            if (!result.error.ok()) {
+                cell.failed = true;
+                cell.error = result.error;
+            }
         }
         cell.stats = cell.target.l1;
         cells.push_back(std::move(cell));
@@ -484,6 +568,7 @@ main(int argc, char **argv)
     unsigned shards = 0; // 0 = sharding not requested
     std::uint64_t warmup = ShardOptions{}.warmupRecords;
     TargetSpec spec;
+    TraceReaderOptions read_opts;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -538,6 +623,32 @@ main(int argc, char **argv)
         else if (!std::strcmp(arg, "--l2-ways"))
             spec.l2Ways = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
+        else if (!std::strcmp(arg, "--policy")) {
+            const char *value = argValue(argc, argv, i);
+            if (!std::strcmp(value, "strict"))
+                read_opts.policy = ReadPolicy::Strict;
+            else if (!std::strcmp(value, "skip"))
+                read_opts.policy = ReadPolicy::Skip;
+            else if (!std::strcmp(value, "resync"))
+                read_opts.policy = ReadPolicy::Resync;
+            else {
+                std::fprintf(stderr,
+                             "unknown read policy '%s' (want strict, "
+                             "skip or resync)\n",
+                             value);
+                usage();
+            }
+        } else if (!std::strcmp(arg, "--inject")) {
+            std::string parse_error;
+            const auto inject_spec = FaultInjector::parseSpec(
+                argValue(argc, argv, i), &parse_error);
+            if (!inject_spec) {
+                std::fprintf(stderr, "%s\n", parse_error.c_str());
+                usage();
+            }
+            read_opts.inject = *inject_spec;
+        } else if (!std::strcmp(arg, "--no-verify"))
+            read_opts.verifyChecksums = false;
         else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg);
             usage();
@@ -575,13 +686,19 @@ main(int argc, char **argv)
         std::uint64_t instructions = 0;
         if (stream) {
             // Chunked replay through the target's streaming interface.
-            TraceReader reader(trace_path);
+            TraceReader reader(trace_path, read_opts);
             if (!reader.ok())
                 fatal("%s", reader.error().c_str());
             instructions = reader.recordCount();
             replayAll(reader, target);
+            if (reader.readStats().degraded()) {
+                warn("'%s': degraded read — %llu record(s) dropped",
+                     trace_path.c_str(),
+                     static_cast<unsigned long long>(
+                         reader.readStats().droppedRecords));
+            }
         } else {
-            Trace trace = readTrace(trace_path);
+            Trace trace = loadTrace(trace_path, read_opts);
             instructions = trace.size();
             target.replay(trace.data(), trace.size());
         }
@@ -613,7 +730,7 @@ main(int argc, char **argv)
         if (stream)
             fatal("--stream is not supported with --bench (the "
                   "throughput measurement replays from memory)");
-        Trace trace = readTrace(trace_path);
+        Trace trace = loadTrace(trace_path, read_opts);
         const std::vector<std::string> labels =
             compare ? standardComparisonLabels()
                     : std::vector<std::string>{org};
@@ -655,11 +772,13 @@ main(int argc, char **argv)
         opts.shards = shards;
         opts.threads = threads;
         opts.warmupRecords = warmup;
+        opts.read = read_opts;
         const std::vector<SweepCell> cells =
             runSharded(trace_path, labels, spec, opts, stream, csv);
+        const int rc = reportResilience(cells);
         if (csv) {
             std::printf("%s", sweepCsv(cells).c_str());
-            return 0;
+            return rc;
         }
         TextTable table;
         table.header({"target", "cache", "loads", "load miss%",
@@ -679,11 +798,12 @@ main(int argc, char **argv)
                            : std::string("-"));
         }
         std::printf("%s", table.render().c_str());
-        return 0;
+        return rc;
     }
 
     SweepRunner sweep(threads);
     sweep.setTargetSpec(spec);
+    sweep.setReadOptions(read_opts);
     for (const std::string &label : labels)
         sweep.addTarget(label);
 
@@ -700,7 +820,7 @@ main(int argc, char **argv)
         }
         sweep.addTraceFileWorkload(trace_path, trace_path);
     } else {
-        Trace trace = readTrace(trace_path);
+        Trace trace = loadTrace(trace_path, read_opts);
         if (!csv) {
             std::printf("trace: %s (%zu instructions)\n",
                         trace_path.c_str(), trace.size());
@@ -710,10 +830,11 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepCell> cells = sweep.run();
+    const int rc = reportResilience(cells);
 
     if (csv) {
         std::printf("%s", sweepCsv(cells).c_str());
-        return 0;
+        return rc;
     }
 
     TextTable table;
@@ -735,5 +856,5 @@ main(int argc, char **argv)
         table.cell(optionalCell(t.hasCpu, t.cpu.ipc(), 3));
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    return rc;
 }

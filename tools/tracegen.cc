@@ -1,14 +1,16 @@
 /**
  * @file
- * cac_tracegen — generate instruction traces in the CACTRC01 binary
- * format, either from the built-in Spec95 workload proxies or from the
- * Figure-1 strided-vector pattern.
+ * cac_tracegen — generate instruction traces in the CACTRC02 binary
+ * container (checksummed chunks; --format v1 writes the legacy bare
+ * CACTRC01 layout), either from the built-in Spec95 workload proxies
+ * or from the Figure-1 strided-vector pattern.
  *
  * Usage:
  *   cac_tracegen --list
  *   cac_tracegen --proxy swim --instructions 1000000 --seed 1 \
  *                --out swim.trc
  *   cac_tracegen --stride 512 --elements 64 --sweeps 64 --out s512.trc
+ *   cac_tracegen --proxy swim --out swim.trc --format v1
  */
 
 #include <cstdio>
@@ -33,7 +35,13 @@ usage()
         "  cac_tracegen --proxy NAME [--instructions N] [--seed S] "
         "--out FILE\n"
         "  cac_tracegen --stride S [--elements N] [--sweeps K] "
-        "--out FILE\n");
+        "--out FILE\n"
+        "options:\n"
+        "  --format F      container revision: v2 (CACTRC02, "
+        "checksummed\n"
+        "                  chunks, default) or v1 (legacy CACTRC01)\n"
+        "  --chunk N       records per CACTRC02 chunk (default %zu)\n",
+        kDefaultTraceChunkRecords);
     std::exit(1);
 }
 
@@ -56,6 +64,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     std::uint64_t stride = 0;
     StrideWorkloadConfig stride_cfg;
+    TraceFormat format = TraceFormat::V2;
+    std::size_t chunk_records = kDefaultTraceChunkRecords;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -85,6 +95,26 @@ main(int argc, char **argv)
                                               nullptr, 0);
         } else if (!std::strcmp(arg, "--out")) {
             out = argValue(argc, argv, i);
+        } else if (!std::strcmp(arg, "--format")) {
+            const char *value = argValue(argc, argv, i);
+            if (!std::strcmp(value, "v1"))
+                format = TraceFormat::V1;
+            else if (!std::strcmp(value, "v2"))
+                format = TraceFormat::V2;
+            else {
+                std::fprintf(stderr,
+                             "unknown trace format '%s' (want v1 or "
+                             "v2)\n",
+                             value);
+                usage();
+            }
+        } else if (!std::strcmp(arg, "--chunk")) {
+            chunk_records = std::strtoull(argValue(argc, argv, i),
+                                          nullptr, 0);
+            if (chunk_records == 0) {
+                std::fprintf(stderr, "--chunk must be >= 1\n");
+                usage();
+            }
         } else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg);
             usage();
@@ -104,8 +134,9 @@ main(int argc, char **argv)
             builder.load(addr, reg::r(1), reg::r(30));
     }
 
-    writeTrace(trace, out);
-    std::printf("wrote %zu instructions to %s\n", trace.size(),
-                out.c_str());
+    writeTrace(trace, out, format, chunk_records);
+    std::printf("wrote %zu instructions to %s (%s)\n", trace.size(),
+                out.c_str(),
+                format == TraceFormat::V1 ? "CACTRC01" : "CACTRC02");
     return 0;
 }
