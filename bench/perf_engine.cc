@@ -36,7 +36,13 @@
  *     CACTRC02 file fully CRC-verified. The acceptance gate
  *     (tools/check_perf.py) requires verified_aps >= 0.9 x
  *     unverified_aps — integrity must cost under 10% of streamed
- *     throughput.
+ *     throughput;
+ *  9. multicore (schema 7) — the swim+tomcatv mix replayed through
+ *     "mc:<c>xa2-Hp-Sk/a4" coherent multi-core targets at 1, 2 and
+ *     4 cores, in records per second. The scheduler is a
+ *     deterministic single-threaded interleave, so this measures the
+ *     per-access coherence-layer overhead (reverse maps, owner
+ *     tracking, inclusion filtering), not parallel speedup.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -163,6 +169,22 @@ struct ShardedPerf
     std::vector<ShardRun> runs;
 };
 
+/** One core-count point of the multicore replay measurement. */
+struct McRun
+{
+    unsigned cores = 0;
+    double seconds = 0.0;
+    double recordsPerSec = 0.0;
+};
+
+/** Coherent multi-core replay throughput (schema 7). */
+struct MultiCorePerf
+{
+    std::string label;       ///< the measured mix label
+    std::size_t records = 0; ///< composed trace length
+    std::vector<McRun> runs;
+};
+
 /** Multiprogrammed-replay throughput (schema 4). */
 struct ScenarioPerf
 {
@@ -180,7 +202,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
           const StreamingResult &streaming, const AnalysisResult &analysis,
           const ScenarioPerf &scenario, const ShardedPerf &sharded,
-          const IntegrityPerf &integrity)
+          const IntegrityPerf &integrity, const MultiCorePerf &multicore)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -189,7 +211,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 6,\n");
+    std::fprintf(f, "  \"schema\": 7,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -277,6 +299,20 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
                  integrity.unverifiedAps);
     std::fprintf(f, "    \"verified_aps\": %.0f\n",
                  integrity.verifiedAps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"multicore\": {\n");
+    std::fprintf(f, "    \"label\": \"%s\",\n", multicore.label.c_str());
+    std::fprintf(f, "    \"records\": %zu,\n", multicore.records);
+    std::fprintf(f, "    \"runs\": [\n");
+    for (std::size_t i = 0; i < multicore.runs.size(); ++i) {
+        const McRun &r = multicore.runs[i];
+        std::fprintf(f,
+                     "      {\"cores\": %u, \"seconds\": %.4f, "
+                     "\"records_per_sec\": %.0f}%s\n",
+                     r.cores, r.seconds, r.recordsPerSec,
+                     i + 1 < multicore.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -599,9 +635,46 @@ main(int argc, char **argv)
                                  / integrity.unverifiedAps));
     }
 
+    // Multicore replay: the same scenario mix through coherent N-core
+    // targets. cores=1 bounds the coherence layer's overhead against
+    // the plain-hierarchy scenario numbers above; 2 and 4 cores add
+    // the per-access demultiplex and the shared-L2 bookkeeping.
+    MultiCorePerf multicore_perf;
+    {
+        const std::string mix = smoke ? "mix:swim+tomcatv@q=5k,n=25k"
+                                      : "mix:swim+tomcatv@q=50k,n=250k";
+        const std::shared_ptr<const Scenario> scenario =
+            buildScenario(mix);
+        multicore_perf.label = mix;
+        multicore_perf.records = scenario->composed().size();
+        TargetSpec tspec;
+        tspec.org = spec;
+        for (unsigned cores : {1u, 2u, 4u}) {
+            const std::string label =
+                "mc:" + std::to_string(cores) + "xa2-Hp-Sk/a4";
+            const ThroughputResult r =
+                measureThroughput(min_seconds, [&] {
+                    auto target = OrgRegistry::global().buildTarget(
+                        label, tspec);
+                    scenario->replayInto(*target);
+                    target->finish();
+                    return static_cast<std::uint64_t>(
+                        scenario->composed().size());
+                });
+            McRun run;
+            run.cores = cores;
+            run.seconds = r.seconds;
+            run.recordsPerSec = r.unitsPerSec;
+            std::printf("multicore replay %u core%s %12.0f rps\n",
+                        cores, cores == 1 ? " " : "s",
+                        run.recordsPerSec);
+            multicore_perf.runs.push_back(run);
+        }
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
               sweep_accesses, sweep_results, streaming, analysis,
-              scenario_perf, sharded_perf, integrity);
+              scenario_perf, sharded_perf, integrity, multicore_perf);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -95,6 +95,25 @@ ConflictProfile::report(std::size_t top_pairs) const
                << std::dec << "  x" << p.count << '\n';
         }
     }
+    if (hasMultiCore) {
+        os << "multicore: " << multicore.cores.size() << " cores, "
+           << multicore.interventions << " L1-to-L1 interventions, "
+           << multicore.invalidationMessages
+           << " coherence invalidations\n";
+        for (std::size_t c = 0; c < multicore.cores.size(); ++c) {
+            const McCoreStats &core = multicore.cores[c];
+            os << "  core " << c << ": " << core.l1.accesses()
+               << " accesses, " << core.l1.misses() << " misses ("
+               << 100.0 * core.l1.missRatio() << "%), intervened in/out "
+               << core.interventionsReceived << "/"
+               << core.interventionsSupplied << ", invalidated "
+               << core.invalidationsReceived << ", L2 lines lost to "
+                  "peers "
+               << core.l2EvictionsByOthers << ", inter-core conflict "
+                  "misses "
+               << core.interCoreConflictMisses << '\n';
+        }
+    }
     return os.str();
 }
 
@@ -239,9 +258,13 @@ ConflictProfiler::flushPrimary()
 const ConflictProfile &
 ConflictProfiler::profile() const
 {
-    profile_.target = inner_->stats().l1;
+    const TargetStats inner_stats = inner_->stats();
+    profile_.target = inner_stats.l1;
     if (shadow_)
         profile_.shadow = shadow_->stats();
+    profile_.hasMultiCore = inner_stats.hasMultiCore;
+    if (inner_stats.hasMultiCore)
+        profile_.multicore = inner_stats.mc;
     return profile_;
 }
 

@@ -84,6 +84,15 @@ struct ConflictProfile
     bool hasShadow = false;
 
     /**
+     * Multicore attribution, copied from the wrapped target when it is
+     * an N-core coherent system: per-core coherence traffic rows plus
+     * the inter-core invalidation/conflict-miss attribution — the
+     * multicore analogue of the per-program scenario attribution.
+     */
+    bool hasMultiCore = false;
+    MultiCoreStats multicore;
+
+    /**
      * Misses beyond the fully-associative shadow's: the conflict-miss
      * component of the three-C decomposition (0 when the target out-
      * performs the shadow, which LRU pathologies make possible).

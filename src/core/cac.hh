@@ -40,6 +40,8 @@
 #include "index/ipoly.hh"
 #include "index/matrix_index.hh"
 #include "index/xor_skew.hh"
+#include "multicore/coherent_system.hh"
+#include "multicore/mc_target.hh"
 #include "poly/catalog.hh"
 #include "scenario/scenario.hh"
 #include "poly/gf2poly.hh"

@@ -63,6 +63,13 @@ struct TargetSpec
     unsigned l2Ways = 2; ///< L2 ways for labels that don't encode them
     std::uint64_t pageBytes = 4096;  ///< virtual-real page size
     std::uint64_t pageSeed = 12345;  ///< page-map determinism knob
+    /**
+     * "mc:" ASID-window stride demultiplexing a stream onto cores
+     * (core = (vaddr / window) % cores). Matches the Scenario engine's
+     * asidStrideBytes default so a mix's programs round-robin across
+     * cores.
+     */
+    std::uint64_t mcWindowBytes = std::uint64_t{1} << 21;
 };
 
 /** Registry of named cache organizations. */
@@ -121,7 +128,9 @@ class OrgRegistry
      *    L2 are organization labels;
      *  - "cpu:CONFIG" — the out-of-order core, where CONFIG is a Table-2
      *    configuration name ("8k-ipoly-cp", ...) or an associativity
-     *    family label ("a2-Hp-Sk") applied to the spec's L1 geometry.
+     *    family label ("a2-Hp-Sk") applied to the spec's L1 geometry;
+     *  - "mc:CORESxL1/L2" — CORES coherent cores with private L1s over
+     *    one shared L2 (e.g. "mc:4xa2-Hp-Sk/a4").
      */
     bool knownTarget(const std::string &label) const;
 

@@ -79,6 +79,17 @@ runShards(const TargetFactory &factory, std::uint64_t count,
                     "CPU targets cannot be time-sharded (cycle state "
                     "is not attributable to a slice)"));
             }
+            if (target->kind() == TargetKind::MultiCore && shards > 1) {
+                // Coherence state (ownership, peer-L1 contents) spans
+                // cores: a cold-started slice would miss invalidations
+                // and interventions owed to earlier slices, producing
+                // checkpoints no warm-up bound reconciles.
+                throw CacError(Error::make(
+                    ErrorCode::WorkerFailed,
+                    "multi-core targets cannot be time-sharded "
+                    "(coherence state is not attributable to a "
+                    "slice)"));
+            }
             names[i] = target->name();
             deltas[i] = replayShard(
                 *target, result.slices[i],

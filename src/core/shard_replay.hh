@@ -22,10 +22,12 @@
  *    cache level). Shard 0 has no preceding records and is exact;
  *    shards=1 is bit-identical to monolithic replay.
  *
- * Only functional targets (Cache, Hierarchy) can be sharded: CPU
- * timing state (in-flight instructions, cycle counts) cannot be
- * attributed to a time slice, so Cpu targets are rejected — drivers
- * fall back to monolithic replay for them.
+ * Only single-context functional targets (Cache, Hierarchy) can be
+ * sharded: CPU timing state (in-flight instructions, cycle counts)
+ * cannot be attributed to a time slice, and multi-core coherence
+ * state (ownership, peer-L1 contents) spans slices in ways no warm-up
+ * window reconstructs — Cpu and MultiCore targets are rejected and
+ * drivers fall back to monolithic replay for them.
  *
  * Resilience: shards read their slice under the Strict policy even
  * when the caller asked for Skip/Resync — a shard that silently
@@ -124,8 +126,8 @@ struct ShardedReplayResult
 
 /**
  * Shard-replay an in-memory trace across @p opts.shards slices.
- * A factory that produces a CPU target with shards > 1 triggers the
- * monolithic fallback (fellBack + note in the result).
+ * A factory that produces a CPU or multi-core target with shards > 1
+ * triggers the monolithic fallback (fellBack + note in the result).
  */
 ShardedReplayResult shardedReplayTrace(const TargetFactory &factory,
                                        const Trace &trace,

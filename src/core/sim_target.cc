@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "hierarchy/page_map.hh"
 #include "index/factory.hh"
+#include "multicore/mc_target.hh"
 
 namespace cac
 {
@@ -18,6 +19,10 @@ constexpr std::size_t kMaxRun = MemRunGatherer::kMaxRun;
 
 constexpr const char *k2lvlPrefix = "2lvl:";
 constexpr const char *kCpuPrefix = "cpu:";
+constexpr const char *kMcPrefix = "mc:";
+
+/** Sanity cap on mc: core counts (a parse guard, not a design limit). */
+constexpr unsigned kMaxCores = 64;
 
 /** Strip @p prefix from @p label into @p rest. */
 bool
@@ -44,6 +49,30 @@ splitHierarchyLabels(const std::string &rest, std::string &l1,
     l1 = rest.substr(0, slash);
     l2 = rest.substr(slash + 1);
     return true;
+}
+
+/**
+ * Split "<cores>x<l1>/<l2>" (the mc: payload); false on a malformed
+ * core count or hierarchy part.
+ */
+bool
+splitMcLabel(const std::string &rest, unsigned &cores, std::string &l1,
+             std::string &l2)
+{
+    const std::size_t x = rest.find('x');
+    if (x == std::string::npos || x == 0 || x + 1 == rest.size())
+        return false;
+    cores = 0;
+    for (std::size_t i = 0; i < x; ++i) {
+        if (rest[i] < '0' || rest[i] > '9')
+            return false;
+        cores = cores * 10 + static_cast<unsigned>(rest[i] - '0');
+        if (cores > kMaxCores)
+            return false;
+    }
+    if (cores == 0)
+        return false;
+    return splitHierarchyLabels(rest.substr(x + 1), l1, l2);
 }
 
 /**
@@ -90,6 +119,9 @@ targetStatsDelta(const TargetStats &now, const TargetStats &then)
         d.l2 = cacheStatsDelta(now.l2, then.l2);
         d.holes = holeStatsDelta(now.holes, then.holes);
     }
+    d.hasMultiCore = now.hasMultiCore;
+    if (now.hasMultiCore)
+        d.mc = multiCoreStatsDelta(now.mc, then.mc);
     return d;
 }
 
@@ -104,6 +136,10 @@ targetStatsAccumulate(TargetStats &into, const TargetStats &delta)
         cacheStatsAccumulate(into.l2, delta.l2);
         holeStatsAccumulate(into.holes, delta.holes);
     }
+    if (delta.hasMultiCore) {
+        into.hasMultiCore = true;
+        multiCoreStatsAccumulate(into.mc, delta.mc);
+    }
 }
 
 std::string
@@ -116,6 +152,8 @@ targetKindName(TargetKind kind)
         return "2lvl";
       case TargetKind::Cpu:
         return "cpu";
+      case TargetKind::MultiCore:
+        return "mc";
     }
     return "?";
 }
@@ -308,6 +346,12 @@ OrgRegistry::knownTarget(const std::string &label) const
     }
     if (stripPrefix(label, kCpuPrefix, rest))
         return cpuConfigFor(rest, TargetSpec{}).has_value();
+    if (stripPrefix(label, kMcPrefix, rest)) {
+        unsigned cores = 0;
+        std::string l1, l2;
+        return splitMcLabel(rest, cores, l1, l2) && known(l1)
+            && known(l2);
+    }
     return known(label);
 }
 
@@ -360,6 +404,47 @@ OrgRegistry::buildTarget(const std::string &label,
         return std::make_unique<CpuTarget>("cpu " + cfg->toString(),
                                            *cfg);
     }
+    if (stripPrefix(label, kMcPrefix, rest)) {
+        unsigned cores = 0;
+        std::string l1_label, l2_label;
+        if (!splitMcLabel(rest, cores, l1_label, l2_label)) {
+            fatal("multicore target '%s' must have the form "
+                  "mc:CORESxL1-LABEL/L2-LABEL with 1 <= CORES <= %u",
+                  label.c_str(), kMaxCores);
+        }
+
+        OrgSpec l2_spec = spec.org;
+        l2_spec.sizeBytes = spec.l2SizeBytes;
+        if (spec.l2Ways < 1)
+            fatal("multicore target '%s': l2Ways must be >= 1",
+                  label.c_str());
+        l2_spec.ways = spec.l2Ways;
+        // Same hashed-L2 index-width rule as the 2lvl: grammar (probe
+        // the built geometry, then rebuild with covering input bits).
+        std::unique_ptr<CacheModel> l2 = build(l2_label, l2_spec);
+        l2_spec.hashBlockBits =
+            std::max(spec.org.hashBlockBits,
+                     l2->geometry().setBits() + 6);
+        l2 = build(l2_label, l2_spec);
+
+        // One private L1 per core, identical spec (and seed: every
+        // core's cache hashes addresses the same way, like real
+        // replicated arrays).
+        std::vector<std::unique_ptr<CacheModel>> l1s;
+        l1s.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c)
+            l1s.push_back(build(l1_label, spec.org));
+
+        const std::string display = std::to_string(cores) + "x "
+            + l1s.front()->name() + " / " + l2->name();
+        auto system = std::make_unique<CoherentSystem>(
+            std::move(l1s), std::move(l2),
+            PageMap(spec.pageBytes, std::uint64_t{1} << 20,
+                    spec.pageSeed),
+            spec.mcWindowBytes);
+        return std::make_unique<MultiCoreTarget>(display,
+                                                 std::move(system));
+    }
     return std::make_unique<CacheTarget>(build(label, spec.org));
 }
 
@@ -396,6 +481,8 @@ standardTargetLabels()
     labels.push_back("2lvl:a2-Hp-Sk/a4");
     labels.push_back("cpu:8k-conv");
     labels.push_back("cpu:8k-ipoly-cp-pred");
+    labels.push_back("mc:2xa2/a4");
+    labels.push_back("mc:2xa2-Hp-Sk/a4");
     return labels;
 }
 

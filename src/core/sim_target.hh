@@ -25,9 +25,11 @@
  *
  * Labels: OrgRegistry::buildTarget() resolves the extended grammar
  * ("a2-Hp-Sk", "2lvl:a2-Hp-Sk/a4", "cpu:8k-ipoly-cp",
- * "cpu:a2-Hp-Sk") to these classes; SweepRunner::addTarget() accepts
- * the same labels, so `cac_sim --compare` can grid hierarchies and
- * CPUs next to plain caches.
+ * "cpu:a2-Hp-Sk", "mc:4xa2-Hp-Sk/a4") to these classes (the mc
+ * grammar builds a multicore/mc_target.hh MultiCoreTarget);
+ * SweepRunner::addTarget() accepts the same labels, so `cac_sim
+ * --compare` can grid hierarchies, CPUs and multicore systems next to
+ * plain caches.
  */
 
 #ifndef CAC_CORE_SIM_TARGET_HH
@@ -44,6 +46,7 @@
 #include "cpu/config.hh"
 #include "cpu/ooo_core.hh"
 #include "hierarchy/two_level.hh"
+#include "multicore/coherent_system.hh"
 #include "trace/io.hh"
 #include "trace/record.hh"
 
@@ -55,10 +58,11 @@ enum class TargetKind
 {
     Cache,     ///< functional single-level CacheModel
     Hierarchy, ///< two-level virtual-real hierarchy
-    Cpu        ///< out-of-order core + timing L1
+    Cpu,       ///< out-of-order core + timing L1
+    MultiCore  ///< N coherent cores: private L1s over a shared L2
 };
 
-/** Short display name ("cache", "2lvl", "cpu"). */
+/** Short display name ("cache", "2lvl", "cpu", "mc"). */
 std::string targetKindName(TargetKind kind);
 
 /**
@@ -78,6 +82,15 @@ struct TargetStats
 
     bool hasCpu = false;
     CpuStats cpu; ///< IPC, cycles, branch + address prediction
+
+    /**
+     * Multicore section: per-core L1/hole rows plus coherence traffic
+     * (interventions, invalidations, inter-core conflict attribution).
+     * For MultiCore targets l1/l2/holes above hold the cross-core
+     * aggregates, so single-target report paths work unchanged.
+     */
+    bool hasMultiCore = false;
+    MultiCoreStats mc;
 };
 
 /**
@@ -85,9 +98,9 @@ struct TargetStats
  * in @p now minus the same counter in @p then (kinds must match).
  * The sharded replay engine subtracts each shard's post-warm-up
  * snapshot from its final stats to isolate the counted slice. Only
- * Cache and Hierarchy targets are deltaable — CPU timing state (cycles
- * in flight) cannot be attributed to a slice, so Cpu kinds are
- * rejected.
+ * Cache, Hierarchy and MultiCore targets are deltaable — CPU timing
+ * state (cycles in flight) cannot be attributed to a slice, so Cpu
+ * kinds are rejected.
  */
 TargetStats targetStatsDelta(const TargetStats &now,
                              const TargetStats &then);

@@ -283,6 +283,8 @@ SweepRunner::runCellBody(SweepCell &cell, const Workload &workload,
 
     cell.target = target.stats();
     cell.stats = cell.target.l1;
+    if (cell.target.hasMultiCore)
+        cell.cores = cell.target.mc.cores;
     if (observer_)
         observer_(cell, target);
 }
@@ -325,6 +327,7 @@ SweepRunner::runCell(std::size_t index,
         cell.stats = CacheStats{};
         cell.target = TargetStats{};
         cell.programs.clear();
+        cell.cores.clear();
     }
     return cell;
 }
@@ -358,17 +361,22 @@ sweepCsv(const std::vector<SweepCell> &cells)
     // sweeps (CI diffs golden CSVs against it); the resilience columns
     // appear exactly when they carry information.
     bool extended = false;
+    bool multicore = false;
     for (const SweepCell &cell : cells) {
-        if (cell.failed || cell.read.degraded()) {
+        if (cell.failed || cell.read.degraded())
             extended = true;
-            break;
-        }
+        if (cell.target.hasMultiCore)
+            multicore = true;
     }
 
     std::string out =
         "workload,organization,cache,loads,stores,load_misses,"
         "store_misses,load_miss_pct,miss_pct,l2_miss_pct,holes,"
         "inclusion_invalidates,ipc,cycles";
+    if (multicore) {
+        out += ",cores,interventions,coherence_invalidations,"
+               "intercore_evictions,intercore_conflict_misses";
+    }
     if (extended)
         out += ",dropped_records,status";
     out += '\n';
@@ -414,6 +422,27 @@ sweepCsv(const std::vector<SweepCell> &cells)
         } else {
             out += ",,";
         }
+
+        // Multicore columns (present only when the sweep has mc cells,
+        // empty on non-mc rows).
+        if (multicore) {
+            if (cell.target.hasMultiCore) {
+                const MultiCoreStats &mc = cell.target.mc;
+                std::snprintf(
+                    numbers, sizeof(numbers), ",%llu,%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(mc.cores.size()),
+                    static_cast<unsigned long long>(mc.interventions),
+                    static_cast<unsigned long long>(
+                        mc.invalidationMessages),
+                    static_cast<unsigned long long>(
+                        mc.totalL2EvictionsByOthers()),
+                    static_cast<unsigned long long>(
+                        mc.totalInterCoreConflictMisses()));
+                out += numbers;
+            } else {
+                out += ",,,,,";
+            }
+        }
         if (extended) {
             std::snprintf(numbers, sizeof(numbers), ",%llu,%s",
                           static_cast<unsigned long long>(
@@ -431,14 +460,29 @@ sweepCsv(const std::vector<SweepCell> &cells)
 std::string
 scenarioCsv(const std::vector<SweepCell> &cells)
 {
+    // Like sweepCsv, the historical column set is byte-stable: the
+    // multicore columns (and the per-core rows) appear exactly when
+    // the sweep contains MultiCore cells.
+    bool multicore = false;
+    for (const SweepCell &cell : cells) {
+        if (cell.target.hasMultiCore)
+            multicore = true;
+    }
+
     std::string out =
         "workload,organization,cache,program,asid,records,loads,stores,"
-        "load_misses,store_misses,load_miss_pct,miss_pct\n";
+        "load_misses,store_misses,load_miss_pct,miss_pct";
+    if (multicore) {
+        out += ",interventions,coherence_invalidations,"
+               "intercore_evictions,intercore_conflict_misses";
+    }
+    out += '\n';
     char numbers[224];
     const auto emit = [&](const SweepCell &cell,
                           const std::string &program,
                           const std::string &asid,
-                          std::uint64_t records, const CacheStats &s) {
+                          std::uint64_t records, const CacheStats &s,
+                          const std::string &mc_columns) {
         out += csvField(cell.workload);
         out += ',';
         out += csvField(cell.org);
@@ -449,7 +493,7 @@ scenarioCsv(const std::vector<SweepCell> &cells)
         out += ',';
         out += asid;
         std::snprintf(numbers, sizeof(numbers),
-                      ",%llu,%llu,%llu,%llu,%llu,%.4f,%.4f\n",
+                      ",%llu,%llu,%llu,%llu,%llu,%.4f,%.4f",
                       static_cast<unsigned long long>(records),
                       static_cast<unsigned long long>(s.loads),
                       static_cast<unsigned long long>(s.stores),
@@ -457,14 +501,48 @@ scenarioCsv(const std::vector<SweepCell> &cells)
                       static_cast<unsigned long long>(s.storeMisses),
                       100.0 * s.loadMissRatio(), 100.0 * s.missRatio());
         out += numbers;
+        out += mc_columns;
+        out += '\n';
     };
+    const std::string no_mc = multicore ? ",,,," : "";
     for (const SweepCell &cell : cells) {
         std::uint64_t records = 0;
         for (const ScenarioProgramStats &p : cell.programs) {
-            emit(cell, p.name, std::to_string(p.asid), p.records, p.l1);
+            emit(cell, p.name, std::to_string(p.asid), p.records, p.l1,
+                 no_mc);
             records += p.records;
         }
-        emit(cell, "<all>", "", records, cell.stats);
+        // Per-core rows: each core's private-L1 stats plus the
+        // coherence traffic and inter-core conflict attribution it
+        // received.
+        for (std::size_t c = 0; c < cell.cores.size(); ++c) {
+            const McCoreStats &core = cell.cores[c];
+            std::snprintf(
+                numbers, sizeof(numbers), ",%llu,%llu,%llu,%llu",
+                static_cast<unsigned long long>(
+                    core.interventionsReceived),
+                static_cast<unsigned long long>(
+                    core.invalidationsReceived),
+                static_cast<unsigned long long>(core.l2EvictionsByOthers),
+                static_cast<unsigned long long>(
+                    core.interCoreConflictMisses));
+            emit(cell, "core" + std::to_string(c), "", core.l1.accesses(),
+                 core.l1, numbers);
+        }
+        if (cell.target.hasMultiCore) {
+            const MultiCoreStats &mc = cell.target.mc;
+            std::snprintf(
+                numbers, sizeof(numbers), ",%llu,%llu,%llu,%llu",
+                static_cast<unsigned long long>(mc.interventions),
+                static_cast<unsigned long long>(mc.invalidationMessages),
+                static_cast<unsigned long long>(
+                    mc.totalL2EvictionsByOthers()),
+                static_cast<unsigned long long>(
+                    mc.totalInterCoreConflictMisses()));
+            emit(cell, "<all>", "", records, cell.stats, numbers);
+        } else {
+            emit(cell, "<all>", "", records, cell.stats, no_mc);
+        }
     }
     return out;
 }

@@ -69,6 +69,12 @@ struct SweepCell
     std::vector<ScenarioProgramStats> programs;
 
     /**
+     * Per-core attribution, populated for MultiCore targets only
+     * (one entry per core, core order; a copy of target.mc.cores).
+     */
+    std::vector<McCoreStats> cores;
+
+    /**
      * True when this cell did not produce usable stats (strict-policy
      * damage, worker exception, blown deadline); @ref error has the
      * diagnostic. The rest of the grid is unaffected.

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MultiCoreTarget: the N-core coherent shared-cache system behind the
+ * SimTarget interface, so sweeps, scenarios, the conflict profiler and
+ * the CLI drive it exactly like a single cache or hierarchy.
+ *
+ * Labels: OrgRegistry::buildTarget() resolves
+ * `mc:<cores>x<l1-org>/<l2-org>` (e.g. "mc:4xa2-Hp-Sk/a4") to this
+ * class; `cac_sim --cores N` rewrites plain organization labels into
+ * the grammar. Streams demultiplex onto cores by ASID window (see
+ * CoherentSystem), so a Scenario mix's programs round-robin across
+ * cores with no scheduler changes.
+ */
+
+#ifndef CAC_MULTICORE_MC_TARGET_HH
+#define CAC_MULTICORE_MC_TARGET_HH
+
+#include <memory>
+#include <string>
+
+#include "core/sim_target.hh"
+#include "multicore/coherent_system.hh"
+
+namespace cac
+{
+
+/** N-core coherent shared-cache target. */
+class MultiCoreTarget : public SimTarget
+{
+  public:
+    MultiCoreTarget(std::string name,
+                    std::unique_ptr<CoherentSystem> system);
+
+    std::string name() const override { return name_; }
+    TargetKind kind() const override { return TargetKind::MultiCore; }
+    void accessBatch(const std::uint64_t *addrs, std::size_t n,
+                     bool is_write) override;
+    void replay(const TraceRecord *recs, std::size_t n) override;
+    void finish() override;
+    void checkpoint() override;
+    void flushPrimary() override;
+    TargetStats stats() const override;
+
+    CoherentSystem &system() { return *system_; }
+    const CoherentSystem &system() const { return *system_; }
+
+  private:
+    std::string name_;
+    std::unique_ptr<CoherentSystem> system_;
+    /** Same-kind run gathering, restartable across replay() chunks. */
+    MemRunGatherer gather_;
+};
+
+} // namespace cac
+
+#endif // CAC_MULTICORE_MC_TARGET_HH

@@ -20,7 +20,7 @@ if(NOT err MATCHES "unknown argument '--definitely-not-a-flag'")
   message(FATAL_ERROR "unknown flag not diagnosed: ${err}")
 endif()
 foreach(flag --analyze --search --stream --l2-size --l2-ways --threads
-        --scenario)
+        --scenario --cores)
   if(NOT err MATCHES "${flag}")
     message(FATAL_ERROR "usage text is missing ${flag}: ${err}")
   endif()

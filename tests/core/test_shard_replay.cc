@@ -192,5 +192,41 @@ TEST(ShardReplay, HierarchyTargetsShard)
     EXPECT_LE(absDiff(got.stats.l2.misses(), want.l2.misses()), bound);
 }
 
+TEST(ShardReplay, MultiCoreTargetsFallBackToMonolithic)
+{
+    // Coherence state spans the whole stream: a cold-started slice
+    // would miss the invalidations and interventions earlier slices
+    // caused, so multi-core targets must reject sharding explicitly
+    // (monolithic fallback with a note, like Cpu) instead of summing
+    // silently wrong per-slice deltas.
+    const Trace trace = proxyTrace();
+    const TargetFactory factory = cacheFactory("mc:2xa2/a4");
+    const TargetStats want = monolithic(factory, trace);
+
+    ShardOptions opts;
+    opts.shards = 4;
+    const ShardedReplayResult got =
+        shardedReplayTrace(factory, trace, opts);
+    EXPECT_TRUE(got.fellBack);
+    EXPECT_NE(got.note.find("multi-core"), std::string::npos)
+        << got.note;
+    EXPECT_TRUE(got.error.ok()) << got.error.message();
+    ASSERT_TRUE(got.stats.hasMultiCore);
+    expectCacheStatsEqual(got.stats.l1, want.l1, "mc-fallback");
+    EXPECT_EQ(got.stats.l2.misses(), want.l2.misses());
+
+    // shards=1 never enters the parallel path, so it succeeds and is
+    // bit-identical to monolithic replay.
+    opts.shards = 1;
+    const ShardedReplayResult one =
+        shardedReplayTrace(factory, trace, opts);
+    EXPECT_FALSE(one.fellBack);
+    ASSERT_TRUE(one.stats.hasMultiCore);
+    expectCacheStatsEqual(one.stats.l1, want.l1, "mc-one-shard");
+    EXPECT_EQ(one.stats.mc.interventions, want.mc.interventions);
+    EXPECT_EQ(one.stats.mc.invalidationMessages,
+              want.mc.invalidationMessages);
+}
+
 } // anonymous namespace
 } // namespace cac

@@ -11,7 +11,8 @@ Throughput metrics are recognized by name: any numeric leaf whose key
 ends in "aps" (accesses/sec), "_rps" (records/sec) or "per_sec".
 List entries are keyed by their identifying field ("org" for the
 organization table, "threads" for the sweep/search runs, "shards" for
-the sharded-replay runs), so a baseline written on a 16-core machine
+the sharded-replay runs, "cores" for the schema-7 multicore runs), so
+a baseline written on a 16-core machine
 and a fresh file from a 4-core runner compare only the run points they
 share (threads=1 is always present).
 
@@ -61,6 +62,8 @@ def collect_metrics(node, path, out):
                     key = "threads=%s" % value["threads"]
                 elif "shards" in value:
                     key = "shards=%s" % value["shards"]
+                elif "cores" in value:
+                    key = "cores=%s" % value["cores"]
             collect_metrics(value, path + [key], out)
     elif isinstance(node, (int, float)) and not isinstance(node, bool):
         if path and is_rate_key(path[-1]):

@@ -106,7 +106,7 @@ usage()
         "          [--seed S] [--threads N] [--csv] [--stream]\n"
         "  cac_sim --scenario MIX [--org TARGET | --compare] "
         "[--threads N] [--csv]\n"
-        "          [--stream]\n"
+        "          [--stream] [--cores N]\n"
         "reader options (any mode that reads --trace):\n"
         "  --policy P      damage handling: strict (fail fast, "
         "default), skip\n"
@@ -132,6 +132,10 @@ usage()
         "(L1, L2 org labels)\n"
         "  cpu:CONFIG      out-of-order core (Table-2 config or aN "
         "scheme label)\n"
+        "  mc:CxL1/L2      C coherent cores, private L1s over one "
+        "shared L2\n"
+        "  --cores N       rewrite plain org labels to mc:NxLABEL/a4 "
+        "(N cores)\n"
         "orgs:\n");
     for (const auto &entry : OrgRegistry::global().entries()) {
         std::fprintf(stderr, "  %-14s %s\n", entry.pattern.c_str(),
@@ -348,13 +352,30 @@ runSearch(const std::string &trace_path, const TargetSpec &spec,
 }
 
 /**
+ * --cores N: rewrite plain organization labels into the mc: grammar
+ * (N coherent cores with that L1 org over a shared a4 L2). Extended
+ * targets (2lvl:/cpu:/mc:) pass through untouched.
+ */
+std::vector<std::string>
+applyCores(std::vector<std::string> labels, unsigned cores)
+{
+    if (cores == 0)
+        return labels;
+    for (std::string &label : labels) {
+        if (OrgRegistry::global().known(label))
+            label = "mc:" + std::to_string(cores) + "x" + label + "/a4";
+    }
+    return labels;
+}
+
+/**
  * --scenario: grid a multiprogrammed mix against one target or the
  * scenario comparison set, with per-program and aggregate attribution.
  */
 int
 runScenarioCmd(const std::string &mix_label, const std::string &org,
                bool compare, const TargetSpec &spec, unsigned threads,
-               bool csv, bool stream)
+               bool csv, bool stream, unsigned cores)
 {
     std::string parse_error;
     const std::optional<ScenarioSpec> parsed =
@@ -369,9 +390,10 @@ runScenarioCmd(const std::string &mix_label, const std::string &org,
 
     SweepRunner sweep(threads > 0 ? threads : 1);
     sweep.setTargetSpec(spec);
-    const std::vector<std::string> labels =
+    const std::vector<std::string> labels = applyCores(
         (compare || org.empty()) ? scenarioComparisonLabels()
-                                 : std::vector<std::string>{org};
+                                 : std::vector<std::string>{org},
+        cores);
     // The conflict column only exists in the table output, so the CSV
     // path skips the profiler (and its fully-associative shadow replay
     // of the whole mix) entirely.
@@ -389,8 +411,31 @@ runScenarioCmd(const std::string &mix_label, const std::string &org,
                     std::make_unique<CacheTarget>(std::move(model)),
                     geometry, options);
             });
+        } else if (!csv && label.rfind("mc:", 0) == 0) {
+            // Multicore system: profile against a fully-associative
+            // shadow of the *aggregate* private-L1 capacity, so the
+            // conflict column answers "how many misses would N cores'
+            // worth of ideally-placed L1 have avoided".
+            sweep.addTarget(label, [label,
+                                    spec]() -> std::unique_ptr<SimTarget> {
+                auto inner = OrgRegistry::global().buildTarget(label,
+                                                               spec);
+                auto *mc = dynamic_cast<MultiCoreTarget *>(inner.get());
+                const unsigned n = mc ? mc->system().numCores() : 0;
+                // CacheGeometry wants power-of-two capacities; other
+                // core counts run unprofiled.
+                if (n == 0 || (n & (n - 1)) != 0)
+                    return inner;
+                const CacheGeometry geometry(spec.org.sizeBytes * n,
+                                             spec.org.blockBytes,
+                                             spec.org.ways);
+                ProfilerOptions options;
+                options.pairs = false;
+                return std::make_unique<ConflictProfiler>(
+                    std::move(inner), geometry, options);
+            });
         } else {
-            sweep.addTarget(label); // "2lvl:" / "cpu:" — no profiler
+            sweep.addTarget(label); // "2lvl:" / "cpu:" / csv mc:
         }
     }
     sweep.addScenarioWorkload(
@@ -443,6 +488,21 @@ runScenarioCmd(const std::string &mix_label, const std::string &org,
             table.cell(100.0 * program.l1.loadMissRatio(), 2);
             table.cell(100.0 * program.l1.missRatio(), 2);
             table.cell("-");
+        }
+        // Per-core attribution rows for multicore cells; the conflict
+        // column carries each core's inter-core conflict misses.
+        for (std::size_t c = 0; c < cell.cores.size(); ++c) {
+            const McCoreStats &core = cell.cores[c];
+            table.beginRow();
+            table.cell(cell.org);
+            table.cell(cell.cacheName);
+            table.cell("core" + std::to_string(c));
+            table.cell("-");
+            table.cell(static_cast<long long>(core.l1.accesses()));
+            table.cell(static_cast<long long>(core.l1.loads));
+            table.cell(100.0 * core.l1.loadMissRatio(), 2);
+            table.cell(100.0 * core.l1.missRatio(), 2);
+            table.cell(std::to_string(core.interCoreConflictMisses));
         }
         table.beginRow();
         table.cell(cell.org);
@@ -566,6 +626,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     unsigned threads = std::thread::hardware_concurrency();
     unsigned shards = 0; // 0 = sharding not requested
+    unsigned cores = 0;  // 0 = no multicore rewrite
     std::uint64_t warmup = ShardOptions{}.warmupRecords;
     TargetSpec spec;
     TraceReaderOptions read_opts;
@@ -605,6 +666,9 @@ main(int argc, char **argv)
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
         else if (!std::strcmp(arg, "--shards"))
             shards = static_cast<unsigned>(
+                std::strtoul(argValue(argc, argv, i), nullptr, 0));
+        else if (!std::strcmp(arg, "--cores"))
+            cores = static_cast<unsigned>(
                 std::strtoul(argValue(argc, argv, i), nullptr, 0));
         else if (!std::strcmp(arg, "--warmup"))
             warmup = std::strtoull(argValue(argc, argv, i), nullptr, 0);
@@ -664,7 +728,7 @@ main(int argc, char **argv)
             usage();
         }
         return runScenarioCmd(scenario, org, compare, spec, threads,
-                              csv, stream);
+                              csv, stream, cores);
     }
     if (!analyze.empty())
         return runAnalyze(analyze, trace_path, spec, stream);
@@ -757,9 +821,9 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const std::vector<std::string> labels =
-        compare ? standardTargetLabels()
-                : std::vector<std::string>{org};
+    const std::vector<std::string> labels = applyCores(
+        compare ? standardTargetLabels() : std::vector<std::string>{org},
+        cores);
 
     if (shards > 0) {
         // Time-sharded replay of the single trace (the sweep path
