@@ -42,7 +42,13 @@
  *     4 cores, in records per second. The scheduler is a
  *     deterministic single-threaded interleave, so this measures the
  *     per-access coherence-layer overhead (reverse maps, owner
- *     tracking, inclusion filtering), not parallel speedup.
+ *     tracking, inclusion filtering), not parallel speedup;
+ * 10. observability (schema 8) — the warm-keep scenario replay with
+ *     telemetry compiled in but runtime-off (the disabled fast path
+ *     every run pays), with the metrics registry plus a 4096-access
+ *     window sampler enabled, and with span tracing enabled on top.
+ *     tools/check_perf.py gates off_rps >= 0.97x and metrics_rps >=
+ *     0.90x of the plain scenario warm_keep_rps.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -57,6 +63,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -185,6 +192,15 @@ struct MultiCorePerf
     std::vector<McRun> runs;
 };
 
+/** Telemetry overhead on the scenario replay loop (schema 8). */
+struct ObsPerf
+{
+    std::size_t records = 0;
+    double offRps = 0.0;     ///< compiled in, runtime off
+    double metricsRps = 0.0; ///< registry + 4096-access windows on
+    double traceRps = 0.0;   ///< span tracing on top of metrics
+};
+
 /** Multiprogrammed-replay throughput (schema 4). */
 struct ScenarioPerf
 {
@@ -202,7 +218,8 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           std::size_t sweep_accesses, const std::vector<SweepResult> &sweeps,
           const StreamingResult &streaming, const AnalysisResult &analysis,
           const ScenarioPerf &scenario, const ShardedPerf &sharded,
-          const IntegrityPerf &integrity, const MultiCorePerf &multicore)
+          const IntegrityPerf &integrity, const MultiCorePerf &multicore,
+          const ObsPerf &obs_perf)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -211,7 +228,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 7,\n");
+    std::fprintf(f, "  \"schema\": 8,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -313,6 +330,12 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
                      i + 1 < multicore.runs.size() ? "," : "");
     }
     std::fprintf(f, "    ]\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"observability\": {\n");
+    std::fprintf(f, "    \"records\": %zu,\n", obs_perf.records);
+    std::fprintf(f, "    \"off_rps\": %.0f,\n", obs_perf.offRps);
+    std::fprintf(f, "    \"metrics_rps\": %.0f,\n", obs_perf.metricsRps);
+    std::fprintf(f, "    \"trace_rps\": %.0f\n", obs_perf.traceRps);
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -672,9 +695,59 @@ main(int argc, char **argv)
         }
     }
 
+    // Observability overhead: the warm-keep mix again, with telemetry
+    // runtime-off (what every uninstrumented run pays for the compiled
+    // macros), then with the metrics registry + a 4096-access window
+    // sampler on, then with span tracing on top. The registry and
+    // tracer are process-global; each configuration is restored to the
+    // disabled fast path before the next measurement.
+    ObsPerf obs_perf;
+    {
+        const std::string mix = smoke ? "mix:swim+tomcatv@q=5k,n=25k"
+                                      : "mix:swim+tomcatv@q=50k,n=250k";
+        const std::shared_ptr<const Scenario> scenario =
+            buildScenario(mix);
+        obs_perf.records = scenario->composed().size();
+        const auto measure = [&](bool metrics, bool tracing) {
+            if (metrics)
+                obs::Registry::global().setEnabled(true);
+            if (tracing)
+                obs::Tracer::global().enable();
+            const double rps =
+                measureThroughput(min_seconds, [&] {
+                    CacheTarget target(
+                        makeOrganization("a2-Hp-Sk", spec));
+                    std::optional<obs::WindowSampler> sampler;
+                    if (metrics)
+                        sampler.emplace(target, 4096);
+                    scenario->replayInto(target, 8192,
+                                         sampler ? &*sampler : nullptr);
+                    target.finish();
+                    if (sampler)
+                        sampler->finish();
+                    return static_cast<std::uint64_t>(
+                        scenario->composed().size());
+                }).unitsPerSec;
+            obs::Registry::global().setEnabled(false);
+            obs::Registry::global().reset();
+            obs::Tracer::global().disable();
+            return rps;
+        };
+        obs_perf.offRps = measure(false, false);
+        obs_perf.metricsRps = measure(true, false);
+        obs_perf.traceRps = measure(true, true);
+        std::printf("observability %12.0f rps off, %12.0f metrics "
+                    "(%.2fx), %12.0f traced (%.2fx)\n",
+                    obs_perf.offRps, obs_perf.metricsRps,
+                    obs_perf.metricsRps / obs_perf.offRps,
+                    obs_perf.traceRps,
+                    obs_perf.traceRps / obs_perf.offRps);
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
               sweep_accesses, sweep_results, streaming, analysis,
-              scenario_perf, sharded_perf, integrity, multicore_perf);
+              scenario_perf, sharded_perf, integrity, multicore_perf,
+              obs_perf);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

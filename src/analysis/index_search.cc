@@ -14,6 +14,7 @@
 #include "common/table.hh"
 #include "core/sweep.hh"
 #include "index/factory.hh"
+#include "obs/obs.hh"
 #include "index/ipoly.hh"
 #include "index/matrix_index.hh"
 #include "index/xor_skew.hh"
@@ -133,6 +134,7 @@ IndexSearch::runGrid(
         SearchResult &r = results[i];
         r.label = candidates_[i].label;
         r.kind = candidates_[i].kind;
+        CAC_OBS_SPAN_D("search", "search.analyze", r.label);
         const std::unique_ptr<IndexFn> fn = candidates_[i].make();
         r.indexName = fn->name();
         r.skewed = fn->isSkewed();

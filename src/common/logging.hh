@@ -4,7 +4,15 @@
  *
  * Follows the gem5 convention: panic() for internal invariant violations
  * (a bug in this library), fatal() for unrecoverable user errors (bad
- * configuration), warn()/inform() for non-fatal status messages.
+ * configuration), warn()/inform()/debug() for non-fatal status messages.
+ *
+ * Messages go through a leveled sink so threaded runs and chaos lanes
+ * produce attributable, filterable logs: every line carries a
+ * process-relative timestamp and a stable per-thread id
+ * (`[   1.042s t03] warn: ...`), assembled into one write so lines
+ * from concurrent threads never interleave. The threshold comes from
+ * the CAC_LOG environment variable (error|warn|info|debug, default
+ * info) or setLogLevel(); panic/fatal always print.
  */
 
 #ifndef CAC_COMMON_LOGGING_HH
@@ -15,6 +23,21 @@
 
 namespace cac
 {
+
+/** Sink threshold, in increasing verbosity. */
+enum class LogLevel
+{
+    Error = 0, ///< only panic/fatal
+    Warn = 1,
+    Info = 2, ///< the default
+    Debug = 3
+};
+
+/** Override the CAC_LOG threshold programmatically (thread-safe). */
+void setLogLevel(LogLevel level);
+
+/** The active threshold (CAC_LOG env unless setLogLevel() ran). */
+LogLevel logLevel();
 
 /**
  * Report an internal invariant violation and abort.
@@ -39,6 +62,9 @@ void warn(const char *fmt, ...);
 
 /** Print an informational message to stderr. */
 void inform(const char *fmt, ...);
+
+/** Print a debug message to stderr (CAC_LOG=debug only). */
+void debug(const char *fmt, ...);
 
 /**
  * Check a library invariant; panic with the stringized condition when it

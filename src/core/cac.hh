@@ -42,6 +42,7 @@
 #include "index/xor_skew.hh"
 #include "multicore/coherent_system.hh"
 #include "multicore/mc_target.hh"
+#include "obs/obs.hh"
 #include "poly/catalog.hh"
 #include "scenario/scenario.hh"
 #include "poly/gf2poly.hh"

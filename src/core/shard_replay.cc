@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "obs/obs.hh"
 #include "trace/io.hh"
 
 namespace cac
@@ -36,12 +37,16 @@ TargetStats
 replayShard(SimTarget &target, const ShardSlice &s, Feed &&feed)
 {
     if (s.warmupBegin < s.begin) {
+        CAC_OBS_SPAN("shard", "shard.warmup");
         feed(target, s.warmupBegin, s.begin);
         target.checkpoint();
     }
     const TargetStats before = target.stats();
-    feed(target, s.begin, s.end);
-    target.finish();
+    {
+        CAC_OBS_SPAN("shard", "shard.measured");
+        feed(target, s.begin, s.end);
+        target.finish();
+    }
     return targetStatsDelta(target.stats(), before);
 }
 
@@ -103,6 +108,13 @@ runShards(const TargetFactory &factory, std::uint64_t count,
         warn("sharded replay failed (%s); falling back to monolithic "
              "replay",
              e.what());
+#if CAC_OBS
+        if (obs::Registry::global().enabled()) {
+            static const obs::Counter fallbacks =
+                obs::Registry::global().counter("shard.fallbacks");
+            fallbacks.add(1);
+        }
+#endif
         return fallback(e.what());
     }
 

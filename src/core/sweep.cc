@@ -9,6 +9,7 @@
 #include "common/parallel.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "obs/obs.hh"
 
 namespace cac
 {
@@ -228,12 +229,22 @@ SweepRunner::runCellBody(SweepCell &cell, const Workload &workload,
 {
     const CellDeadline deadline(cell_deadline_ms_);
     const std::string where = workload.name + " x " + cell.org;
+    CAC_OBS_SPAN_D("sweep", "sweep.cell", where);
+
+    // Windowed telemetry: poked at chunk boundaries only, so
+    // in-memory workloads switch to bounded slices while it is live
+    // (same shape the deadline check already uses).
+    std::optional<obs::WindowSampler> sampler;
+    if (obs_window_ > 0)
+        sampler.emplace(target, obs_window_);
+    const bool sliced = cell_deadline_ms_ > 0 || sampler.has_value();
 
     if (workload.scenario) {
         // Multiprogrammed replay: segments + switch policy, with the
         // per-program attribution landing in the cell.
         ScenarioResult scenario_result = workload.scenario->replayInto(
-            target, workload.scenarioChunkRecords);
+            target, workload.scenarioChunkRecords,
+            sampler ? &*sampler : nullptr);
         cell.programs = std::move(scenario_result.programs);
         deadline.check(where);
     } else if (!workload.tracePath.empty()) {
@@ -251,32 +262,37 @@ SweepRunner::runCellBody(SweepCell &cell, const Workload &workload,
                 break;
             target.replay(chunk.data(), chunk.size());
             deadline.check(where);
+            if (sampler)
+                sampler->sample();
         }
         cell.read = reader.readStats();
         if (!reader.ok())
             throw CacError(reader.errorInfo());
     } else if (workload.trace) {
-        // Feed in slices only when a deadline wants mid-stream checks;
-        // the single-call fast path stays the default.
+        // Feed in slices only when a deadline or sampler wants
+        // mid-stream checks; the single-call fast path stays the
+        // default.
         const Trace &trace = *workload.trace;
-        const std::size_t batch =
-            cell_deadline_ms_ > 0 ? kDeadlineBatch : trace.size();
+        const std::size_t batch = sliced ? kDeadlineBatch : trace.size();
         for (std::size_t at = 0; at < trace.size(); at += batch) {
             const std::size_t run =
                 std::min(batch, trace.size() - at);
             target.replay(trace.data() + at, run);
             deadline.check(where);
+            if (sampler)
+                sampler->sample();
         }
     } else {
         const std::vector<std::uint64_t> &addrs =
             workload.addrs ? *workload.addrs : *materialized[wi];
-        const std::size_t batch =
-            cell_deadline_ms_ > 0 ? kDeadlineBatch : addrs.size();
+        const std::size_t batch = sliced ? kDeadlineBatch : addrs.size();
         for (std::size_t at = 0; at < addrs.size(); at += batch) {
             const std::size_t run =
                 std::min(batch, addrs.size() - at);
             target.accessBatch(addrs.data() + at, run, false);
             deadline.check(where);
+            if (sampler)
+                sampler->sample();
         }
     }
     target.finish();
@@ -285,6 +301,10 @@ SweepRunner::runCellBody(SweepCell &cell, const Workload &workload,
     cell.stats = cell.target.l1;
     if (cell.target.hasMultiCore)
         cell.cores = cell.target.mc.cores;
+    if (sampler) {
+        sampler->finish();
+        cell.windows = sampler->windows();
+    }
     if (observer_)
         observer_(cell, target);
 }
@@ -348,9 +368,27 @@ SweepRunner::run() const
     // Dynamic work sharing: threads pull the next unclaimed cell and
     // write into its slot, so the output order is the grid order no
     // matter how cells are interleaved in time.
+#if CAC_OBS
+    // Queue wait per cell: fan-out start to the moment a worker picks
+    // the cell up. Recorded as its own span so a trace shows which
+    // cells sat behind long-running ones.
+    obs::Tracer &tracer = obs::Tracer::global();
+    const bool tracing = tracer.enabled();
+    const std::uint64_t fanout_us = tracing ? tracer.nowUs() : 0;
+    parallelFor(threads_, cells, [&](std::size_t i) {
+        if (tracing) {
+            tracer.record("sweep", "sweep.queue_wait", fanout_us,
+                          tracer.nowUs(),
+                          workloads_[i / targets_.size()].name + " x "
+                              + targets_[i % targets_.size()].label);
+        }
+        results[i] = runCell(i, materialized);
+    });
+#else
     parallelFor(threads_, cells, [&](std::size_t i) {
         results[i] = runCell(i, materialized);
     });
+#endif
     return results;
 }
 

@@ -45,6 +45,7 @@
 #include "cache/cache_model.hh"
 #include "core/registry.hh"
 #include "core/sim_target.hh"
+#include "obs/window.hh"
 #include "scenario/scenario.hh"
 #include "trace/io.hh"
 #include "trace/record.hh"
@@ -89,6 +90,13 @@ struct SweepCell
      * workloads under Skip/Resync; all-zero for healthy cells).
      */
     ReadStats read;
+
+    /**
+     * Windowed miss-ratio/conflict/coherence time series, populated
+     * when the runner has an observation window (setObsWindow());
+     * empty otherwise. Deterministic for any thread count.
+     */
+    std::vector<obs::ObsWindow> windows;
 };
 
 /** Grid executor for (target x workload) sweeps. */
@@ -146,6 +154,20 @@ class SweepRunner
     }
 
     unsigned cellDeadline() const { return cell_deadline_ms_; }
+
+    /**
+     * Windowed telemetry: sample each cell's target every
+     * @p accesses accesses (0 = off, the default) and return the
+     * per-window time series in SweepCell::windows. Sampling happens
+     * at chunk boundaries (see obs/window.hh), so in-memory workloads
+     * switch to bounded slices while a window is set.
+     */
+    void setObsWindow(std::uint64_t accesses)
+    {
+        obs_window_ = accesses;
+    }
+
+    std::uint64_t obsWindow() const { return obs_window_; }
 
     /** Spec handed to registry-built targets added after this. */
     void setSpec(const OrgSpec &spec) { spec_.org = spec; }
@@ -323,6 +345,7 @@ class SweepRunner
     std::vector<Workload> workloads_;
     TraceReaderOptions read_options_;
     unsigned cell_deadline_ms_ = 0;
+    std::uint64_t obs_window_ = 0;
 };
 
 /**

@@ -114,6 +114,16 @@ haveAvx2()
 
 } // anonymous namespace
 
+const char *
+indexPlanSimdDispatch()
+{
+#ifdef CAC_INDEX_PLAN_AVX2
+    return haveAvx2() ? "avx2" : "swar";
+#else
+    return "swar";
+#endif
+}
+
 IndexPlan
 IndexPlan::makeModulo(unsigned set_bits, unsigned num_ways)
 {

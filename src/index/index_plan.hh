@@ -244,6 +244,14 @@ class IndexPlan
  */
 IndexPlan compilePlan(const IndexFn &fn);
 
+/**
+ * Which batch-evaluation kernel the runtime dispatch selected on this
+ * host: "avx2" when the gather path is compiled in and the CPU
+ * supports it, "swar" otherwise. Provenance for the run manifest
+ * (obs/manifest.hh) — perf numbers are not comparable across the two.
+ */
+const char *indexPlanSimdDispatch();
+
 } // namespace cac
 
 #endif // CAC_INDEX_INDEX_PLAN_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal JSON string escaping shared by the telemetry emitters
+ * (metrics, trace events, manifest). Handles the characters that can
+ * actually appear in metric names, span details and build strings;
+ * emits \\u escapes for any other control byte.
+ */
+
+#ifndef CAC_OBS_JSON_UTIL_HH
+#define CAC_OBS_JSON_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cac::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cac::obs
+
+#endif // CAC_OBS_JSON_UTIL_HH

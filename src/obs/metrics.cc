@@ -1,0 +1,341 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.hh"
+#include "obs/json_util.hh"
+
+namespace cac::obs
+{
+
+namespace
+{
+
+enum class Kind
+{
+    Counter,
+    Gauge,
+    Histogram
+};
+
+/** Monotonic id so thread-local shard caches never confuse a live
+ *  registry with a destroyed one that happened to reuse its address. */
+std::atomic<std::uint64_t> next_epoch{1};
+
+} // anonymous namespace
+
+struct Registry::MetricDef
+{
+    std::string name;
+    Kind kind;
+    std::size_t index; ///< index into the shard vector of this kind
+};
+
+struct Registry::Shard
+{
+    /** One cell per histogram id: count, sum, log2 buckets. */
+    struct HistCell
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::array<std::uint64_t, kHistBuckets> buckets{};
+    };
+
+    std::vector<std::uint64_t> counters;
+    std::vector<std::uint64_t> gauges;
+    std::vector<HistCell> hists;
+};
+
+Registry::Registry()
+    : epoch_(next_epoch.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Registry::~Registry() = default;
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Counter
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t next = 0;
+    for (const MetricDef &def : defs_) {
+        if (def.kind != Kind::Counter)
+            continue;
+        if (def.name == name)
+            return Counter(this, def.index);
+        next = std::max(next, def.index + 1);
+    }
+    defs_.push_back({name, Kind::Counter, next});
+    return Counter(this, next);
+}
+
+Gauge
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t next = 0;
+    for (const MetricDef &def : defs_) {
+        if (def.kind != Kind::Gauge)
+            continue;
+        if (def.name == name)
+            return Gauge(this, def.index);
+        next = std::max(next, def.index + 1);
+    }
+    defs_.push_back({name, Kind::Gauge, next});
+    return Gauge(this, next);
+}
+
+Histogram
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t next = 0;
+    for (const MetricDef &def : defs_) {
+        if (def.kind != Kind::Histogram)
+            continue;
+        if (def.name == name)
+            return Histogram(this, def.index);
+        next = std::max(next, def.index + 1);
+    }
+    defs_.push_back({name, Kind::Histogram, next});
+    return Histogram(this, next);
+}
+
+void
+Registry::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+Registry::Shard *
+Registry::localShard()
+{
+    struct TlsEntry
+    {
+        std::uint64_t epoch;
+        Shard *shard;
+    };
+    // One slot per registry instance this thread has touched. Entries
+    // for destroyed registries stay inert: their epoch never matches
+    // a live registry again.
+    static thread_local std::vector<TlsEntry> cache;
+    for (const TlsEntry &entry : cache) {
+        if (entry.epoch == epoch_)
+            return entry.shard;
+    }
+    Shard *shard;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::make_unique<Shard>());
+        shard = shards_.back().get();
+    }
+    cache.push_back({epoch_, shard});
+    return shard;
+}
+
+void
+Counter::add(std::uint64_t v) const
+{
+    if (!owner_ || !owner_->enabled())
+        return;
+    Registry::Shard *shard = owner_->localShard();
+    if (id_ >= shard->counters.size())
+        shard->counters.resize(id_ + 1, 0);
+    shard->counters[id_] += v;
+}
+
+void
+Gauge::set(std::uint64_t v) const
+{
+    if (!owner_ || !owner_->enabled())
+        return;
+    Registry::Shard *shard = owner_->localShard();
+    if (id_ >= shard->gauges.size())
+        shard->gauges.resize(id_ + 1, 0);
+    shard->gauges[id_] = std::max(shard->gauges[id_], v);
+}
+
+void
+Histogram::observe(std::uint64_t v) const
+{
+    if (!owner_ || !owner_->enabled())
+        return;
+    Registry::Shard *shard = owner_->localShard();
+    if (id_ >= shard->hists.size())
+        shard->hists.resize(id_ + 1);
+    Registry::Shard::HistCell &cell = shard->hists[id_];
+    cell.count += 1;
+    cell.sum += v;
+    cell.buckets[std::bit_width(v)] += 1;
+}
+
+MetricsSnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const MetricDef &def : defs_) {
+        switch (def.kind) {
+          case Kind::Counter: {
+            std::uint64_t total = 0;
+            for (const auto &shard : shards_) {
+                if (def.index < shard->counters.size())
+                    total += shard->counters[def.index];
+            }
+            snap.counters.emplace_back(def.name, total);
+            break;
+          }
+          case Kind::Gauge: {
+            std::uint64_t high = 0;
+            for (const auto &shard : shards_) {
+                if (def.index < shard->gauges.size())
+                    high = std::max(high, shard->gauges[def.index]);
+            }
+            snap.gauges.emplace_back(def.name, high);
+            break;
+          }
+          case Kind::Histogram: {
+            HistSnapshot hist;
+            hist.name = def.name;
+            for (const auto &shard : shards_) {
+                if (def.index >= shard->hists.size())
+                    continue;
+                const Shard::HistCell &cell = shard->hists[def.index];
+                hist.count += cell.count;
+                hist.sum += cell.sum;
+                for (std::size_t b = 0; b < kHistBuckets; ++b)
+                    hist.buckets[b] += cell.buckets[b];
+            }
+            snap.histograms.push_back(std::move(hist));
+            break;
+          }
+        }
+    }
+    auto byName = [](const auto &a, const auto &b) {
+        return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), byName);
+    std::sort(snap.gauges.begin(), snap.gauges.end(), byName);
+    std::sort(snap.histograms.begin(), snap.histograms.end(),
+              [](const HistSnapshot &a, const HistSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &shard : shards_) {
+        std::fill(shard->counters.begin(), shard->counters.end(), 0);
+        std::fill(shard->gauges.begin(), shard->gauges.end(), 0);
+        for (auto &cell : shard->hists)
+            cell = Shard::HistCell{};
+    }
+}
+
+std::size_t
+Registry::shardCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shards_.size();
+}
+
+std::uint64_t
+HistSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            if (b == 0)
+                return 0;
+            if (b >= 64)
+                return std::numeric_limits<std::uint64_t>::max();
+            return (std::uint64_t{1} << b) - 1;
+        }
+    }
+    return std::numeric_limits<std::uint64_t>::max();
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+std::string
+metricsJson(const MetricsSnapshot &snap, int indent)
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    std::string out;
+    char buf[128];
+
+    auto scalarMap = [&](const char *key, const auto &pairs) {
+        out += pad + "\"" + key + "\": {";
+        bool first = true;
+        for (const auto &[name, value] : pairs) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+            out += pad + "  \"" + jsonEscape(name) + "\": " + buf;
+        }
+        out += first ? "}" : "\n" + pad + "}";
+    };
+
+    scalarMap("counters", snap.counters);
+    out += ",\n";
+    scalarMap("gauges", snap.gauges);
+    out += ",\n" + pad + "\"histograms\": [";
+    bool first_hist = true;
+    for (const HistSnapshot &hist : snap.histograms) {
+        out += first_hist ? "\n" : ",\n";
+        first_hist = false;
+        std::snprintf(buf, sizeof(buf),
+                      "\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                      ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64
+                      ", \"p99\": %" PRIu64,
+                      hist.count, hist.sum, hist.quantile(0.50),
+                      hist.quantile(0.90), hist.quantile(0.99));
+        out += pad + "  {\"name\": \"" + jsonEscape(hist.name) + "\", "
+               + buf + ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < kHistBuckets; ++b) {
+            if (hist.buckets[b] == 0)
+                continue;
+            std::snprintf(buf, sizeof(buf),
+                          "{\"bit\": %zu, \"count\": %" PRIu64 "}", b,
+                          hist.buckets[b]);
+            out += first_bucket ? "" : ", ";
+            first_bucket = false;
+            out += buf;
+        }
+        out += "]}";
+    }
+    out += first_hist ? "]" : "\n" + pad + "]";
+    return out;
+}
+
+} // namespace cac::obs

@@ -1,0 +1,233 @@
+#include "obs/trace_event.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json_util.hh"
+#include "obs/manifest.hh"
+
+namespace cac::obs
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> next_epoch{1};
+
+} // anonymous namespace
+
+struct Tracer::Ring
+{
+    std::uint32_t tid;
+    std::size_t capacity; ///< snapshot of the tracer capacity setting
+    std::vector<TraceEvent> events; ///< append-only up to capacity
+    std::uint64_t dropped = 0;
+};
+
+Tracer::Tracer()
+    : origin_(std::chrono::steady_clock::now()),
+      epoch_(next_epoch.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Tracer::~Tracer() = default;
+
+Tracer &
+Tracer::global()
+{
+    static Tracer instance;
+    return instance;
+}
+
+void
+Tracer::enable(std::size_t ring_capacity)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ring_capacity_ = ring_capacity;
+        for (auto &ring : rings_) {
+            ring->capacity = ring_capacity;
+            ring->events.clear();
+            ring->events.reserve(ring->capacity);
+            ring->dropped = 0;
+        }
+    }
+    origin_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+}
+
+Tracer::Ring *
+Tracer::localRing()
+{
+    struct TlsEntry
+    {
+        std::uint64_t epoch;
+        Ring *ring;
+    };
+    static thread_local std::vector<TlsEntry> cache;
+    for (const TlsEntry &entry : cache) {
+        if (entry.epoch == epoch_)
+            return entry.ring;
+    }
+    Ring *ring;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto owned = std::make_unique<Ring>();
+        owned->tid = static_cast<std::uint32_t>(rings_.size());
+        owned->capacity = ring_capacity_;
+        owned->events.reserve(owned->capacity);
+        rings_.push_back(std::move(owned));
+        ring = rings_.back().get();
+    }
+    cache.push_back({epoch_, ring});
+    return ring;
+}
+
+void
+Tracer::record(const char *cat, const char *name, std::uint64_t start_us,
+               std::uint64_t end_us, std::string detail)
+{
+    if (!enabled())
+        return;
+    Ring *ring = localRing();
+    if (ring->events.size() >= ring->capacity) {
+        ring->dropped += 1;
+        return;
+    }
+    TraceEvent event;
+    event.cat = cat;
+    event.name = name;
+    event.detail = std::move(detail);
+    event.startUs = start_us;
+    event.endUs = end_us;
+    event.tid = ring->tid;
+    ring->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+Tracer::drain() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> all;
+    for (const auto &ring : rings_)
+        all.insert(all.end(), ring->events.begin(), ring->events.end());
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.startUs != b.startUs)
+                      return a.startUs < b.startUs;
+                  if (a.endUs != b.endUs)
+                      return a.endUs > b.endUs; // parents first
+                  return a.tid < b.tid;
+              });
+    return all;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const auto &ring : rings_)
+        total += ring->dropped;
+    return total;
+}
+
+std::size_t
+Tracer::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &ring : rings_) {
+        if (!ring->events.empty() || ring->dropped)
+            ++n;
+    }
+    return n;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &ring : rings_) {
+        ring->events.clear();
+        ring->dropped = 0;
+    }
+}
+
+ScopedSpan::ScopedSpan(const char *cat, const char *name,
+                       std::string detail)
+    : cat_(cat), name_(name), detail_(std::move(detail))
+{
+    Tracer &tracer = Tracer::global();
+    if (!tracer.enabled())
+        return;
+    live_ = true;
+    start_us_ = tracer.nowUs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!live_)
+        return;
+    Tracer &tracer = Tracer::global();
+    tracer.record(cat_, name_, start_us_, tracer.nowUs(),
+                  std::move(detail_));
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events,
+                std::uint64_t dropped, const RunManifest *manifest)
+{
+    std::string out = "{\n  \"traceEvents\": [";
+    char buf[160];
+    bool first = true;
+    for (const TraceEvent &event : events) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        std::snprintf(buf, sizeof(buf),
+                      "\"ph\": \"X\", \"ts\": %" PRIu64
+                      ", \"dur\": %" PRIu64 ", \"pid\": 1, \"tid\": %u",
+                      event.startUs, event.endUs - event.startUs,
+                      event.tid);
+        out += "    {\"name\": \"" + jsonEscape(event.name)
+               + "\", \"cat\": \"" + jsonEscape(event.cat) + "\", " + buf;
+        if (!event.detail.empty())
+            out += ", \"args\": {\"detail\": \"" + jsonEscape(event.detail)
+                   + "\"}";
+        out += "}";
+    }
+    out += first ? "],\n" : "\n  ],\n";
+    out += "  \"displayTimeUnit\": \"ms\",\n";
+    out += "  \"otherData\": {\n";
+    std::snprintf(buf, sizeof(buf),
+                  "    \"dropped_events\": %" PRIu64 ",\n", dropped);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "    \"span_count\": %zu",
+                  events.size());
+    out += buf;
+    if (manifest) {
+        out += ",\n    \"manifest\": ";
+        out += manifestJson(*manifest, 4);
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+} // namespace cac::obs

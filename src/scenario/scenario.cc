@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "trace/builder.hh"
 #include "trace/io.hh"
 #include "workloads/spec_proxy.hh"
@@ -326,7 +327,8 @@ Scenario::numSwitches() const
 }
 
 ScenarioResult
-Scenario::replayInto(SimTarget &target, std::size_t chunk_records) const
+Scenario::replayInto(SimTarget &target, std::size_t chunk_records,
+                     obs::WindowSampler *sampler) const
 {
     ScenarioResult result;
     result.programs.resize(names_.size());
@@ -340,6 +342,8 @@ Scenario::replayInto(SimTarget &target, std::size_t chunk_records) const
     const TraceRecord *base = composed_.data();
     bool first = true;
     for (const Segment &segment : schedule_) {
+        CAC_OBS_SPAN_D("scenario", "scenario.quantum",
+                       names_[segment.program]);
         if (!first) {
             ++result.switches;
             if (config_.policy == SwitchPolicy::ColdFlush) {
@@ -357,6 +361,8 @@ Scenario::replayInto(SimTarget &target, std::size_t chunk_records) const
                 std::min(chunk, segment.count - done);
             target.replay(base + segment.offset + done, n);
             done += n;
+            if (sampler && done < segment.count)
+                sampler->sample();
         }
 
         // Checkpoint so stats() is exact at the slice boundary, then
@@ -369,7 +375,22 @@ Scenario::replayInto(SimTarget &target, std::size_t chunk_records) const
         cacheStatsAccumulate(program.l1, cacheStatsDelta(now, prev));
         program.records += segment.count;
         prev = now;
+        if (sampler)
+            sampler->sample();
     }
+#if CAC_OBS
+    if (obs::Registry::global().enabled()) {
+        static const obs::Counter c_switches =
+            obs::Registry::global().counter("scenario.switches");
+        static const obs::Counter c_flushes =
+            obs::Registry::global().counter("scenario.flushes");
+        static const obs::Counter c_segments =
+            obs::Registry::global().counter("scenario.segments");
+        c_switches.add(result.switches);
+        c_flushes.add(result.flushes);
+        c_segments.add(schedule_.size());
+    }
+#endif
     return result;
 }
 

@@ -59,6 +59,11 @@
 #include "core/sim_target.hh"
 #include "trace/record.hh"
 
+namespace cac::obs
+{
+class WindowSampler;
+} // namespace cac::obs
+
 namespace cac
 {
 
@@ -182,9 +187,14 @@ class Scenario
      * chunking is semantically invisible, so results are identical for
      * any chunk size. Does not call target.finish(); the caller ends
      * the stream.
+     *
+     * @p sampler, when given, is poked at every chunk and segment
+     * boundary so windowed telemetry (obs/window.hh) tracks the replay
+     * without touching the per-record path.
      */
     ScenarioResult replayInto(SimTarget &target,
-                              std::size_t chunk_records = 0) const;
+                              std::size_t chunk_records = 0,
+                              obs::WindowSampler *sampler = nullptr) const;
 
   private:
     std::string label_;

@@ -6,6 +6,7 @@
 
 #include "common/crc32c.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace cac
 {
@@ -121,6 +122,21 @@ backoffSleep(unsigned attempt)
 {
     std::this_thread::sleep_for(std::chrono::microseconds(
         kRetryBackoffUs << (attempt > 0 ? attempt - 1 : 0)));
+}
+
+/** backoffSleep() plus the fault-injector retry telemetry. */
+void
+instrumentedBackoff(unsigned attempt)
+{
+#if CAC_OBS
+    if (obs::Registry::global().enabled()) {
+        static const obs::Counter retries =
+            obs::Registry::global().counter("trace.retries");
+        retries.add(1);
+    }
+#endif
+    CAC_OBS_SPAN("trace", "trace.retry_backoff");
+    backoffSleep(attempt);
 }
 
 void
@@ -407,7 +423,7 @@ TraceReader::rawRead(void *dst, std::size_t want, bool &failed,
             }
             ++attempts;
             ++stats.retries;
-            backoffSleep(attempts);
+            instrumentedBackoff(attempts);
             continue;
         }
         if (r == 0) {
@@ -419,7 +435,7 @@ TraceReader::rawRead(void *dst, std::size_t want, bool &failed,
                 ++attempts;
                 ++stats.retries;
                 std::clearerr(file_);
-                backoffSleep(attempts);
+                instrumentedBackoff(attempts);
                 continue;
             }
             break; // true end of file
@@ -660,6 +676,12 @@ TraceReader::decodeFileChunkV2(std::vector<TraceRecord> &out,
                 raw_.resize(payload);
             rfail = false;
             got = rawRead(raw_.data(), payload, rfail, stats);
+            bool crc_mismatch = false;
+            if (!rfail && got >= payload && opts_.verifyChecksums) {
+                CAC_OBS_SPAN("trace", "trace.crc");
+                crc_mismatch =
+                    crc32c(raw_.data(), payload) != payload_crc;
+            }
             if (rfail) {
                 damage = ErrorCode::ReadFailed;
                 what = "read failed in the chunk payload (retries "
@@ -667,9 +689,7 @@ TraceReader::decodeFileChunkV2(std::vector<TraceRecord> &out,
             } else if (got < payload) {
                 damage = ErrorCode::Truncated;
                 what = "file ends inside the chunk payload";
-            } else if (opts_.verifyChecksums
-                       && crc32c(raw_.data(), payload)
-                              != payload_crc) {
+            } else if (crc_mismatch) {
                 ++stats.crcErrors;
                 damage = ErrorCode::ChecksumMismatch;
                 what = "chunk payload checksum mismatch";
@@ -847,6 +867,7 @@ TraceReader::startPrefetcher()
             Error err;
             bool clean = true;
             try {
+                CAC_OBS_SPAN("trace", "trace.decode");
                 clean = decodeNextChunk(local, err, totals);
             } catch (const CacError &e) {
                 clean = false;
@@ -909,7 +930,12 @@ TraceReader::nextPrefetched()
     startPrefetcher();
     PrefetchState &st = *prefetch_;
     std::unique_lock<std::mutex> lock(st.m);
-    st.canConsume.wait(lock, [&] { return st.slotFull || st.eof; });
+    {
+        // How long the replay thread stalls on the decode pipeline —
+        // the handoff half of the prefetch double-buffer.
+        CAC_OBS_SPAN("trace", "trace.prefetch_wait");
+        st.canConsume.wait(lock, [&] { return st.slotFull || st.eof; });
+    }
     stats_ = st.stats;
     if (st.slotFull) {
         buffer_.swap(st.slot);
@@ -918,6 +944,18 @@ TraceReader::nextPrefetched()
         lock.unlock();
         st.canProduce.notify_one();
         delivered_ += buffer_.size();
+#if CAC_OBS
+        if (!buffer_.empty() && obs::Registry::global().enabled()) {
+            static const obs::Counter chunks =
+                obs::Registry::global().counter("trace.chunks_delivered");
+            static const obs::Counter records = obs::Registry::global()
+                                                    .counter(
+                                                        "trace.records_"
+                                                        "delivered");
+            chunks.add(1);
+            records.add(buffer_.size());
+        }
+#endif
         return buffer_;
     }
     // Producer finished: surface its failure, if any, exactly once the
@@ -944,6 +982,7 @@ TraceReader::next()
     Error err;
     bool clean = true;
     try {
+        CAC_OBS_SPAN("trace", "trace.decode");
         clean = decodeNextChunk(buffer_, err, stats_);
     } catch (const CacError &e) {
         clean = false;
@@ -967,6 +1006,16 @@ TraceReader::next()
         return buffer_;
     }
     delivered_ += buffer_.size();
+#if CAC_OBS
+    if (!buffer_.empty() && obs::Registry::global().enabled()) {
+        static const obs::Counter chunks =
+            obs::Registry::global().counter("trace.chunks_delivered");
+        static const obs::Counter records =
+            obs::Registry::global().counter("trace.records_delivered");
+        chunks.add(1);
+        records.add(buffer_.size());
+    }
+#endif
     return buffer_;
 }
 

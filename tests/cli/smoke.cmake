@@ -20,7 +20,8 @@ if(NOT err MATCHES "unknown argument '--definitely-not-a-flag'")
   message(FATAL_ERROR "unknown flag not diagnosed: ${err}")
 endif()
 foreach(flag --analyze --search --stream --l2-size --l2-ways --threads
-        --scenario --cores)
+        --scenario --cores --metrics-out --trace-out --obs-window
+        --version)
   if(NOT err MATCHES "${flag}")
     message(FATAL_ERROR "usage text is missing ${flag}: ${err}")
   endif()
@@ -112,5 +113,68 @@ foreach(row li compress <all> switches)
     message(FATAL_ERROR "--scenario output missing '${row}': ${out}")
   endif()
 endforeach()
+
+# 9. --version prints the manifest (provenance + schema line), exit 0.
+execute_process(COMMAND ${SIM} --version
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--version failed (${rc}): ${err}")
+endif()
+foreach(field cac_sim compiler "index dispatch" "metrics=1" CACTRC02)
+  if(NOT out MATCHES "${field}")
+    message(FATAL_ERROR "--version output missing '${field}': ${out}")
+  endif()
+endforeach()
+
+# 10. The telemetry artifacts are emitted: a scenario run with
+#     --metrics-out/--trace-out must write both files, stamped with
+#     the manifest, spans and at least one time-series window.
+set(obs_dir ${CMAKE_CURRENT_BINARY_DIR}/smoke_obs)
+file(MAKE_DIRECTORY ${obs_dir})
+execute_process(COMMAND ${SIM} --scenario mix:li+compress@q=4k,n=16k
+                        --org a2
+                        --metrics-out ${obs_dir}/metrics.json
+                        --trace-out ${obs_dir}/trace.json
+                        --obs-window 4096
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "observability smoke run failed (${rc}): ${err}")
+endif()
+foreach(artifact metrics.json trace.json)
+  if(NOT EXISTS ${obs_dir}/${artifact})
+    message(FATAL_ERROR "observability run did not write ${artifact}")
+  endif()
+endforeach()
+file(READ ${obs_dir}/metrics.json metrics)
+foreach(key "\"manifest\"" "\"counters\"" "\"windows\""
+        "\"miss_ratio\"")
+  if(NOT metrics MATCHES ${key})
+    message(FATAL_ERROR "metrics.json missing ${key}: ${metrics}")
+  endif()
+endforeach()
+file(READ ${obs_dir}/trace.json trace)
+foreach(key "\"traceEvents\"" "\"manifest\"")
+  if(NOT trace MATCHES "${key}")
+    message(FATAL_ERROR "trace.json missing ${key}")
+  endif()
+endforeach()
+# Counters and spans come from the CAC_OBS macros, which a
+# -DCAC_OBS=OFF build compiles out — the artifacts stay valid but
+# span-free, and the manifest says so.
+if(metrics MATCHES "\"obs_compiled\": true")
+  if(NOT metrics MATCHES "\"scenario.switches\"")
+    message(FATAL_ERROR "metrics.json missing counters: ${metrics}")
+  endif()
+  foreach(key "\"ph\": \"X\"" "sweep.cell" "scenario.quantum")
+    if(NOT trace MATCHES "${key}")
+      message(FATAL_ERROR "trace.json missing ${key}")
+    endif()
+  endforeach()
+elseif(NOT metrics MATCHES "\"obs_compiled\": false")
+  message(FATAL_ERROR "metrics.json manifest lacks obs_compiled")
+endif()
+file(REMOVE_RECURSE ${obs_dir})
 
 message(STATUS "cac_sim CLI smoke: all checks passed")

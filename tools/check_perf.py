@@ -23,11 +23,18 @@ silently shrink the gate. Metrics only in FRESH are new and reported
 as notes (they start being gated once the baseline is regenerated).
 No common metric at all is also an error.
 
-One gate is *within-file* rather than baseline-relative: the schema-6
-"integrity" section must show CRC-verified streamed replay at >= 90%
-of unverified streamed replay (integrity checking may cost at most 10%
-of streamed throughput). This ratio is machine-independent, so it gets
-a hard bound instead of a tolerance band.
+Two gates are *within-file* rather than baseline-relative, because the
+ratios they check are machine-independent and so get hard bounds
+instead of tolerance bands:
+
+  - the schema-6 "integrity" section must show CRC-verified streamed
+    replay at >= 90% of unverified streamed replay (integrity checking
+    may cost at most 10% of streamed throughput);
+  - the schema-8 "observability" section must show the telemetry
+    runtime-off scenario replay at >= 97% of the plain scenario
+    warm_keep_rps (compiled-in-but-disabled instrumentation is near
+    free) and the metrics+window-sampling replay at >= 90% of it
+    (enabled telemetry costs at most 10%).
 
 Dependency-free by design (json/argparse only): runs on any CI image
 with a Python 3 interpreter.
@@ -115,6 +122,50 @@ def check_integrity_cost(path):
     return 0
 
 
+# Telemetry compiled in but runtime-off must keep at least this
+# fraction of the plain scenario replay rate...
+OBS_OFF_FLOOR = 0.97
+# ...and the metrics-registry + window-sampling configuration this.
+OBS_METRICS_FLOOR = 0.90
+
+
+def check_obs_overhead(path):
+    """Within-file gate: telemetry overhead vs plain scenario replay.
+
+    observability.off_rps >= OBS_OFF_FLOOR * scenario.warm_keep_rps and
+    observability.metrics_rps >= OBS_METRICS_FLOOR * the same. Returns
+    the number of failures; silently passes when the file predates
+    schema 8 and has no observability section.
+    """
+    doc = load_json(path)
+    obs = doc.get("observability")
+    scenario = doc.get("scenario")
+    if not isinstance(obs, dict) or not isinstance(scenario, dict):
+        return 0
+    plain = scenario.get("warm_keep_rps")
+    if not plain:
+        return 0
+    failures = 0
+    for key, floor in (("off_rps", OBS_OFF_FLOOR),
+                       ("metrics_rps", OBS_METRICS_FLOOR)):
+        rate = obs.get(key)
+        if not rate:
+            continue
+        ratio = float(rate) / float(plain)
+        if ratio < floor:
+            print("check_perf: FAIL observability: %s is %.1f%% of the "
+                  "plain scenario replay rate (floor %.0f%%): %.0f vs "
+                  "%.0f rps"
+                  % (key, 100.0 * ratio, 100.0 * floor, float(rate),
+                     float(plain)))
+            failures += 1
+        else:
+            print("check_perf: observability %s at %.1f%% of plain "
+                  "scenario replay (floor %.0f%%)"
+                  % (key, 100.0 * ratio, 100.0 * floor))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail when FRESH throughput dropped vs BASELINE")
@@ -146,6 +197,7 @@ def main():
               "baseline is regenerated)" % name)
 
     integrity_failures = check_integrity_cost(args.fresh)
+    obs_failures = check_obs_overhead(args.fresh)
 
     floor = 1.0 - args.tolerance
     failures = []
@@ -171,7 +223,7 @@ def main():
         for name in failures:
             print("  %s" % name)
         return 1
-    if integrity_failures:
+    if integrity_failures or obs_failures:
         return 1
     print("check_perf: %d metrics within %.0f%% of baseline"
           % (len(common), 100 * args.tolerance))

@@ -57,6 +57,14 @@
  * A degraded-but-complete run warns with exact drop totals and exits
  * 0; a failed cell prints its structured error and exits 1.
  *
+ * Observability (docs/OBSERVABILITY.md): --metrics-out dumps the
+ * merged metrics registry plus the windowed miss-ratio/conflict/
+ * coherence time series as JSON, --trace-out dumps the tracing spans
+ * as a Chrome trace-event file (chrome://tracing, Perfetto), and
+ * --obs-window sets the time-series window in accesses. Both
+ * artifacts embed the run manifest (git describe, compiler, SIMD
+ * dispatch, target, seed) that --version prints standalone.
+ *
  * --scenario replays a multiprogrammed mix (scenario/scenario.hh
  * grammar: round-robin quantum, cold-flush vs warm-keep, ASID windows,
  * phase shifts) against one target (--org) or the scenario comparison
@@ -66,6 +74,7 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +87,7 @@
 
 #include "common/logging.hh"
 #include "core/cac.hh"
+#include "obs/json_util.hh"
 
 namespace
 {
@@ -107,6 +117,18 @@ usage()
         "  cac_sim --scenario MIX [--org TARGET | --compare] "
         "[--threads N] [--csv]\n"
         "          [--stream] [--cores N]\n"
+        "  cac_sim --version\n"
+        "observability (any simulation mode; docs/OBSERVABILITY.md):\n"
+        "  --metrics-out F write counters/histograms and the windowed\n"
+        "                  miss-ratio time series as JSON (with run "
+        "manifest)\n"
+        "  --trace-out F   write tracing spans as Chrome trace-event "
+        "JSON\n"
+        "                  (load into chrome://tracing or Perfetto)\n"
+        "  --obs-window N  time-series window in accesses (default "
+        "65536\n"
+        "                  when --metrics-out is given)\n"
+        "  --version       print the build/run manifest and exit\n"
         "reader options (any mode that reads --trace):\n"
         "  --policy P      damage handling: strict (fail fast, "
         "default), skip\n"
@@ -217,6 +239,92 @@ loadTrace(const std::string &path, const TraceReaderOptions &options)
              static_cast<unsigned long long>(stats.crcErrors));
     }
     return trace;
+}
+
+/**
+ * Telemetry emission state: where --metrics-out/--trace-out go, the
+ * manifest stamped into both artifacts, and the window series
+ * harvested from finished sweep cells. File scope keeps the mode
+ * functions' signatures clean; cac_sim is one run per process.
+ */
+struct ObsOutputs
+{
+    std::string metricsPath;
+    std::string tracePath;
+    std::uint64_t window = 0; ///< --obs-window (accesses), 0 = off
+    obs::RunManifest manifest;
+
+    /** One cell's windowed time series, labeled for the artifact. */
+    struct CellSeries
+    {
+        std::string workload;
+        std::string org;
+        std::vector<obs::ObsWindow> windows;
+    };
+    std::vector<CellSeries> series;
+};
+
+ObsOutputs g_obs;
+
+/** Keep each finished cell's window series for the metrics artifact. */
+void
+harvestObsWindows(const std::vector<SweepCell> &cells)
+{
+    for (const SweepCell &cell : cells) {
+        if (!cell.windows.empty())
+            g_obs.series.push_back({cell.workload, cell.org,
+                                    cell.windows});
+    }
+}
+
+void
+writeArtifact(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        warn("cannot write '%s': %s", path.c_str(),
+             std::strerror(errno));
+        return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+}
+
+/**
+ * Emit the requested telemetry artifacts after the run: the metrics
+ * file carries the manifest, the merged registry snapshot and every
+ * cell's windowed time series; the trace file is a complete Chrome
+ * trace-event document with the manifest under otherData.
+ */
+void
+emitObsArtifacts()
+{
+    if (!g_obs.metricsPath.empty()) {
+        std::string out = "{\n  \"manifest\": ";
+        out += obs::manifestJson(g_obs.manifest, 2);
+        out += ",\n";
+        out += obs::metricsJson(obs::Registry::global().snapshot(), 2);
+        out += ",\n  \"windows\": [";
+        bool first = true;
+        for (const ObsOutputs::CellSeries &s : g_obs.series) {
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    {\"workload\": \"" + obs::jsonEscape(s.workload)
+                   + "\", \"target\": \"" + obs::jsonEscape(s.org)
+                   + "\",\n     \"series\": "
+                   + obs::windowsJson(s.windows, 5) + "}";
+        }
+        out += first ? "]\n" : "\n  ]\n";
+        out += "}\n";
+        writeArtifact(g_obs.metricsPath, out);
+    }
+    if (!g_obs.tracePath.empty()) {
+        obs::Tracer &tracer = obs::Tracer::global();
+        writeArtifact(g_obs.tracePath,
+                      obs::chromeTraceJson(tracer.drain(),
+                                           tracer.dropped(),
+                                           &g_obs.manifest));
+    }
 }
 
 /**
@@ -390,6 +498,7 @@ runScenarioCmd(const std::string &mix_label, const std::string &org,
 
     SweepRunner sweep(threads > 0 ? threads : 1);
     sweep.setTargetSpec(spec);
+    sweep.setObsWindow(g_obs.window);
     const std::vector<std::string> labels = applyCores(
         (compare || org.empty()) ? scenarioComparisonLabels()
                                  : std::vector<std::string>{org},
@@ -457,6 +566,7 @@ runScenarioCmd(const std::string &mix_label, const std::string &org,
         });
 
     const std::vector<SweepCell> cells = sweep.run();
+    harvestObsWindows(cells);
 
     if (csv) {
         std::printf("%s", scenarioCsv(cells).c_str());
@@ -610,13 +720,13 @@ runSharded(const std::string &trace_path,
     return cells;
 }
 
-} // anonymous namespace
-
+/** The real driver; main() wraps it to flush telemetry artifacts. */
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string trace_path, org, cpu, analyze, scenario;
     bool compare = false;
+    bool version = false;
     bool csv = false;
     bool bench = false;
     bool stream = false;
@@ -713,10 +823,53 @@ main(int argc, char **argv)
             read_opts.inject = *inject_spec;
         } else if (!std::strcmp(arg, "--no-verify"))
             read_opts.verifyChecksums = false;
+        else if (!std::strcmp(arg, "--metrics-out"))
+            g_obs.metricsPath = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--trace-out"))
+            g_obs.tracePath = argValue(argc, argv, i);
+        else if (!std::strcmp(arg, "--obs-window"))
+            g_obs.window = std::strtoull(argValue(argc, argv, i),
+                                         nullptr, 0);
+        else if (!std::strcmp(arg, "--version"))
+            version = true;
         else {
             std::fprintf(stderr, "unknown argument '%s'\n", arg);
             usage();
         }
+    }
+
+    if (version) {
+        std::printf(
+            "%s",
+            obs::manifestText(obs::buildRunManifest("cac_sim")).c_str());
+        return 0;
+    }
+
+    // Runtime telemetry switches: the registry (and window sampling)
+    // turn on when a metrics file is requested, the span tracer when a
+    // trace file is. Everything stays on the disabled fast path
+    // otherwise.
+    if (!g_obs.metricsPath.empty()) {
+        obs::Registry::global().setEnabled(true);
+        if (g_obs.window == 0)
+            g_obs.window = 65536;
+    }
+    if (!g_obs.tracePath.empty())
+        obs::Tracer::global().enable();
+    if (!g_obs.metricsPath.empty() || !g_obs.tracePath.empty()) {
+        g_obs.manifest = obs::buildRunManifest("cac_sim");
+        g_obs.manifest.workload =
+            !scenario.empty() ? scenario : trace_path;
+        g_obs.manifest.targetSpec =
+            compare ? "compare"
+            : !org.empty()
+                ? org
+                : (!cpu.empty() ? "cpu:" + cpu : analyze);
+        g_obs.manifest.seed = seed;
+        g_obs.manifest.threads = threads;
+        g_obs.manifest.cores = cores;
+        g_obs.manifest.shards = shards;
+        g_obs.manifest.obsWindow = g_obs.window;
     }
 
     if (!scenario.empty()) {
@@ -868,6 +1021,7 @@ main(int argc, char **argv)
     SweepRunner sweep(threads);
     sweep.setTargetSpec(spec);
     sweep.setReadOptions(read_opts);
+    sweep.setObsWindow(g_obs.window);
     for (const std::string &label : labels)
         sweep.addTarget(label);
 
@@ -894,6 +1048,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<SweepCell> cells = sweep.run();
+    harvestObsWindows(cells);
     const int rc = reportResilience(cells);
 
     if (csv) {
@@ -920,5 +1075,15 @@ main(int argc, char **argv)
         table.cell(optionalCell(t.hasCpu, t.cpu.ipc(), 3));
     }
     std::printf("%s", table.render().c_str());
+    return rc;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const int rc = runMain(argc, argv);
+    emitObsArtifacts();
     return rc;
 }
