@@ -48,7 +48,13 @@
  *     every run pays), with the metrics registry plus a 4096-access
  *     window sampler enabled, and with span tracing enabled on top.
  *     tools/check_perf.py gates off_rps >= 0.97x and metrics_rps >=
- *     0.90x of the plain scenario warm_keep_rps.
+ *     0.90x of the plain scenario warm_keep_rps;
+ * 11. service (schema 9) — an in-process cac_serve instance driven
+ *     over real loopback sockets: PING round-trips per second, the
+ *     cold RECOMMEND latency, and the memoized-repeat path (hits per
+ *     second, p50/p99 latency). tools/check_perf.py gates the
+ *     machine-independent ratio — a memo hit must be at least 10x
+ *     faster than the cold computation — plus an absolute p99 budget.
  *
  * The headline number is the skewed I-Poly ("a2-Hp-Sk") batch
  * throughput on the stride mix: that cell is the paper's best scheme
@@ -59,6 +65,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -67,6 +74,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "serve/client.hh"
+#include "serve/server.hh"
 
 #include "common/bits.hh"
 #include "common/rng.hh"
@@ -201,6 +211,16 @@ struct ObsPerf
     double traceRps = 0.0;   ///< span tracing on top of metrics
 };
 
+/** Advisor-service request throughput and latency (schema 9). */
+struct ServicePerf
+{
+    double pingRps = 0.0;    ///< PING round-trips per second
+    double coldMs = 0.0;     ///< one uncached RECOMMEND, milliseconds
+    double memoHitRps = 0.0; ///< memoized repeats per second
+    double memoP50Us = 0.0;  ///< memo-hit latency, median
+    double memoP99Us = 0.0;  ///< memo-hit latency, 99th percentile
+};
+
 /** Multiprogrammed-replay throughput (schema 4). */
 struct ScenarioPerf
 {
@@ -219,7 +239,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
           const StreamingResult &streaming, const AnalysisResult &analysis,
           const ScenarioPerf &scenario, const ShardedPerf &sharded,
           const IntegrityPerf &integrity, const MultiCorePerf &multicore,
-          const ObsPerf &obs_perf)
+          const ObsPerf &obs_perf, const ServicePerf &service)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -228,7 +248,7 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     }
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"perf_engine\",\n");
-    std::fprintf(f, "  \"schema\": 8,\n");
+    std::fprintf(f, "  \"schema\": 9,\n");
     std::fprintf(f, "  \"unit\": \"accesses_per_second\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f, "  \"stream_length\": %zu,\n", stream_len);
@@ -336,6 +356,14 @@ writeJson(const std::string &path, bool smoke, std::size_t stream_len,
     std::fprintf(f, "    \"off_rps\": %.0f,\n", obs_perf.offRps);
     std::fprintf(f, "    \"metrics_rps\": %.0f,\n", obs_perf.metricsRps);
     std::fprintf(f, "    \"trace_rps\": %.0f\n", obs_perf.traceRps);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"service\": {\n");
+    std::fprintf(f, "    \"ping_rps\": %.0f,\n", service.pingRps);
+    std::fprintf(f, "    \"cold_ms\": %.3f,\n", service.coldMs);
+    std::fprintf(f, "    \"memo_hit_rps\": %.0f,\n",
+                 service.memoHitRps);
+    std::fprintf(f, "    \"memo_p50_us\": %.1f,\n", service.memoP50Us);
+    std::fprintf(f, "    \"memo_p99_us\": %.1f\n", service.memoP99Us);
     std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
@@ -744,10 +772,79 @@ main(int argc, char **argv)
                     obs_perf.traceRps / obs_perf.offRps);
     }
 
+    // Advisor service: an in-process server driven over real loopback
+    // sockets, so the numbers include framing, TCP_NODELAY round
+    // trips and the admission path — everything a real client pays.
+    // The memoized-repeat latencies are the headline: a hit is a map
+    // lookup plus one socket round trip, so p50 should sit orders of
+    // magnitude under the cold search it replaces.
+    ServicePerf service_perf;
+    {
+        serve::ServeConfig config;
+        config.port = 0;
+        config.workers = 2;
+        serve::Server server(config);
+        if (Error err = server.start()) {
+            std::fprintf(stderr, "service bench: %s\n",
+                         err.message().c_str());
+            return 1;
+        }
+        serve::Client client;
+        if (Error err = client.connectTo(server.port())) {
+            std::fprintf(stderr, "service bench: %s\n",
+                         err.message().c_str());
+            return 1;
+        }
+
+        service_perf.pingRps = measureThroughput(min_seconds, [&] {
+            std::uint64_t ok = 0;
+            for (int i = 0; i < 64; ++i)
+                ok += client.ping().type == serve::MsgType::Pong;
+            return ok;
+        }).unitsPerSec;
+
+        const std::string payload =
+            smoke ? "workload=mix:swim@n=25k\npolys=2\nrandom=1\n"
+                  : "workload=mix:swim+tomcatv@q=50k,n=250k\n";
+        const auto cold_start = Clock::now();
+        const serve::Reply cold =
+            client.request(serve::MsgType::Recommend, payload);
+        service_perf.coldMs = secondsSince(cold_start) * 1e3;
+        if (!cold.ok()) {
+            std::fprintf(stderr, "service bench: cold recommend: %s\n",
+                         cold.payload.c_str());
+            return 1;
+        }
+
+        std::vector<double> lat_us;
+        const ThroughputResult hits =
+            measureThroughput(min_seconds, [&] {
+                std::uint64_t ok = 0;
+                for (int i = 0; i < 64; ++i) {
+                    const auto start = Clock::now();
+                    const serve::Reply hit = client.request(
+                        serve::MsgType::Recommend, payload);
+                    lat_us.push_back(secondsSince(start) * 1e6);
+                    ok += hit.ok() && hit.memoHit();
+                }
+                return ok;
+            });
+        service_perf.memoHitRps = hits.unitsPerSec;
+        std::sort(lat_us.begin(), lat_us.end());
+        service_perf.memoP50Us = lat_us[lat_us.size() / 2];
+        service_perf.memoP99Us = lat_us[lat_us.size() * 99 / 100];
+        server.stop();
+        std::printf("service %10.0f ping rps, cold %8.1f ms, memo "
+                    "%8.0f rps (p50 %.0f us, p99 %.0f us)\n",
+                    service_perf.pingRps, service_perf.coldMs,
+                    service_perf.memoHitRps, service_perf.memoP50Us,
+                    service_perf.memoP99Us);
+    }
+
     writeJson(out_path, smoke, stream_len, org_results, sweep_cells,
               sweep_accesses, sweep_results, streaming, analysis,
               scenario_perf, sharded_perf, integrity, multicore_perf,
-              obs_perf);
+              obs_perf, service_perf);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -9,7 +9,7 @@
 set -u
 
 status=0
-for dir in src/analysis src/core src/index src/scenario; do
+for dir in src/analysis src/core src/index src/scenario src/serve; do
     for header in "$dir"/*.hh; do
         [ -e "$header" ] || continue
         if ! grep -q '@file' "$header"; then

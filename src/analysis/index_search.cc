@@ -149,6 +149,8 @@ IndexSearch::runGrid(
     // Measured pass: every candidate as a profiled SetAssocCache next
     // to one fully-associative reference, on the sweep thread pool.
     SweepRunner sweep(config_.threads);
+    if (config_.cellDeadlineMs > 0)
+        sweep.setCellDeadline(config_.cellDeadlineMs);
     sweep.addOrg(kReferenceLabel, [geometry] {
         return std::make_unique<FullyAssocCache>(geometry.sizeBytes(),
                                                  geometry.blockBytes());
@@ -197,9 +199,20 @@ IndexSearch::runGrid(
     CAC_ASSERT(cells.size() == candidates_.size() + 1);
     const std::uint64_t reference_misses = cells[0].stats.misses();
 
+    // A dead reference poisons every comparison: without its miss
+    // count no candidate's conflict-miss delta means anything, so the
+    // whole grid is reported failed with the reference's error.
+    const bool reference_failed = cells[0].failed;
+
     for (std::size_t i = 0; i < candidates_.size(); ++i) {
         SearchResult &r = results[i];
-        const CacheStats &stats = cells[i + 1].stats;
+        const SweepCell &cell = cells[i + 1];
+        if (reference_failed || cell.failed) {
+            r.failed = true;
+            r.error = reference_failed ? cells[0].error : cell.error;
+            continue;
+        }
+        const CacheStats &stats = cell.stats;
         r.stats = stats;
         r.conflictMisses = stats.misses() > reference_misses
                                ? stats.misses() - reference_misses
@@ -215,9 +228,12 @@ IndexSearch::runGrid(
 
     // Rank: measured conflicts first, predictions break ties, cheaper
     // hardware breaks those, label order makes the sort total (and the
-    // result reproducible at any thread count).
+    // result reproducible at any thread count). Failed cells sort
+    // after every healthy one.
     std::sort(results.begin(), results.end(),
               [](const SearchResult &a, const SearchResult &b) {
+                  if (a.failed != b.failed)
+                      return !a.failed;
                   if (a.conflictMisses != b.conflictMisses)
                       return a.conflictMisses < b.conflictMisses;
                   if (a.predictedScore != b.predictedScore)

@@ -33,6 +33,7 @@
 
 #include "cache/cache_model.hh"
 #include "cache/geometry.hh"
+#include "common/error.hh"
 #include "index/index_fn.hh"
 #include "trace/record.hh"
 
@@ -63,6 +64,15 @@ struct SearchConfig
     /** Include the "mod" and "hx-sk" reference candidates. */
     bool includeBaselines = true;
     unsigned threads = 1; ///< SweepRunner worker count
+    /**
+     * Per-cell wall-clock deadline in milliseconds (0 = none), applied
+     * to the measured pass through SweepRunner::setCellDeadline(). A
+     * blown deadline does not abort the grid: the affected results come
+     * back with failed = true and a Timeout Error, and rank after every
+     * healthy candidate. The advisor service uses this to bound the
+     * cost of a single request.
+     */
+    unsigned cellDeadlineMs = 0;
 };
 
 /** One ranked search result row. */
@@ -80,6 +90,14 @@ struct SearchResult
     std::uint64_t conflictMisses = 0; ///< misses beyond the reference
     double conflictMissPct = 0.0;     ///< per access, percent
     std::uint64_t way0OccupiedSets = 0; ///< measured occupancy (way 0)
+    /**
+     * The measured pass for this candidate (or the shared reference it
+     * is compared against) failed — typically a blown cellDeadlineMs.
+     * Failed rows keep their static-analysis fields, carry zeroed
+     * measurements, and sort after every healthy row.
+     */
+    bool failed = false;
+    Error error; ///< why, when failed (ErrorCode::Timeout, ...)
 };
 
 /** Parallel placement-function search over one workload. */

@@ -31,6 +31,10 @@ errorCodeName(ErrorCode code)
         return "worker_failed";
       case ErrorCode::Timeout:
         return "timeout";
+      case ErrorCode::Saturated:
+        return "saturated";
+      case ErrorCode::Protocol:
+        return "protocol";
     }
     return "unknown";
 }

@@ -45,6 +45,8 @@ enum class ErrorCode : std::uint8_t
     BadRecord,      ///< decoded record is invalid (e.g. op out of range)
     WorkerFailed,   ///< a worker thread threw; contained and surfaced
     Timeout,        ///< a per-cell deadline expired
+    Saturated,      ///< service admission queue full; request rejected
+    Protocol,       ///< malformed wire frame or request payload
 };
 
 /** Stable lowercase name for @p code ("checksum_mismatch", ...). */

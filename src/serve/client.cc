@@ -1,0 +1,133 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cac::serve
+{
+
+std::map<std::string, std::string>
+Reply::kv() const
+{
+    std::map<std::string, std::string> out;
+    kvParse(payload, out);
+    return out;
+}
+
+Client::~Client()
+{
+    disconnect();
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Error
+Client::connectTo(unsigned short port)
+{
+    disconnect();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        return Error::make(ErrorCode::OpenFailed,
+                           std::string("socket: ")
+                               + std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        Error err = Error::make(ErrorCode::OpenFailed,
+                                "connect 127.0.0.1:"
+                                    + std::to_string(port) + ": "
+                                    + std::strerror(errno));
+        disconnect();
+        return err;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Error();
+}
+
+Reply
+Client::request(MsgType type, const std::string &payload)
+{
+    Reply reply;
+    if (fd_ < 0) {
+        reply.transport =
+            Error::make(ErrorCode::OpenFailed, "not connected");
+        return reply;
+    }
+    const std::uint32_t id = nextId_++;
+    if (Error err = sendFrame(fd_, type, 0, id, payload)) {
+        reply.transport = err;
+        return reply;
+    }
+    for (;;) {
+        Frame frame;
+        if (Error err = recvFrame(fd_, frame)) {
+            reply.transport = err;
+            return reply;
+        }
+        if (frame.header.type == MsgType::Progress) {
+            reply.progress.push_back(frame.payload);
+            continue;
+        }
+        reply.type = frame.header.type;
+        reply.flags = frame.header.flags;
+        reply.payload = frame.payload;
+        return reply;
+    }
+}
+
+Reply
+Client::sendMalformed(const std::string &bytes)
+{
+    Reply reply;
+    if (fd_ < 0) {
+        reply.transport =
+            Error::make(ErrorCode::OpenFailed, "not connected");
+        return reply;
+    }
+    const char *p = bytes.data();
+    std::size_t len = bytes.size();
+    while (len > 0) {
+        const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            reply.transport =
+                Error::make(ErrorCode::ReadFailed,
+                            std::string("socket write failed: ")
+                                + std::strerror(errno));
+            return reply;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    Frame frame;
+    if (Error err = recvFrame(fd_, frame)) {
+        reply.transport = err;
+        return reply;
+    }
+    reply.type = frame.header.type;
+    reply.flags = frame.header.flags;
+    reply.payload = frame.payload;
+    return reply;
+}
+
+} // namespace cac::serve

@@ -1,0 +1,142 @@
+#include "serve/memo_cache.hh"
+
+#include "common/logging.hh"
+
+namespace cac::serve
+{
+
+MemoCache::MemoCache(std::size_t byte_budget, obs::Registry *registry)
+    : budget_(byte_budget),
+      hitCounter_(registry->counter("serve.memo.hits")),
+      missCounter_(registry->counter("serve.memo.misses")),
+      evictionCounter_(registry->counter("serve.memo.evictions")),
+      bytesGauge_(registry->gauge("serve.memo.bytes"))
+{
+    stats_.budget = byte_budget;
+}
+
+std::size_t
+MemoCache::entryBytes(const std::string &key, const std::string &value)
+{
+    return key.size() + value.size() + kMemoEntryOverheadBytes;
+}
+
+bool
+MemoCache::get(const std::string &key, std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        missCounter_.add(1);
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    value = it->second->second;
+    ++stats_.hits;
+    hitCounter_.add(1);
+    return true;
+}
+
+void
+MemoCache::put(const std::string &key, std::string value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= entryBytes(key, it->second->second);
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    const std::size_t cost = entryBytes(key, value);
+    if (cost > budget_)
+        return; // would evict everything and still not fit
+    while (bytes_ + cost > budget_ && !lru_.empty()) {
+        const auto &victim = lru_.back();
+        bytes_ -= entryBytes(victim.first, victim.second);
+        index_.erase(victim.first);
+        lru_.pop_back();
+        ++stats_.evictions;
+        evictionCounter_.add(1);
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    bytes_ += cost;
+    bytesGauge_.set(bytes_);
+}
+
+MemoCache::Stats
+MemoCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    out.entries = lru_.size();
+    out.bytes = bytes_;
+    return out;
+}
+
+std::string
+SingleFlight::runOrJoin(const std::string &key,
+                        const std::function<std::string()> &fn,
+                        bool *leader)
+{
+    std::shared_ptr<Flight> flight;
+    bool is_leader = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = flights_.find(key);
+        if (it != flights_.end()) {
+            flight = it->second;
+        } else {
+            flight = std::make_shared<Flight>();
+            flights_[key] = flight;
+            is_leader = true;
+        }
+    }
+    if (leader != nullptr)
+        *leader = is_leader;
+
+    if (!is_leader) {
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (flight->error)
+            throw CacError(flight->error);
+        return flight->value;
+    }
+
+    std::string value;
+    Error error;
+    try {
+        value = fn();
+    } catch (const CacError &err) {
+        error = err.err();
+    } catch (const std::exception &err) {
+        error = Error::make(ErrorCode::WorkerFailed, err.what());
+    }
+    {
+        // Unpublish first so a new arrival starts a fresh flight
+        // instead of joining a finished one.
+        std::lock_guard<std::mutex> lock(mutex_);
+        flights_.erase(key);
+        ++executions_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->value = value;
+        flight->error = error;
+        flight->done = true;
+    }
+    flight->cv.notify_all();
+    if (error)
+        throw CacError(error);
+    return value;
+}
+
+std::uint64_t
+SingleFlight::executions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return executions_;
+}
+
+} // namespace cac::serve

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Result memoization for the advisor service: an LRU cache with a
+ * byte budget, plus a single-flight combiner so identical in-flight
+ * requests share one computation.
+ *
+ * MemoCache maps a canonical request key (serve/advisor.hh renders
+ * one per request; equal requests — however their options were
+ * spelled or ordered — render equal keys) to the exact response
+ * payload previously computed for it. Entries are charged
+ * key + value + a fixed overhead against the byte budget and evicted
+ * least-recently-used; hits, misses and evictions feed the obs
+ * Registry (serve.memo.hits / .misses / .evictions) so saturation and
+ * effectiveness are visible in --metrics-out artifacts.
+ *
+ * SingleFlight collapses concurrent duplicates: the first caller of a
+ * key (the *leader*) runs the computation, everyone else arriving
+ * before it finishes blocks and receives the leader's result — or its
+ * error, rethrown as CacError in every joiner. N identical requests
+ * therefore cost exactly one computation whether they arrive
+ * sequentially (memo hit) or simultaneously (join); executions()
+ * counts real computations so tests can assert exactly that.
+ */
+
+#ifndef CAC_SERVE_MEMO_CACHE_HH
+#define CAC_SERVE_MEMO_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hh"
+#include "obs/metrics.hh"
+
+namespace cac::serve
+{
+
+/** Fixed per-entry bookkeeping charge against the byte budget. */
+constexpr std::size_t kMemoEntryOverheadBytes = 64;
+
+/** Byte-budgeted LRU of canonical-key -> response-payload strings. */
+class MemoCache
+{
+  public:
+    /**
+     * @param byte_budget total bytes of (key + value + overhead) the
+     *     cache may hold; inserting beyond it evicts LRU entries. A
+     *     value too large for the whole budget is simply not cached.
+     * @param registry metric sink (tests may pass a private one).
+     */
+    explicit MemoCache(std::size_t byte_budget,
+                       obs::Registry *registry = &obs::Registry::global());
+
+    /** Look up @p key; on a hit copies the value and marks it MRU. */
+    bool get(const std::string &key, std::string &value);
+
+    /** Insert (or refresh) @p key, evicting LRU entries to fit. */
+    void put(const std::string &key, std::string value);
+
+    /** Point-in-time occupancy and traffic numbers. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;  ///< charged bytes currently held
+        std::size_t budget = 0; ///< configured byte budget
+    };
+    Stats stats() const;
+
+  private:
+    using LruList = std::list<std::pair<std::string, std::string>>;
+
+    static std::size_t entryBytes(const std::string &key,
+                                  const std::string &value);
+
+    mutable std::mutex mutex_;
+    LruList lru_; ///< front = most recently used
+    std::unordered_map<std::string, LruList::iterator> index_;
+    std::size_t bytes_ = 0;
+    const std::size_t budget_;
+    Stats stats_;
+    obs::Counter hitCounter_;
+    obs::Counter missCounter_;
+    obs::Counter evictionCounter_;
+    obs::Gauge bytesGauge_;
+};
+
+/** Collapses concurrent identical computations onto one leader. */
+class SingleFlight
+{
+  public:
+    /**
+     * Run @p fn for @p key, or join a computation already in flight
+     * for the same key. Returns fn's (or the leader's) result; if the
+     * leader throws CacError, every caller of this key rethrows the
+     * same Error. @p leader, when non-null, reports whether *this*
+     * call executed fn.
+     */
+    std::string runOrJoin(const std::string &key,
+                          const std::function<std::string()> &fn,
+                          bool *leader = nullptr);
+
+    /** Computations actually executed (leaders only). */
+    std::uint64_t executions() const;
+
+  private:
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        std::string value;
+        Error error;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+    std::uint64_t executions_ = 0;
+};
+
+} // namespace cac::serve
+
+#endif // CAC_SERVE_MEMO_CACHE_HH

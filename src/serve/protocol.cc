@@ -1,0 +1,243 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cac::serve
+{
+
+namespace
+{
+
+void
+putU32(unsigned char *out, std::uint32_t value)
+{
+    out[0] = static_cast<unsigned char>(value & 0xff);
+    out[1] = static_cast<unsigned char>((value >> 8) & 0xff);
+    out[2] = static_cast<unsigned char>((value >> 16) & 0xff);
+    out[3] = static_cast<unsigned char>((value >> 24) & 0xff);
+}
+
+std::uint32_t
+getU32(const unsigned char *in)
+{
+    return static_cast<std::uint32_t>(in[0])
+           | static_cast<std::uint32_t>(in[1]) << 8
+           | static_cast<std::uint32_t>(in[2]) << 16
+           | static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+Error
+protocolError(std::string detail, std::uint64_t offset)
+{
+    return Error::make(ErrorCode::Protocol, std::move(detail), "frame",
+                       offset);
+}
+
+/** Write all of @p len bytes, retrying on EINTR and short writes. */
+Error
+writeFully(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error::make(ErrorCode::ReadFailed,
+                               std::string("socket write failed: ")
+                                   + std::strerror(errno));
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return Error();
+}
+
+/** Read exactly @p len bytes; EOF mid-read is ReadFailed. */
+Error
+readFully(int fd, void *data, std::size_t len)
+{
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        const ssize_t n = ::recv(fd, p, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Error::make(ErrorCode::ReadFailed,
+                               std::string("socket read failed: ")
+                                   + std::strerror(errno));
+        }
+        if (n == 0) {
+            return Error::make(ErrorCode::ReadFailed,
+                               "connection closed mid-frame");
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return Error();
+}
+
+} // anonymous namespace
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Ping:
+        return "ping";
+      case MsgType::Analyze:
+        return "analyze";
+      case MsgType::Recommend:
+        return "recommend";
+      case MsgType::Stats:
+        return "stats";
+      case MsgType::Shutdown:
+        return "shutdown";
+      case MsgType::Progress:
+        return "progress";
+      case MsgType::Result:
+        return "result";
+      case MsgType::ErrorMsg:
+        return "error";
+      case MsgType::Pong:
+        return "pong";
+    }
+    return "?";
+}
+
+bool
+isRequestType(MsgType type)
+{
+    switch (type) {
+      case MsgType::Ping:
+      case MsgType::Analyze:
+      case MsgType::Recommend:
+      case MsgType::Stats:
+      case MsgType::Shutdown:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+encodeHeader(const FrameHeader &header, unsigned char out[kHeaderBytes])
+{
+    std::memcpy(out, kMagic, 4);
+    out[4] = static_cast<unsigned char>(header.type);
+    out[5] = header.flags;
+    out[6] = 0;
+    out[7] = 0;
+    putU32(out + 8, header.requestId);
+    putU32(out + 12, header.payloadLen);
+}
+
+Error
+decodeHeader(const unsigned char in[kHeaderBytes], FrameHeader &header)
+{
+    if (std::memcmp(in, kMagic, 4) != 0)
+        return protocolError("bad frame magic (want \"CAS1\")", 0);
+    if (in[6] != 0 || in[7] != 0)
+        return protocolError("reserved header bytes are nonzero", 6);
+    const auto type = static_cast<MsgType>(in[4]);
+    if (std::strcmp(msgTypeName(type), "?") == 0) {
+        return protocolError("unknown message type 0x"
+                                 + std::to_string(in[4]),
+                             4);
+    }
+    const std::uint32_t payload_len = getU32(in + 12);
+    if (payload_len > kMaxPayloadBytes) {
+        return protocolError("payload length "
+                                 + std::to_string(payload_len)
+                                 + " exceeds the "
+                                 + std::to_string(kMaxPayloadBytes)
+                                 + "-byte cap",
+                             12);
+    }
+    header.type = type;
+    header.flags = in[5];
+    header.requestId = getU32(in + 8);
+    header.payloadLen = payload_len;
+    return Error();
+}
+
+std::string
+kvRender(const std::vector<std::pair<std::string, std::string>> &pairs)
+{
+    std::string out;
+    for (const auto &[key, value] : pairs) {
+        out += key;
+        out += '=';
+        out += value;
+        out += '\n';
+    }
+    return out;
+}
+
+Error
+kvParse(const std::string &payload,
+        std::map<std::string, std::string> &out)
+{
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        std::size_t eol = payload.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = payload.size();
+        if (eol > pos) { // skip blank lines
+            const std::string line = payload.substr(pos, eol - pos);
+            const std::size_t eq = line.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                return Error::make(ErrorCode::Protocol,
+                                   "payload line is not key=value: \""
+                                       + line + "\"");
+            }
+            out[line.substr(0, eq)] = line.substr(eq + 1);
+        }
+        pos = eol + 1;
+    }
+    return Error();
+}
+
+Error
+sendFrame(int fd, MsgType type, std::uint8_t flags,
+          std::uint32_t request_id, const std::string &payload)
+{
+    FrameHeader header;
+    header.type = type;
+    header.flags = flags;
+    header.requestId = request_id;
+    header.payloadLen = static_cast<std::uint32_t>(payload.size());
+    if (payload.size() > kMaxPayloadBytes) {
+        return Error::make(ErrorCode::Protocol,
+                           "refusing to send an oversized payload");
+    }
+    // One contiguous write: splitting header and payload across two
+    // send()s makes Nagle hold the payload for the peer's delayed ACK
+    // (~40 ms), which would dwarf a memo hit's real cost.
+    std::string wire(kHeaderBytes, '\0');
+    encodeHeader(header,
+                 reinterpret_cast<unsigned char *>(wire.data()));
+    wire += payload;
+    return writeFully(fd, wire.data(), wire.size());
+}
+
+Error
+recvFrame(int fd, Frame &frame)
+{
+    unsigned char wire[kHeaderBytes];
+    if (Error err = readFully(fd, wire, kHeaderBytes))
+        return err;
+    if (Error err = decodeHeader(wire, frame.header))
+        return err;
+    frame.payload.resize(frame.header.payloadLen);
+    if (frame.header.payloadLen == 0)
+        return Error();
+    return readFully(fd, frame.payload.data(),
+                     frame.header.payloadLen);
+}
+
+} // namespace cac::serve

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Wire protocol for the cac_serve advisor service.
+ *
+ * Everything on the socket is a *frame*: a fixed 16-byte header
+ * followed by `payloadLen` bytes of payload. The header is
+ * little-endian and starts with the magic "CAS1" so a stray HTTP
+ * request (or a truncated write) is rejected before any payload is
+ * read:
+ *
+ *   offset  size  field
+ *        0     4  magic "CAS1"
+ *        4     1  message type (MsgType)
+ *        5     1  flags (bit 0: response was served from the memo cache)
+ *        6     2  reserved, must be zero
+ *        8     4  request id (u32 LE; responses echo the request's id)
+ *       12     4  payload length (u32 LE, at most kMaxPayloadBytes)
+ *
+ * Payloads are UTF-8 `key=value` lines separated by '\n' — printable,
+ * greppable, and trivially extensible (unknown keys are ignored).
+ * The full specification — message types, request/response keys,
+ * error codes, versioning rules, and a worked byte-level example —
+ * lives in docs/SERVICE.md; this header is its implementation.
+ *
+ * decode/recv functions never throw: malformed input comes back as a
+ * cac::Error with ErrorCode::Protocol (or ReadFailed for socket-level
+ * failures) so the server can answer with a typed ERROR frame instead
+ * of dying.
+ */
+
+#ifndef CAC_SERVE_PROTOCOL_HH
+#define CAC_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace cac::serve
+{
+
+/** Frame magic: "CAS1" (cac advisor service, protocol version 1). */
+constexpr char kMagic[4] = {'C', 'A', 'S', '1'};
+
+/** Fixed header size in bytes. */
+constexpr std::size_t kHeaderBytes = 16;
+
+/** Hard cap on a single frame's payload (1 MiB is generous here). */
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+/** Response flag bit 0: the result came from the memo cache. */
+constexpr std::uint8_t kFlagMemoHit = 0x01;
+
+/** Message types. Requests are 0x0N, responses 0x1N. */
+enum class MsgType : std::uint8_t
+{
+    // Requests (client -> server).
+    Ping = 0x01,      ///< liveness probe; payload ignored
+    Analyze = 0x02,   ///< measure one org on one workload
+    Recommend = 0x03, ///< rank placement functions for a workload
+    Stats = 0x04,     ///< server counters + memo occupancy snapshot
+    Shutdown = 0x05,  ///< stop the server after replying
+
+    // Responses (server -> client).
+    Progress = 0x10, ///< job state change ("queued", "computing")
+    Result = 0x11,   ///< terminal success; payload is the answer
+    ErrorMsg = 0x12, ///< terminal failure; payload carries code+detail
+    Pong = 0x13,     ///< reply to Ping
+};
+
+/** Stable lowercase name ("ping", "result", ...); "?" if unknown. */
+const char *msgTypeName(MsgType type);
+
+/** True for the request types a client may send. */
+bool isRequestType(MsgType type);
+
+/** A decoded frame header (magic and reserved already validated). */
+struct FrameHeader
+{
+    MsgType type = MsgType::Ping;
+    std::uint8_t flags = 0;
+    std::uint32_t requestId = 0;
+    std::uint32_t payloadLen = 0;
+};
+
+/** Encode @p header into the 16-byte wire form. */
+void encodeHeader(const FrameHeader &header,
+                  unsigned char out[kHeaderBytes]);
+
+/**
+ * Decode a 16-byte wire header. Returns ErrorCode::Protocol (with a
+ * byte offset into the header) on bad magic, nonzero reserved bytes,
+ * an unknown message type, or an oversized payload length.
+ */
+Error decodeHeader(const unsigned char in[kHeaderBytes],
+                   FrameHeader &header);
+
+/** One complete frame: header plus payload bytes. */
+struct Frame
+{
+    FrameHeader header;
+    std::string payload;
+};
+
+/** Render key=value pairs as a payload (one `k=v\n` line per pair). */
+std::string kvRender(
+    const std::vector<std::pair<std::string, std::string>> &pairs);
+
+/**
+ * Parse a key=value payload into a map. Blank lines are ignored;
+ * duplicate keys keep the last value. Returns ErrorCode::Protocol on
+ * a line without '=' or with an empty key.
+ */
+Error kvParse(const std::string &payload,
+              std::map<std::string, std::string> &out);
+
+/**
+ * Blocking full-frame I/O over a connected socket. sendFrame writes
+ * header+payload; recvFrame reads exactly one frame, validating the
+ * header before the payload is read. Both return Error values
+ * (ReadFailed on EOF/socket error, Protocol on malformed headers) and
+ * never throw — connection loops branch on code().
+ */
+Error sendFrame(int fd, MsgType type, std::uint8_t flags,
+                std::uint32_t request_id, const std::string &payload);
+Error recvFrame(int fd, Frame &frame);
+
+} // namespace cac::serve
+
+#endif // CAC_SERVE_PROTOCOL_HH

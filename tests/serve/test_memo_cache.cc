@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Memoization-layer tests: the canonical-key contract (spelling-
+ * invariant, collision-free across distinct geometries), LRU eviction
+ * at the byte budget, and single-flight deduplication — N identical
+ * concurrent computations must execute exactly once.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/advisor.hh"
+#include "serve/memo_cache.hh"
+
+namespace cac::serve
+{
+namespace
+{
+
+/** Parse a request payload or fail the test with the diagnostic. */
+AdvisorRequest
+mustParse(MsgType kind, std::map<std::string, std::string> kv)
+{
+    AdvisorRequest request;
+    const Error err = parseAdvisorRequest(kind, kv, request);
+    EXPECT_FALSE(err) << err.message();
+    return request;
+}
+
+TEST(MemoKey, ReorderedMixOptionsHashIdentically)
+{
+    const AdvisorRequest a = mustParse(
+        MsgType::Recommend,
+        {{"workload", "mix:swim+tomcatv@q=50k,n=120k,seed=1"}});
+    const AdvisorRequest b = mustParse(
+        MsgType::Recommend,
+        {{"workload", "mix:swim+tomcatv@seed=1,n=120000,q=50000"}});
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+}
+
+TEST(MemoKey, DefaultsAndExplicitOptionsHashIdentically)
+{
+    // All options at their documented defaults, spelled vs omitted.
+    const AdvisorRequest a =
+        mustParse(MsgType::Recommend, {{"workload", "mix:swim"}});
+    const AdvisorRequest b = mustParse(
+        MsgType::Recommend,
+        {{"workload",
+          "mix:swim@q=50000,n=120000,phase=0,asid=2097152,seed=1,"
+          "keep"}});
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+
+    // A bare atom and its mix: wrapping are the same workload.
+    const AdvisorRequest c =
+        mustParse(MsgType::Recommend, {{"workload", "swim"}});
+    EXPECT_EQ(canonicalKey(a), canonicalKey(c));
+}
+
+TEST(MemoKey, EquivalentOrgLabelsHashIdentically)
+{
+    // "dm" and "a1" build byte-identical caches (1-way set-assoc,
+    // conventional index), so an analysis of one answers the other.
+    const AdvisorRequest dm = mustParse(
+        MsgType::Analyze, {{"workload", "swim"}, {"org", "dm"}});
+    const AdvisorRequest a1 = mustParse(
+        MsgType::Analyze, {{"workload", "swim"}, {"org", "a1"}});
+    EXPECT_EQ(canonicalKey(dm), canonicalKey(a1));
+
+    // ...while a different scheme at the same geometry must not.
+    const AdvisorRequest hx = mustParse(
+        MsgType::Analyze, {{"workload", "swim"}, {"org", "a1-Hx"}});
+    EXPECT_NE(canonicalKey(dm), canonicalKey(hx));
+}
+
+TEST(MemoKey, DistinctGeometriesNeverCollide)
+{
+    std::set<std::string> keys;
+    std::size_t combinations = 0;
+    for (const char *size : {"4096", "8192", "16384"}) {
+        for (const char *ways : {"1", "2", "4"}) {
+            for (const char *block : {"16", "32"}) {
+                const AdvisorRequest r = mustParse(
+                    MsgType::Recommend, {{"workload", "swim"},
+                                         {"size", size},
+                                         {"ways", ways},
+                                         {"block", block}});
+                keys.insert(canonicalKey(r));
+                ++combinations;
+            }
+        }
+    }
+    EXPECT_EQ(keys.size(), combinations);
+}
+
+TEST(MemoKey, SearchKnobsAndWorkloadChangesChangeTheKey)
+{
+    const AdvisorRequest base =
+        mustParse(MsgType::Recommend, {{"workload", "swim"}});
+    for (const auto &[key, value] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"polys", "9"},
+             {"random", "5"},
+             {"seed", "2"},
+             {"baselines", "0"},
+             {"input_bits", "20"},
+             {"top", "7"},
+             {"workload", "tomcatv"},
+             {"workload", "mix:swim@flush"},
+             {"workload", "mix:swim@n=60k"}}) {
+        // Overwrite explicitly: map initializer lists keep the FIRST
+        // duplicate, which would silently compare base to itself.
+        std::map<std::string, std::string> fields{
+            {"workload", "swim"}};
+        fields[key] = value;
+        const AdvisorRequest changed =
+            mustParse(MsgType::Recommend, fields);
+        EXPECT_NE(canonicalKey(base), canonicalKey(changed))
+            << key << "=" << value;
+    }
+}
+
+TEST(MemoKey, DeadlineDoesNotChangeTheKey)
+{
+    // A deadline changes whether an answer exists, never what it is.
+    const AdvisorRequest a =
+        mustParse(MsgType::Recommend, {{"workload", "swim"}});
+    const AdvisorRequest b = mustParse(
+        MsgType::Recommend,
+        {{"workload", "swim"}, {"deadline_ms", "1234"}});
+    EXPECT_EQ(canonicalKey(a), canonicalKey(b));
+}
+
+TEST(MemoCache, LruEvictsAtTheByteBudget)
+{
+    obs::Registry registry;
+    registry.setEnabled(true);
+    // Budget fits exactly two entries of this shape.
+    const std::string v(100, 'x');
+    const std::size_t entry = 4 + v.size() + kMemoEntryOverheadBytes;
+    MemoCache cache(2 * entry, &registry);
+
+    cache.put("key1", v);
+    cache.put("key2", v);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Touch key1 so key2 becomes the LRU victim.
+    std::string out;
+    EXPECT_TRUE(cache.get("key1", out));
+    cache.put("key3", v);
+
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.get("key1", out));
+    EXPECT_FALSE(cache.get("key2", out)) << "LRU entry must be gone";
+    EXPECT_TRUE(cache.get("key3", out));
+
+    // The obs counters mirror the local stats.
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("serve.memo.evictions"), 1u);
+    EXPECT_EQ(snap.counter("serve.memo.hits"), cache.stats().hits);
+    EXPECT_EQ(snap.counter("serve.memo.misses"),
+              cache.stats().misses);
+}
+
+TEST(MemoCache, OversizedValuesAreNotCachedAndBytesStayBounded)
+{
+    obs::Registry registry;
+    MemoCache cache(256, &registry);
+    cache.put("big", std::string(1024, 'x'));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    std::string out;
+    EXPECT_FALSE(cache.get("big", out));
+    for (int i = 0; i < 100; ++i)
+        cache.put("k" + std::to_string(i), std::string(32, 'y'));
+    EXPECT_LE(cache.stats().bytes, cache.stats().budget);
+}
+
+TEST(SingleFlight, NIdenticalInFlightRequestsComputeOnce)
+{
+    SingleFlight flights;
+    std::atomic<int> computations{0};
+    std::atomic<int> started{0};
+    constexpr int kThreads = 8;
+
+    std::vector<std::thread> threads;
+    std::vector<std::string> values(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            started.fetch_add(1);
+            // Spin until everyone is launched so the calls overlap.
+            while (started.load() < kThreads)
+                std::this_thread::yield();
+            values[i] = flights.runOrJoin("the-key", [&] {
+                computations.fetch_add(1);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                return std::string("answer");
+            });
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(computations.load(), 1);
+    EXPECT_EQ(flights.executions(), 1u);
+    for (const std::string &v : values)
+        EXPECT_EQ(v, "answer");
+}
+
+TEST(SingleFlight, LeaderErrorsPropagateToEveryJoiner)
+{
+    SingleFlight flights;
+    std::atomic<int> started{0};
+    std::atomic<int> timeouts{0};
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            started.fetch_add(1);
+            while (started.load() < kThreads)
+                std::this_thread::yield();
+            try {
+                flights.runOrJoin("doomed", [&]() -> std::string {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(100));
+                    throw CacError(Error::make(ErrorCode::Timeout,
+                                               "deadline blown"));
+                });
+            } catch (const CacError &err) {
+                if (err.err().code == ErrorCode::Timeout)
+                    timeouts.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(timeouts.load(), kThreads);
+    EXPECT_EQ(flights.executions(), 1u);
+}
+
+TEST(SingleFlight, SequentialCallsComputeSeparately)
+{
+    // Single-flight only collapses *concurrent* duplicates; sequential
+    // repeats are the memo cache's job.
+    SingleFlight flights;
+    flights.runOrJoin("k", [] { return std::string("1"); });
+    const std::string v =
+        flights.runOrJoin("k", [] { return std::string("2"); });
+    EXPECT_EQ(v, "2");
+    EXPECT_EQ(flights.executions(), 2u);
+}
+
+} // anonymous namespace
+} // namespace cac::serve

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Wire-protocol codec tests: header round-trips for every message
+ * type, typed rejection of each malformed-header class the spec
+ * (docs/SERVICE.md) calls out, and key=value payload parsing.
+ */
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hh"
+
+namespace cac::serve
+{
+namespace
+{
+
+TEST(ServeProtocol, HeaderRoundTripsEveryType)
+{
+    const MsgType types[] = {
+        MsgType::Ping,     MsgType::Analyze, MsgType::Recommend,
+        MsgType::Stats,    MsgType::Shutdown, MsgType::Progress,
+        MsgType::Result,   MsgType::ErrorMsg, MsgType::Pong,
+    };
+    for (MsgType type : types) {
+        FrameHeader in;
+        in.type = type;
+        in.flags = kFlagMemoHit;
+        in.requestId = 0xdeadbeef;
+        in.payloadLen = 12345;
+        unsigned char wire[kHeaderBytes];
+        encodeHeader(in, wire);
+        EXPECT_EQ(0, std::memcmp(wire, kMagic, 4));
+
+        FrameHeader out;
+        ASSERT_FALSE(decodeHeader(wire, out))
+            << "type " << msgTypeName(type);
+        EXPECT_EQ(out.type, in.type);
+        EXPECT_EQ(out.flags, in.flags);
+        EXPECT_EQ(out.requestId, in.requestId);
+        EXPECT_EQ(out.payloadLen, in.payloadLen);
+    }
+}
+
+TEST(ServeProtocol, HeaderIsLittleEndianAtFixedOffsets)
+{
+    FrameHeader in;
+    in.type = MsgType::Result;
+    in.flags = 0;
+    in.requestId = 0x01020304;
+    in.payloadLen = 0x0a0b0c0d;
+    unsigned char wire[kHeaderBytes];
+    encodeHeader(in, wire);
+    // The byte-level layout documented in docs/SERVICE.md.
+    EXPECT_EQ(wire[4], 0x11); // Result
+    EXPECT_EQ(wire[8], 0x04); // request id LSB first
+    EXPECT_EQ(wire[11], 0x01);
+    EXPECT_EQ(wire[12], 0x0d); // payload length LSB first
+    EXPECT_EQ(wire[15], 0x0a);
+}
+
+TEST(ServeProtocol, DecodeRejectsBadMagic)
+{
+    FrameHeader in;
+    unsigned char wire[kHeaderBytes];
+    encodeHeader(in, wire);
+    wire[0] = 'G'; // "GAS1"
+    FrameHeader out;
+    const Error err = decodeHeader(wire, out);
+    EXPECT_EQ(err.code, ErrorCode::Protocol);
+}
+
+TEST(ServeProtocol, DecodeRejectsReservedBytes)
+{
+    FrameHeader in;
+    unsigned char wire[kHeaderBytes];
+    encodeHeader(in, wire);
+    wire[6] = 1;
+    FrameHeader out;
+    EXPECT_EQ(decodeHeader(wire, out).code, ErrorCode::Protocol);
+}
+
+TEST(ServeProtocol, DecodeRejectsUnknownType)
+{
+    FrameHeader in;
+    unsigned char wire[kHeaderBytes];
+    encodeHeader(in, wire);
+    wire[4] = 0x7f;
+    FrameHeader out;
+    EXPECT_EQ(decodeHeader(wire, out).code, ErrorCode::Protocol);
+}
+
+TEST(ServeProtocol, DecodeRejectsOversizedPayload)
+{
+    FrameHeader in;
+    in.payloadLen = kMaxPayloadBytes + 1;
+    unsigned char wire[kHeaderBytes];
+    encodeHeader(in, wire);
+    FrameHeader out;
+    EXPECT_EQ(decodeHeader(wire, out).code, ErrorCode::Protocol);
+}
+
+TEST(ServeProtocol, KvRoundTrip)
+{
+    const std::string payload = kvRender({
+        {"workload", "mix:swim+tomcatv@q=50k"},
+        {"size", "8192"},
+        {"best.index", "I-Poly v=14 skew"},
+    });
+    std::map<std::string, std::string> kv;
+    ASSERT_FALSE(kvParse(payload, kv));
+    EXPECT_EQ(kv.size(), 3u);
+    EXPECT_EQ(kv["workload"], "mix:swim+tomcatv@q=50k");
+    EXPECT_EQ(kv["size"], "8192");
+    EXPECT_EQ(kv["best.index"], "I-Poly v=14 skew");
+}
+
+TEST(ServeProtocol, KvParseToleratesBlankLinesAndKeepsLastDuplicate)
+{
+    std::map<std::string, std::string> kv;
+    ASSERT_FALSE(kvParse("a=1\n\n\na=2\nb=x=y\n", kv));
+    EXPECT_EQ(kv["a"], "2");
+    EXPECT_EQ(kv["b"], "x=y"); // values may contain '='
+}
+
+TEST(ServeProtocol, KvParseRejectsMalformedLines)
+{
+    std::map<std::string, std::string> kv;
+    EXPECT_EQ(kvParse("no-equals-sign\n", kv).code,
+              ErrorCode::Protocol);
+    EXPECT_EQ(kvParse("=empty-key\n", kv).code, ErrorCode::Protocol);
+}
+
+TEST(ServeProtocol, RequestTypePredicateMatchesSpec)
+{
+    EXPECT_TRUE(isRequestType(MsgType::Ping));
+    EXPECT_TRUE(isRequestType(MsgType::Analyze));
+    EXPECT_TRUE(isRequestType(MsgType::Recommend));
+    EXPECT_TRUE(isRequestType(MsgType::Stats));
+    EXPECT_TRUE(isRequestType(MsgType::Shutdown));
+    EXPECT_FALSE(isRequestType(MsgType::Progress));
+    EXPECT_FALSE(isRequestType(MsgType::Result));
+    EXPECT_FALSE(isRequestType(MsgType::ErrorMsg));
+    EXPECT_FALSE(isRequestType(MsgType::Pong));
+}
+
+} // anonymous namespace
+} // namespace cac::serve

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * End-to-end advisor-service tests over real loopback sockets: every
+ * message type, memoized repeats (flagged and counted), single-flight
+ * deduplication under concurrency, deterministic saturation
+ * rejection, typed deadline and protocol errors, and clean shutdown.
+ */
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace cac::serve
+{
+namespace
+{
+
+/** A small-but-real recommend request (fast; ~10 candidates). */
+const char *const kRecommendPayload =
+    "workload=mix:swim\n"
+    "polys=2\n"
+    "random=1\n"
+    "top=3\n";
+
+ServeConfig
+testConfig()
+{
+    ServeConfig config;
+    config.port = 0; // kernel-assigned; tests read server.port()
+    config.workers = 2;
+    config.queueDepth = 4;
+    return config;
+}
+
+/** Start a server or fail the test with the bind diagnostic. */
+class ServerFixture : public ::testing::Test
+{
+  protected:
+    void startServer(ServeConfig config)
+    {
+        server = std::make_unique<Server>(config);
+        const Error err = server->start();
+        ASSERT_FALSE(err) << err.message();
+    }
+
+    Client connectedClient()
+    {
+        Client client;
+        const Error err = client.connectTo(server->port());
+        EXPECT_FALSE(err) << err.message();
+        return client;
+    }
+
+    std::unique_ptr<Server> server;
+};
+
+TEST_F(ServerFixture, PingPongEchoesPayload)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply reply = client.request(MsgType::Ping, "hello=1\n");
+    ASSERT_FALSE(reply.transport) << reply.transport.message();
+    EXPECT_EQ(reply.type, MsgType::Pong);
+    EXPECT_EQ(reply.payload, "hello=1\n");
+}
+
+TEST_F(ServerFixture, RecommendThenMemoHit)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const std::uint64_t hits_before =
+        obs::Registry::global().snapshot().counter("serve.memo.hits");
+
+    const Reply cold =
+        client.request(MsgType::Recommend, kRecommendPayload);
+    ASSERT_TRUE(cold.ok()) << cold.payload;
+    EXPECT_FALSE(cold.memoHit());
+    ASSERT_GE(cold.progress.size(), 2u) << "queued + computing";
+    EXPECT_EQ(cold.progress[0], "state=queued\n");
+    EXPECT_EQ(cold.progress[1], "state=computing\n");
+
+    auto kv = cold.kv();
+    EXPECT_FALSE(kv["best"].empty());
+    EXPECT_EQ(kv["workload"],
+              "mix:swim@q=50000,n=120000,phase=0,asid=2097152,seed=1,"
+              "keep");
+    // Every computed response is stamped with the run manifest.
+    EXPECT_EQ(kv["manifest.tool"], "cac_serve");
+    EXPECT_FALSE(kv["manifest.git_describe"].empty());
+
+    const Reply hit =
+        client.request(MsgType::Recommend, kRecommendPayload);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_TRUE(hit.memoHit());
+    EXPECT_TRUE(hit.progress.empty()) << "hits skip the queue";
+    EXPECT_EQ(hit.payload, cold.payload) << "byte-identical replay";
+
+    EXPECT_EQ(server->memoStats().hits, 1u);
+    EXPECT_EQ(
+        obs::Registry::global().snapshot().counter("serve.memo.hits"),
+        hits_before + 1);
+}
+
+TEST_F(ServerFixture, EquivalentSpellingsShareOneMemoEntry)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply cold = client.request(
+        MsgType::Recommend,
+        "workload=mix:swim@q=50k,n=120k\npolys=2\nrandom=1\ntop=3\n");
+    ASSERT_TRUE(cold.ok()) << cold.payload;
+    // Same request, reordered options, no suffix shorthand.
+    const Reply hit = client.request(
+        MsgType::Recommend,
+        "workload=mix:swim@n=120000,q=50000\ntop=3\nrandom=1\n"
+        "polys=2\n");
+    ASSERT_TRUE(hit.ok()) << hit.payload;
+    EXPECT_TRUE(hit.memoHit());
+    EXPECT_EQ(server->searchesExecuted(), 1u);
+}
+
+TEST_F(ServerFixture, ConcurrentIdenticalRequestsComputeOnce)
+{
+    ServeConfig config = testConfig();
+    config.workers = 4;
+    startServer(config);
+
+    constexpr int kClients = 6;
+    std::atomic<int> ready{0};
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&] {
+            Client client;
+            if (client.connectTo(server->port()))
+                return;
+            ready.fetch_add(1);
+            while (ready.load() < kClients)
+                std::this_thread::yield();
+            const Reply reply =
+                client.request(MsgType::Recommend, kRecommendPayload);
+            if (reply.ok())
+                ok.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(ok.load(), kClients);
+    // The heart of the test: N identical in-flight requests, one
+    // computation. Latecomers hit the memo; overlappers joined the
+    // flight; either way nothing computed twice.
+    EXPECT_EQ(server->searchesExecuted(), 1u);
+}
+
+TEST_F(ServerFixture, SaturationIsATypedRejection)
+{
+    ServeConfig config = testConfig();
+    config.workers = 1;
+    config.queueDepth = 0;
+    startServer(config);
+
+    // Drive request A only as far as its "computing" progress event,
+    // so the worker slot is *provably* held when B arrives.
+    Client a = connectedClient();
+    ASSERT_FALSE(sendFrame(a.fd(), MsgType::Recommend, 0, 1,
+                           "workload=mix:swim@n=500k\npolys=2\n"
+                           "random=1\nseed=11\n"));
+    for (int state = 0; state < 2; ++state) {
+        Frame frame;
+        ASSERT_FALSE(recvFrame(a.fd(), frame));
+        ASSERT_EQ(frame.header.type, MsgType::Progress);
+    }
+
+    Client b = connectedClient();
+    const Reply rejected = b.request(
+        MsgType::Recommend,
+        "workload=mix:swim@n=500k\npolys=2\nrandom=1\nseed=22\n");
+    ASSERT_FALSE(rejected.transport);
+    EXPECT_EQ(rejected.type, MsgType::ErrorMsg);
+    auto kv = rejected.kv();
+    EXPECT_EQ(kv["code"], "saturated");
+
+    // A still completes: rejection shed load without breaking it.
+    Frame result;
+    ASSERT_FALSE(recvFrame(a.fd(), result));
+    EXPECT_EQ(result.header.type, MsgType::Result);
+    EXPECT_GE(obs::Registry::global().snapshot().counter(
+                  "serve.errors.saturated"),
+              1u);
+}
+
+TEST_F(ServerFixture, BlownDeadlineIsATypedTimeout)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply reply = client.request(
+        MsgType::Recommend,
+        "workload=mix:swim@n=1m\npolys=2\nrandom=1\ndeadline_ms=1\n");
+    ASSERT_FALSE(reply.transport);
+    ASSERT_EQ(reply.type, MsgType::ErrorMsg) << reply.payload;
+    EXPECT_EQ(reply.kv()["code"], "timeout");
+    // Failures are not memoized: the entry would poison retries.
+    EXPECT_EQ(server->memoStats().entries, 0u);
+}
+
+TEST_F(ServerFixture, MalformedFrameGetsProtocolErrorThenDisconnect)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply reply =
+        client.sendMalformed("GET /advice HTTP/1.1\r\nHost: x\r\n");
+    ASSERT_FALSE(reply.transport) << reply.transport.message();
+    EXPECT_EQ(reply.type, MsgType::ErrorMsg);
+    EXPECT_EQ(reply.kv()["code"], "protocol");
+}
+
+TEST_F(ServerFixture, BadRequestKeepsTheConnectionUsable)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply bad = client.request(
+        MsgType::Recommend, "workload=mix:unknown-program\n");
+    ASSERT_FALSE(bad.transport);
+    EXPECT_EQ(bad.type, MsgType::ErrorMsg);
+    EXPECT_EQ(bad.kv()["code"], "protocol");
+
+    // Unlike a framing violation, a payload-level error is
+    // recoverable: the next request on the same connection works.
+    const Reply pong = client.ping();
+    EXPECT_EQ(pong.type, MsgType::Pong);
+}
+
+TEST_F(ServerFixture, TraceAtomsAreRefused)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply reply = client.request(
+        MsgType::Recommend, "workload=mix:trace:/etc/passwd\n");
+    ASSERT_FALSE(reply.transport);
+    EXPECT_EQ(reply.type, MsgType::ErrorMsg);
+    EXPECT_EQ(reply.kv()["code"], "protocol");
+}
+
+TEST_F(ServerFixture, AnalyzeReportsPerProgramAttribution)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply reply = client.request(
+        MsgType::Analyze,
+        "workload=mix:swim+tomcatv@n=30k,q=10k\norg=a2-Hp-Sk\n");
+    ASSERT_TRUE(reply.ok()) << reply.payload;
+    auto kv = reply.kv();
+    EXPECT_EQ(kv["org"], "a2-Hp-Sk");
+    EXPECT_EQ(kv["programs"], "2");
+    EXPECT_EQ(kv["program.0.name"], "swim");
+    EXPECT_EQ(kv["program.1.name"], "tomcatv");
+    EXPECT_FALSE(kv["miss_pct"].empty());
+    EXPECT_EQ(kv["manifest.tool"], "cac_serve");
+}
+
+TEST_F(ServerFixture, StatsExposeAdmissionAndMemoState)
+{
+    startServer(testConfig());
+    Client client = connectedClient();
+    const Reply reply = client.stats();
+    ASSERT_TRUE(reply.ok());
+    auto kv = reply.kv();
+    EXPECT_EQ(kv["workers"], "2");
+    EXPECT_EQ(kv["queue_depth"], "4");
+    EXPECT_EQ(kv["memo.entries"], "0");
+    EXPECT_FALSE(kv["memo.budget"].empty());
+}
+
+TEST_F(ServerFixture, ShutdownRequestEndsWait)
+{
+    startServer(testConfig());
+    std::thread waiter([&] { server->wait(); });
+    Client client = connectedClient();
+    const Reply reply = client.shutdownServer();
+    EXPECT_TRUE(reply.ok());
+    waiter.join(); // hangs forever if SHUTDOWN does not end wait()
+}
+
+} // anonymous namespace
+} // namespace cac::serve

@@ -20,7 +20,9 @@ Checks the two observability artifacts the driver emits
 
 --require-span / --require-counter assert that specific
 instrumentation fired, so CI catches a span that silently stops being
-emitted, not just malformed files.
+emitted, not just malformed files. --require-counter accepts
+fnmatch-style patterns ("serve.*" passes when at least one counter
+with that prefix is present).
 
 Dependency-free by design (json/argparse only), like check_perf.py.
 
@@ -30,6 +32,7 @@ Usage:
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -155,8 +158,17 @@ def check_metrics_file(path, require_counters):
         for block in doc["windows"]:
             check_window_series(c, block)
     for name in require_counters:
-        c.expect(name in doc["counters"],
-                 "required counter %r not present" % name)
+        # fnmatch-style patterns ("serve.*") match any counter with
+        # that prefix; exact names keep exact semantics.
+        if any(ch in name for ch in "*?["):
+            hits = fnmatch.filter(doc["counters"].keys(), name)
+            c.expect(bool(hits),
+                     "no counter matches pattern %r (have %s)"
+                     % (name, ", ".join(sorted(doc["counters"])) or
+                        "none"))
+        else:
+            c.expect(name in doc["counters"],
+                     "required counter %r not present" % name)
     if c.failures == 0:
         windows = sum(len(b.get("series", [])) for b in doc["windows"])
         print("check_obs: %s ok (%d counters, %d histograms, %d windows)"

@@ -34,7 +34,13 @@ instead of tolerance bands:
     runtime-off scenario replay at >= 97% of the plain scenario
     warm_keep_rps (compiled-in-but-disabled instrumentation is near
     free) and the metrics+window-sampling replay at >= 90% of it
-    (enabled telemetry costs at most 10%).
+    (enabled telemetry costs at most 10%);
+  - the schema-9 "service" section must show the memoized-hit median
+    latency at least 10x under the cold RECOMMEND computation it
+    replaces (a hit is a map lookup plus one loopback round trip) and
+    the memo-hit p99 within a 5 ms absolute budget. The service
+    request rates (ping_rps, memo_hit_rps) are gated against the
+    baseline through the ordinary rate-suffix path.
 
 Dependency-free by design (json/argparse only): runs on any CI image
 with a Python 3 interpreter.
@@ -166,6 +172,58 @@ def check_obs_overhead(path):
     return failures
 
 
+# A memoized hit must be at least this many times faster than the cold
+# computation it replaces (machine-independent: both sides move with
+# the machine)...
+SERVICE_MEMO_SPEEDUP = 10.0
+# ...and its p99 must stay under this absolute budget — a memo hit is
+# a map lookup plus one loopback round trip, so 5 ms is generous on
+# any machine and still catches an accidental recompute on the hit
+# path.
+SERVICE_MEMO_P99_US = 5000.0
+
+
+def check_service_latency(path):
+    """Within-file gate over the schema-9 advisor-service section.
+
+    memo_p50_us <= cold_ms * 1000 / SERVICE_MEMO_SPEEDUP and
+    memo_p99_us <= SERVICE_MEMO_P99_US. Returns the number of
+    failures; silently passes when the file predates schema 9 and has
+    no service section.
+    """
+    service = load_json(path).get("service")
+    if not isinstance(service, dict):
+        return 0
+    cold_ms = service.get("cold_ms")
+    p50_us = service.get("memo_p50_us")
+    p99_us = service.get("memo_p99_us")
+    if not cold_ms or not p50_us or not p99_us:
+        return 0
+    failures = 0
+    ceiling_us = float(cold_ms) * 1000.0 / SERVICE_MEMO_SPEEDUP
+    if float(p50_us) > ceiling_us:
+        print("check_perf: FAIL service: memo-hit p50 %.0f us is not "
+              "%.0fx under the %.1f ms cold computation (ceiling "
+              "%.0f us)" % (float(p50_us), SERVICE_MEMO_SPEEDUP,
+                            float(cold_ms), ceiling_us))
+        failures += 1
+    else:
+        print("check_perf: service memo-hit p50 %.0f us vs %.1f ms "
+              "cold (%.0fx faster, floor %.0fx)"
+              % (float(p50_us), float(cold_ms),
+                 float(cold_ms) * 1000.0 / float(p50_us),
+                 SERVICE_MEMO_SPEEDUP))
+    if float(p99_us) > SERVICE_MEMO_P99_US:
+        print("check_perf: FAIL service: memo-hit p99 %.0f us over "
+              "the %.0f us budget" % (float(p99_us),
+                                      SERVICE_MEMO_P99_US))
+        failures += 1
+    else:
+        print("check_perf: service memo-hit p99 %.0f us (budget "
+              "%.0f us)" % (float(p99_us), SERVICE_MEMO_P99_US))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail when FRESH throughput dropped vs BASELINE")
@@ -198,6 +256,7 @@ def main():
 
     integrity_failures = check_integrity_cost(args.fresh)
     obs_failures = check_obs_overhead(args.fresh)
+    service_failures = check_service_latency(args.fresh)
 
     floor = 1.0 - args.tolerance
     failures = []
@@ -223,7 +282,7 @@ def main():
         for name in failures:
             print("  %s" % name)
         return 1
-    if integrity_failures or obs_failures:
+    if integrity_failures or obs_failures or service_failures:
         return 1
     print("check_perf: %d metrics within %.0f%% of baseline"
           % (len(common), 100 * args.tolerance))
